@@ -1,0 +1,270 @@
+// Command bundlectl is the operator tool: it consumes a directory of raw
+// NetFlow export streams (as written by tracegen, or by real collection
+// infrastructure using the same format), rebuilds per-destination traffic
+// demands through the de-duplicating collector, fits the demand/cost
+// model at the configured blended rate, and prints the recommended
+// pricing tiers with their profit-maximizing prices.
+//
+// Usage:
+//
+//	bundlectl -in /tmp/euisp -tiers 3 -model ced -strategy profit-weighted
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tieredpricing/internal/bundling"
+	"tieredpricing/internal/core"
+	"tieredpricing/internal/cost"
+	"tieredpricing/internal/demandfit"
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/geoip"
+	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/report"
+	"tieredpricing/internal/topology"
+	"tieredpricing/internal/traces"
+)
+
+func main() {
+	in := flag.String("in", "", "trace directory from tracegen (required)")
+	tiers := flag.Int("tiers", 3, "number of pricing tiers")
+	model := flag.String("model", "ced", "demand model: ced or logit")
+	alpha := flag.Float64("alpha", 1.1, "price sensitivity α")
+	s0 := flag.Float64("s0", 0.2, "logit no-purchase share")
+	theta := flag.Float64("theta", 0.2, "linear cost model base fraction θ")
+	strategyName := flag.String("strategy", "profit-weighted",
+		"bundling strategy (optimal, profit-weighted, cost-weighted, demand-weighted, cost division, index division)")
+	truth := flag.String("truth", "", "optional ground-truth flows CSV (from tracegen) to verify the recovery against")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "bundlectl: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *tiers, *model, *alpha, *s0, *theta, *strategyName, *truth); err != nil {
+		fmt.Fprintln(os.Stderr, "bundlectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, tiers int, model string, alpha, s0, theta float64, strategyName, truthPath string) error {
+	meta, err := readMeta(filepath.Join(dir, "meta.txt"))
+	if err != nil {
+		return err
+	}
+	geoFile, err := os.Open(filepath.Join(dir, "geoip.csv"))
+	if err != nil {
+		return err
+	}
+	geo, err := geoip.ReadCSV(geoFile)
+	geoFile.Close()
+	if err != nil {
+		return err
+	}
+
+	// Collect every router stream through the deduplicating collector.
+	collector := netflow.NewCollector(traces.AggregateKey)
+	streams, err := filepath.Glob(filepath.Join(dir, "*.nf5"))
+	if err != nil {
+		return err
+	}
+	if len(streams) == 0 {
+		return fmt.Errorf("no .nf5 streams in %s", dir)
+	}
+	for _, path := range streams {
+		if err := ingestFile(collector, path); err != nil {
+			return err
+		}
+	}
+	records, dups, dropped := collector.Stats()
+
+	rv := &demandfit.Resolver{Geo: geo, DistanceRegions: meta.dataset == "euisp"}
+	if meta.dataset == "internet2" {
+		rv.Topo = topology.Internet2()
+	}
+	flows, skipped, err := demandfit.BuildFlows(collector.Aggregates(), rv, meta.duration)
+	if err != nil {
+		return err
+	}
+
+	var dm econ.Model
+	switch model {
+	case "ced":
+		dm = econ.CED{Alpha: alpha}
+	case "logit":
+		dm = econ.Logit{Alpha: alpha, S0: s0}
+	default:
+		return fmt.Errorf("unknown demand model %q", model)
+	}
+	strategy, err := lookupStrategy(strategyName)
+	if err != nil {
+		return err
+	}
+	market, err := core.NewMarket(flows, dm, cost.Linear{Theta: theta}, meta.p0)
+	if err != nil {
+		return err
+	}
+	out, err := market.Run(strategy, tiers)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("collected %d records (%d cross-router duplicates, %d unkeyed, %d unresolved) → %d flows\n",
+		records, dups, dropped, skipped, len(flows))
+	if truthPath != "" {
+		if err := verifyRecovery(flows, truthPath); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("market: model=%s blended=$%.2f γ=%.4g originalπ=%.0f maxπ=%.0f\n\n",
+		dm.Name(), meta.p0, market.Gamma, market.OriginalProfit, market.MaxProfit)
+
+	t := report.New(fmt.Sprintf("Recommended tiers (%s, %d bundles)", strategy.Name(), tiers),
+		"tier", "price $/Mbps/mo", "flows", "demand Mbps", "mean distance mi")
+	for b, block := range out.Partition {
+		var demand, wdist float64
+		for _, i := range block {
+			demand += flows[i].Demand
+			wdist += flows[i].Demand * flows[i].Distance
+		}
+		t.MustAddRow(report.I(b), report.F(out.Prices[b]), report.I(len(block)),
+			report.F1(demand), report.F1(wdist/demand))
+	}
+	t.AddNote("profit $%.0f — capture %.1f%% of the tiered-pricing headroom",
+		out.Profit, out.Capture*100)
+	return t.WriteASCII(os.Stdout)
+}
+
+func ingestFile(c *netflow.Collector, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd := netflow.NewReader(bufio.NewReader(f))
+	for {
+		h, recs, err := rd.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		c.Ingest(h, recs)
+	}
+}
+
+func lookupStrategy(name string) (bundling.Strategy, error) {
+	all := []bundling.Strategy{
+		bundling.Optimal{}, bundling.ProfitWeighted{}, bundling.CostWeighted{},
+		bundling.DemandWeighted{}, bundling.CostDivision{}, bundling.IndexDivision{},
+		bundling.ClassAware{Inner: bundling.ProfitWeighted{}},
+	}
+	for _, s := range all {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}
+
+// traceMeta is the subset of meta.txt bundlectl needs.
+type traceMeta struct {
+	dataset  string
+	p0       float64
+	duration float64
+}
+
+func readMeta(path string) (traceMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return traceMeta{}, err
+	}
+	defer f.Close()
+	meta := traceMeta{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "dataset":
+			meta.dataset = value
+		case "blended_rate":
+			if meta.p0, err = strconv.ParseFloat(value, 64); err != nil {
+				return traceMeta{}, fmt.Errorf("meta: blended_rate: %w", err)
+			}
+		case "duration_sec":
+			if meta.duration, err = strconv.ParseFloat(value, 64); err != nil {
+				return traceMeta{}, fmt.Errorf("meta: duration_sec: %w", err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return traceMeta{}, err
+	}
+	if meta.dataset == "" || meta.p0 <= 0 || meta.duration <= 0 {
+		return traceMeta{}, fmt.Errorf("meta: incomplete metadata in %s", path)
+	}
+	return meta, nil
+}
+
+// verifyRecovery compares the pipeline-recovered flows against the
+// generator's ground truth by matching sorted (distance, demand)
+// signatures and reporting the worst relative demand error.
+func verifyRecovery(flows []econ.Flow, truthPath string) error {
+	f, err := os.Open(truthPath)
+	if err != nil {
+		return err
+	}
+	truth, err := traces.ReadFlowsCSV(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(truth) != len(flows) {
+		return fmt.Errorf("recovery check: %d flows recovered, truth has %d", len(flows), len(truth))
+	}
+	type sig struct{ d, q float64 }
+	a := make([]sig, len(flows))
+	b := make([]sig, len(truth))
+	for i := range flows {
+		a[i] = sig{flows[i].Distance, flows[i].Demand}
+		b[i] = sig{truth[i].Distance, truth[i].Demand}
+	}
+	less := func(s []sig) func(int, int) bool {
+		return func(i, j int) bool {
+			if s[i].d != s[j].d {
+				return s[i].d < s[j].d
+			}
+			return s[i].q < s[j].q
+		}
+	}
+	sort.Slice(a, less(a))
+	sort.Slice(b, less(b))
+	var worst float64
+	for i := range a {
+		if b[i].q > 0 {
+			if rel := math.Abs(a[i].q-b[i].q) / b[i].q; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	fmt.Printf("recovery check vs %s: %d/%d flows matched, worst demand error %.4f%%\n",
+		truthPath, len(a), len(b), worst*100)
+	if worst > 0.02 {
+		return fmt.Errorf("recovery check: worst demand error %.2f%% exceeds 2%%", worst*100)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/traces"
+)
+
+func TestReadMeta(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.txt")
+	content := "dataset=euisp\nseed=1\nblended_rate=20\nduration_sec=86400\nnoise\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := readMeta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.dataset != "euisp" || meta.p0 != 20 || meta.duration != 86400 {
+		t.Fatalf("meta = %+v", meta)
+	}
+}
+
+func TestReadMetaErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := readMeta(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("expected error for missing file")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("dataset=euisp\nblended_rate=NaNope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readMeta(bad); err == nil {
+		t.Error("expected parse error")
+	}
+	incomplete := filepath.Join(dir, "inc.txt")
+	if err := os.WriteFile(incomplete, []byte("dataset=euisp\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readMeta(incomplete); err == nil {
+		t.Error("expected incomplete-metadata error")
+	}
+}
+
+func TestLookupStrategy(t *testing.T) {
+	for _, name := range []string{
+		"optimal", "profit-weighted", "cost-weighted", "demand-weighted",
+		"cost division", "index division", "class-aware profit-weighted",
+	} {
+		s, err := lookupStrategy(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("lookup %q returned %q", name, s.Name())
+		}
+	}
+	if _, err := lookupStrategy("nope"); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+}
+
+func TestVerifyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	flows := []econ.Flow{
+		{ID: "a", Demand: 10, Distance: 5, Region: econ.RegionMetro},
+		{ID: "b", Demand: 20, Distance: 50, Region: econ.RegionNational},
+	}
+	path := filepath.Join(dir, "truth.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traces.WriteFlowsCSV(f, flows); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Exact recovery passes.
+	if err := verifyRecovery(flows, path); err != nil {
+		t.Fatalf("exact recovery: %v", err)
+	}
+	// 1% error passes (within sampling tolerance).
+	near := append([]econ.Flow(nil), flows...)
+	near[0].Demand *= 1.01
+	if err := verifyRecovery(near, path); err != nil {
+		t.Fatalf("1%% error should pass: %v", err)
+	}
+	// 10% error fails.
+	far := append([]econ.Flow(nil), flows...)
+	far[1].Demand *= 1.10
+	if err := verifyRecovery(far, path); err == nil {
+		t.Error("10% error should fail")
+	}
+	// Count mismatch fails.
+	if err := verifyRecovery(flows[:1], path); err == nil {
+		t.Error("count mismatch should fail")
+	}
+	// Missing truth file fails.
+	if err := verifyRecovery(flows, filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing truth should fail")
+	}
+}
+
+// TestRunEndToEnd drives the full operator workflow in-process: generate
+// a trace directory (as tracegen would) and run bundlectl's pipeline on
+// it.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	ds, err := traces.EUISP(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := ds.EmitNetFlow(traces.EmitConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for router, stream := range streams {
+		if err := os.WriteFile(filepath.Join(dir, sanitizeName(router)+".nf5"), stream, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	geo, err := os.Create(filepath.Join(dir, "geoip.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Geo.WriteCSV(geo); err != nil {
+		t.Fatal(err)
+	}
+	geo.Close()
+	meta := "dataset=euisp\nblended_rate=20\nduration_sec=86400\n"
+	if err := os.WriteFile(filepath.Join(dir, "meta.txt"), []byte(meta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truth, err := os.Create(filepath.Join(dir, "truth.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traces.WriteFlowsCSV(truth, ds.Flows); err != nil {
+		t.Fatal(err)
+	}
+	truth.Close()
+
+	if err := run(dir, 3, "ced", 1.1, 0.2, 0.2, "profit-weighted",
+		filepath.Join(dir, "truth.csv")); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Bad inputs surface as errors, not panics.
+	if err := run(dir, 3, "nope", 1.1, 0.2, 0.2, "profit-weighted", ""); err == nil {
+		t.Error("expected error for unknown model")
+	}
+	if err := run(dir, 3, "ced", 1.1, 0.2, 0.2, "nope", ""); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+	if err := run(t.TempDir(), 3, "ced", 1.1, 0.2, 0.2, "profit-weighted", ""); err == nil {
+		t.Error("expected error for empty directory")
+	}
+}
+
+// sanitizeName mirrors tracegen's filename sanitation for the test
+// fixture (router names may contain spaces).
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		case r == ' ':
+			out = append(out, '_')
+		default:
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSelectedExperimentWithCSV(t *testing.T) {
+	csvDir := t.TempDir()
+	// Silence stdout for the table print.
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	runErr := run([]string{"fig4"}, 1, csvDir, false)
+	mdErr := run([]string{"fig4"}, 1, "", true)
+	os.Stdout = old
+	devNull.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if mdErr != nil {
+		t.Fatal(mdErr)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "fig4_0.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"nonesuch"}, 1, "", false); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}

@@ -1,0 +1,113 @@
+// Command tracegen synthesizes one of the paper's three network datasets
+// and writes it out as raw NetFlow v5 export streams (one file per
+// exporting router) plus the GeoIP database needed to resolve endpoints —
+// the on-disk form an operator's collection infrastructure would produce.
+//
+// Usage:
+//
+//	tracegen -dataset euisp -seed 1 -out /tmp/euisp
+//
+// The output directory will contain:
+//
+//	<router>.nf5     NetFlow export stream of each router
+//	geoip.csv        prefix → location database
+//	meta.txt         dataset parameters (blended rate, window, sampling)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tieredpricing/internal/traces"
+)
+
+func main() {
+	dataset := flag.String("dataset", "euisp", "dataset to synthesize (euisp, cdn, internet2)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "", "output directory (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dataset, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, seed int64, out string) error {
+	ds, err := traces.ByName(dataset, seed)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	streams, err := ds.EmitNetFlow(traces.EmitConfig{Seed: seed + 1})
+	if err != nil {
+		return err
+	}
+	var total int
+	for router, stream := range streams {
+		name := sanitize(router) + ".nf5"
+		if err := os.WriteFile(filepath.Join(out, name), stream, 0o644); err != nil {
+			return err
+		}
+		total += len(stream)
+	}
+	geo, err := os.Create(filepath.Join(out, "geoip.csv"))
+	if err != nil {
+		return err
+	}
+	if err := ds.Geo.WriteCSV(geo); err != nil {
+		geo.Close()
+		return err
+	}
+	if err := geo.Close(); err != nil {
+		return err
+	}
+	meta := fmt.Sprintf(
+		"dataset=%s\nseed=%d\nflows=%d\nblended_rate=%g\nduration_sec=%g\nsampling=%d\nrouters=%d\n",
+		ds.Name, seed, len(ds.Flows), ds.P0, ds.DurationSec, ds.SamplingInterval, len(streams))
+	if err := os.WriteFile(filepath.Join(out, "meta.txt"), []byte(meta), 0o644); err != nil {
+		return err
+	}
+	truth, err := os.Create(filepath.Join(out, "truth.csv"))
+	if err != nil {
+		return err
+	}
+	if err := traces.WriteFlowsCSV(truth, ds.Flows); err != nil {
+		truth.Close()
+		return err
+	}
+	if err := truth.Close(); err != nil {
+		return err
+	}
+	st, err := ds.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d router streams (%d bytes) + geoip.csv to %s\n", len(streams), total, out)
+	fmt.Printf("dataset %s: %d flows, %.1f Gbps, w-avg distance %.0f mi, demand CV %.2f\n",
+		ds.Name, st.Flows, st.AggregateGbps, st.WeightedMeanDistance, st.DemandCV)
+	return nil
+}
+
+// sanitize makes a router name filesystem-friendly.
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		case r == ' ':
+			return '_'
+		default:
+			return '-'
+		}
+	}, s)
+}

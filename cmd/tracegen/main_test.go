@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"New York":    "New_York",
+		"Zürich":      "Z-rich",
+		"plain-name_": "plain-name_",
+		"a/b":         "a-b",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunWritesTraceDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := run("euisp", 7, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"meta.txt", "geoip.csv", "truth.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+	streams, err := filepath.Glob(filepath.Join(dir, "*.nf5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams) < 2 {
+		t.Errorf("only %d router streams", len(streams))
+	}
+	if err := run("nonesuch", 1, dir); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}

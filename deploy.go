@@ -1,0 +1,156 @@
+package transit
+
+import (
+	"io"
+	"net"
+	"net/netip"
+
+	"tieredpricing/internal/accounting"
+	"tieredpricing/internal/bgp"
+	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/peering"
+	"tieredpricing/internal/traces"
+)
+
+// This file exposes the deployment-facing half of the library (the
+// paper's §5 and §2.2.2): direct-peering economics, BGP tier tagging, and
+// the two tier-accounting architectures.
+
+// Peering economics (§2.2.2, Figure 2).
+type (
+	// PeeringInputs describe a customer/ISP bypass decision.
+	PeeringInputs = peering.Inputs
+	// PeeringOutcome classifies it (stay / efficient-bypass /
+	// market-failure).
+	PeeringOutcome = peering.Outcome
+	// PeeringSweepPoint is one point of a c_direct sweep.
+	PeeringSweepPoint = peering.SweepPoint
+)
+
+// Peering outcome values.
+const (
+	StayWithISP     = peering.StayWithISP
+	EfficientBypass = peering.EfficientBypass
+	MarketFailure   = peering.MarketFailure
+)
+
+// DecidePeering classifies one bypass decision.
+func DecidePeering(in PeeringInputs) (PeeringOutcome, error) { return peering.Decide(in) }
+
+// SweepPeering evaluates the decision across direct-link costs.
+func SweepPeering(base PeeringInputs, directCosts []float64) ([]PeeringSweepPoint, error) {
+	return peering.Sweep(base, directCosts)
+}
+
+// BGP tier association (§5.1).
+type (
+	// TierCommunity is the extended community tagging a route's tier.
+	TierCommunity = bgp.TierCommunity
+	// BGPOpen holds a speaker's OPEN parameters.
+	BGPOpen = bgp.Open
+	// BGPUpdate is a route announcement/withdrawal.
+	BGPUpdate = bgp.Update
+	// BGPSession is an established session.
+	BGPSession = bgp.Session
+	// RIB is a tier-tagged routing table with longest-prefix matching.
+	RIB = bgp.RIB
+)
+
+// EstablishBGP performs the OPEN/KEEPALIVE handshake over conn.
+func EstablishBGP(conn net.Conn, local BGPOpen) (*BGPSession, error) {
+	return bgp.Establish(conn, local)
+}
+
+// NewRIB creates an empty routing table.
+func NewRIB() *RIB { return bgp.NewRIB() }
+
+// AnnounceTiered groups prefixes by tier into tagged UPDATE messages.
+func AnnounceTiered(prefixes []netip.Prefix, nextHop netip.Addr,
+	tierOf func(netip.Prefix) int, prices []float64) ([]BGPUpdate, error) {
+	return bgp.AnnounceTiered(prefixes, nextHop, tierOf, prices)
+}
+
+// Accounting (§5.2).
+type (
+	// LinkMeter is the link-based (per-tier SNMP counter) architecture.
+	LinkMeter = accounting.LinkMeter
+	// FlowAccountant is the flow-based (NetFlow + RIB) architecture.
+	FlowAccountant = accounting.FlowAccountant
+	// Bill prices accounted traffic.
+	Bill = accounting.Bill
+	// AccountingOverhead compares the two architectures' costs.
+	AccountingOverhead = accounting.Overhead
+)
+
+// NewLinkMeter creates an empty link meter.
+func NewLinkMeter() *LinkMeter { return accounting.NewLinkMeter() }
+
+// SNMP realism and industry billing (extensions beyond the paper; see
+// internal/accounting).
+type (
+	// SNMPAgent simulates a router interface MIB with wrapping 32-bit
+	// octet counters.
+	SNMPAgent = accounting.Agent
+	// SNMPPoller accumulates true totals from periodic counter reads,
+	// unwrapping counter wraps.
+	SNMPPoller = accounting.Poller
+	// PercentileBilling prices interval samples at a percentile (default
+	// the industry-standard 95th).
+	PercentileBilling = accounting.PercentileBilling
+)
+
+// NewSNMPAgent creates an agent with no interfaces.
+func NewSNMPAgent() *SNMPAgent { return accounting.NewAgent() }
+
+// NewSNMPPoller creates an empty poller.
+func NewSNMPPoller() *SNMPPoller { return accounting.NewPoller() }
+
+// Speaker is a provider-side BGP speaker that serves multiple customer
+// sessions and pushes incremental tier re-pricings (§5.1 at service
+// scale).
+type Speaker = bgp.Speaker
+
+// NewSpeaker starts a provider speaker listening on addr.
+func NewSpeaker(addr string, local BGPOpen, nextHop netip.Addr) (*Speaker, error) {
+	return bgp.NewSpeaker(addr, local, nextHop)
+}
+
+// NewFlowAccountant creates a flow accountant over a tier-tagged RIB.
+func NewFlowAccountant(rib *RIB) (*FlowAccountant, error) {
+	return accounting.NewFlowAccountant(rib)
+}
+
+// ComputeBill prices per-tier octet totals over a billing window.
+func ComputeBill(perTier map[int]uint64, prices []float64, windowSec float64) (Bill, error) {
+	return accounting.ComputeBill(perTier, prices, windowSec)
+}
+
+// PerTierOctets folds link-meter samples into per-tier totals.
+func PerTierOctets(samples []accounting.CounterSample) map[int]uint64 {
+	return accounting.PerTierOctets(samples)
+}
+
+// NetFlow trace replay.
+type (
+	// NetFlowHeader and NetFlowRecord are the v5 export structures.
+	NetFlowHeader = netflow.Header
+	NetFlowRecord = netflow.Record
+	// NetFlowReader streams export packets.
+	NetFlowReader = netflow.Reader
+	// Collector de-duplicates and aggregates records into demands.
+	Collector = netflow.Collector
+	// EmitConfig tunes Dataset.EmitNetFlow.
+	EmitConfig = traces.EmitConfig
+)
+
+// NewNetFlowReader streams export packets from r.
+func NewNetFlowReader(r io.Reader) *NetFlowReader { return netflow.NewReader(r) }
+
+// NewCollector aggregates records by the given bucketing rule.
+func NewCollector(key func(NetFlowRecord) string) *Collector {
+	return netflow.NewCollector(key)
+}
+
+// DatasetAggregateKey is the bucketing rule matching the built-in
+// datasets' address plan (source PoP /20 + destination /24).
+func DatasetAggregateKey(rec NetFlowRecord) string { return traces.AggregateKey(rec) }

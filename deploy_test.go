@@ -1,0 +1,167 @@
+package transit
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/netip"
+	"testing"
+)
+
+// TestDeployFacadeEndToEnd drives the whole §5 pipeline through the
+// public API, exactly as examples/accountingpipeline does: fit tiers,
+// announce them over a live BGP session, replay the NetFlow trace into
+// the flow accountant, and reconcile against per-tier link counters.
+func TestDeployFacadeEndToEnd(t *testing.T) {
+	ds, err := DatasetEUISP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	market, err := NewMarket(ds.Flows, CED{Alpha: 1.1}, Linear{Theta: 0.2}, ds.P0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := market.Run(ProfitWeighted{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// §5.1 over the facade: provider Speaker, customer session with loop
+	// prevention enabled.
+	speaker, err := NewSpeaker("127.0.0.1:0",
+		BGPOpen{AS: 64512, HoldTime: 180, ID: 1}, netip.MustParseAddr("192.0.2.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer speaker.Close()
+
+	tierOf := map[netip.Prefix]int{}
+	var prefixes []netip.Prefix
+	for b, block := range out.Partition {
+		for _, i := range block {
+			tierOf[ds.Meta[i].DstPrefix] = b
+			prefixes = append(prefixes, ds.Meta[i].DstPrefix)
+		}
+	}
+	// AnnounceTiered is the session-level alternative to the Speaker;
+	// exercise it for coverage of the facade path.
+	if _, err := AnnounceTiered(prefixes, netip.MustParseAddr("192.0.2.1"),
+		func(p netip.Prefix) int { return tierOf[p] }, out.Prices); err != nil {
+		t.Fatal(err)
+	}
+	if err := speaker.Reprice(prefixes,
+		func(p netip.Prefix) int { return tierOf[p] }, out.Prices); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", speaker.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := EstablishBGP(conn, BGPOpen{AS: 64513, HoldTime: 180, ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rib := NewRIB()
+	rib.LocalAS = 64513
+	for rib.Len() < len(ds.Flows) {
+		msg, err := sess.Recv()
+		if err != nil {
+			t.Fatalf("RIB stuck at %d routes: %v", rib.Len(), err)
+		}
+		if u, ok := msg.(*BGPUpdate); ok {
+			if err := rib.Apply(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sess.Close()
+
+	// §5.2(b) flow-based accounting from the replayed trace.
+	fa, err := NewFlowAccountant(rib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := ds.EmitNetFlow(EmitConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stream := range streams {
+		rd := NewNetFlowReader(bytes.NewReader(stream))
+		for {
+			h, recs, err := rd.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			fa.Ingest(h, recs)
+		}
+	}
+	flowBill, err := ComputeBill(fa.PerTierOctets(), out.Prices, ds.DurationSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// §5.2(a) link-based accounting through the SNMP agent + poller
+	// (wrapping counters) instead of the plain link meter.
+	agent := NewSNMPAgent()
+	poller := NewSNMPPoller()
+	lm := NewLinkMeter()
+	for tier := range out.Prices {
+		if err := lm.AddLink(uint16(100+tier), tier); err != nil {
+			t.Fatal(err)
+		}
+		poller.Observe(uint16(100+tier), agent.Read(uint16(100+tier)))
+	}
+	for i, f := range market.Flows {
+		route, ok := rib.Lookup(ds.Meta[i].DstPrefix.Addr().Next())
+		if !ok || route.Tier == nil {
+			t.Fatalf("flow %q unrouted", f.ID)
+		}
+		ifIndex, _ := lm.LinkFor(int(route.Tier.Tier))
+		octets := uint64(f.Demand * 1e6 / 8 * ds.DurationSec)
+		// Feed the wrapping counter in sub-wrap chunks and poll between
+		// them, as a real poller would.
+		for octets > 0 {
+			chunk := octets
+			if chunk > 3_000_000_000 {
+				chunk = 3_000_000_000
+			}
+			agent.Count(ifIndex, chunk)
+			poller.Observe(ifIndex, agent.Read(ifIndex))
+			octets -= chunk
+		}
+	}
+	perTier := map[int]uint64{}
+	for tier := range out.Prices {
+		ifIndex, _ := lm.LinkFor(tier)
+		perTier[tier] = poller.Total(ifIndex)
+	}
+	linkBill, err := ComputeBill(perTier, out.Prices, ds.DurationSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rel := (flowBill.Total - linkBill.Total) / linkBill.Total; rel < -0.01 || rel > 0.01 {
+		t.Fatalf("bills disagree: flow $%.2f vs link $%.2f", flowBill.Total, linkBill.Total)
+	}
+	if fa.Unrouted() != 0 {
+		t.Fatalf("unrouted octets: %d", fa.Unrouted())
+	}
+	// PerTierOctets facade over meter samples must agree with the poller.
+	if got := PerTierOctets(lm.Poll()); len(got) != len(out.Prices) {
+		t.Fatalf("meter per-tier = %v", got)
+	}
+	// The dataset aggregate key facade resolves emitted records.
+	rec := NetFlowRecord{SrcAddr: ds.Meta[0].SrcIP, DstAddr: ds.Meta[0].DstPrefix.Addr().Next()}
+	if DatasetAggregateKey(rec) == "" {
+		t.Error("aggregate key empty")
+	}
+	c := NewCollector(DatasetAggregateKey)
+	c.Ingest(NetFlowHeader{}, []NetFlowRecord{rec})
+	if len(c.Aggregates()) != 1 {
+		t.Error("facade collector did not aggregate")
+	}
+}

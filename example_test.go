@@ -1,0 +1,93 @@
+package transit_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	transit "tieredpricing"
+)
+
+// The flows every example starts from: observed demands (Mbps) at a $20
+// blended rate, with the distance each flow travels in the ISP's network.
+func exampleFlows() []transit.Flow {
+	return []transit.Flow{
+		{ID: "metro", Demand: 800, Distance: 8},
+		{ID: "regional", Demand: 420, Distance: 60},
+		{ID: "national", Demand: 260, Distance: 300},
+		{ID: "continental", Demand: 115, Distance: 900},
+		{ID: "transatlantic", Demand: 40, Distance: 3600},
+	}
+}
+
+// ExampleNewMarket fits a market and inspects the §4.1 calibration: the
+// blended rate is the optimal single-tier price by construction.
+func ExampleNewMarket() {
+	m, err := transit.NewMarket(exampleFlows(),
+		transit.CED{Alpha: 1.1}, transit.Linear{Theta: 0.2}, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := m.Run(transit.Optimal{}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single-tier price: $%.2f (blended rate $%.2f)\n", out.Prices[0], m.P0)
+	fmt.Printf("capture at one tier: %.2f\n", math.Abs(out.Capture))
+	// Output:
+	// single-tier price: $20.00 (blended rate $20.00)
+	// capture at one tier: 0.00
+}
+
+// ExampleMarket_Run structures three optimal tiers and prints their
+// prices — local traffic gets cheaper, long-haul more expensive.
+func ExampleMarket_Run() {
+	m, err := transit.NewMarket(exampleFlows(),
+		transit.CED{Alpha: 1.1}, transit.Linear{Theta: 0.2}, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := m.Run(transit.Optimal{}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for b, price := range out.Prices {
+		fmt.Printf("tier %d: $%.2f/Mbps (%d destinations)\n", b, price, len(out.Partition[b]))
+	}
+	// Output:
+	// tier 0: $15.90/Mbps (2 destinations)
+	// tier 1: $25.66/Mbps (2 destinations)
+	// tier 2: $92.07/Mbps (1 destinations)
+}
+
+// ExampleDecidePeering classifies the Figure 2 bypass decision.
+func ExampleDecidePeering() {
+	outcome, err := transit.DecidePeering(transit.PeeringInputs{
+		BlendedRate:        20,
+		ISPCost:            5,
+		Margin:             0.3,
+		AccountingOverhead: 1,
+		DirectCost:         10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(outcome)
+	// Output:
+	// market-failure
+}
+
+// ExampleAggregateFlows coarsens a market while conserving demand.
+func ExampleAggregateFlows() {
+	agg, err := transit.AggregateFlows(exampleFlows(), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total float64
+	for _, f := range agg {
+		total += f.Demand
+	}
+	fmt.Printf("%d aggregates, %.0f Mbps total\n", len(agg), total)
+	// Output:
+	// 2 aggregates, 1635 Mbps total
+}

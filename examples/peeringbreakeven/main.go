@@ -1,0 +1,55 @@
+// Peering break-even: the Figure 2 scenario — a CDN with a backbone
+// presence in NYC decides whether to procure a private link to the Boston
+// IXP instead of paying the upstream's blended rate, and we locate the
+// market-failure band that tiered pricing would eliminate.
+//
+//	go run ./examples/peeringbreakeven
+package main
+
+import (
+	"fmt"
+	"log"
+
+	transit "tieredpricing"
+)
+
+func main() {
+	base := transit.PeeringInputs{
+		BlendedRate:        20,  // R: the upstream's one-size-fits-all rate
+		ISPCost:            4,   // c_ISP: its real cost for NYC→Boston flows
+		Margin:             0.3, // M: the margin it needs to stay in business
+		AccountingOverhead: 1,   // A: cost of accounting for the tier (§5.2)
+	}
+
+	fmt.Printf("blended rate R = $%.0f, ISP cost for the local flows = $%.0f\n",
+		base.BlendedRate, base.ISPCost)
+	fmt.Printf("cheapest profitable tiered offer = (M+1)·c_ISP + A = $%.2f\n\n",
+		base.TieredFloor())
+
+	var costs []float64
+	for c := 2.0; c <= 24; c += 2 {
+		costs = append(costs, c)
+	}
+	points, err := transit.SweepPeering(base, costs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("direct-link cost   decision            consequence")
+	fmt.Println("---------------------------------------------------------------")
+	for _, p := range points {
+		var note string
+		switch p.Outcome {
+		case transit.StayWithISP:
+			note = "customer keeps buying transit"
+		case transit.EfficientBypass:
+			note = "bypass is cheaper than any profitable ISP offer"
+		case transit.MarketFailure:
+			note = fmt.Sprintf("bypass wastes $%.2f/Mbps vs a tiered offer", p.WelfareLoss)
+		}
+		fmt.Printf("   $%5.2f          %-18s  %s\n", p.DirectCost, p.Outcome, note)
+	}
+
+	fmt.Println("\nevery row between the tiered floor and R is revenue the ISP loses AND")
+	fmt.Println("capacity society overpays for — the pressure behind tiered pricing (§2.2.2).")
+}

@@ -1,0 +1,57 @@
+// Quickstart: fit a tiny transit market and see why tiered pricing beats
+// a blended rate — the paper's Figure 1 story on three flows.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	transit "tieredpricing"
+)
+
+func main() {
+	// Observed demands at the current blended rate of $20/Mbps/month: a
+	// transit customer sends most traffic to nearby destinations.
+	flows := []transit.Flow{
+		{ID: "metro", Demand: 800, Distance: 8},
+		{ID: "regional", Demand: 420, Distance: 60},
+		{ID: "national", Demand: 260, Distance: 300},
+		{ID: "continental", Demand: 115, Distance: 900},
+		{ID: "transatlantic", Demand: 40, Distance: 3600},
+	}
+
+	market, err := transit.NewMarket(flows,
+		transit.CED{Alpha: 1.1},    // constant-elasticity demand
+		transit.Linear{Theta: 0.2}, // cost grows linearly with distance
+		20.0 /* blended $/Mbps/mo */)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("status quo: every destination at $20.00 → profit $%.0f\n", market.OriginalProfit)
+	fmt.Printf("theoretical best (one price per destination) → profit $%.0f\n\n", market.MaxProfit)
+
+	for _, tiers := range []int{1, 2, 3, 4} {
+		out, err := market.Run(transit.Optimal{}, tiers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d tier(s): profit $%.0f, capture %5.1f%%  prices:", tiers, out.Profit, out.Capture*100)
+		for b, price := range out.Prices {
+			fmt.Printf("  tier%d=$%.2f(", b, price)
+			for j, i := range out.Partition[b] {
+				if j > 0 {
+					fmt.Print(",")
+				}
+				fmt.Print(flows[i].ID)
+			}
+			fmt.Print(")")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nthree well-chosen tiers already capture nearly all of the headroom —")
+	fmt.Println("the paper's headline result (§4.2.2).")
+}

@@ -1,0 +1,64 @@
+// Regional pricing: structure a CDN's transit contract into regional
+// tiers (the paper's §2.1 "regional pricing" offering) and compare the
+// naive region-based division with demand-aware bundling.
+//
+//	go run ./examples/regionalpricing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	transit "tieredpricing"
+)
+
+func main() {
+	// A synthetic international CDN calibrated to the paper's Table 1:
+	// 96 Gbps across 200 destination aggregates resolved through GeoIP.
+	ds, err := transit.DatasetCDN(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Regional cost model (§3.3): metro/national/international classes
+	// priced 1 : 2^θ : 3^θ.
+	market, err := transit.NewMarket(ds.Flows,
+		transit.Logit{Alpha: 1.1, S0: 0.2},
+		transit.Regional{Theta: 1.1},
+		ds.P0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("CDN market: %d flows, blended rate $%.0f, headroom $%.0f → $%.0f\n\n",
+		len(ds.Flows), ds.P0, market.OriginalProfit, market.MaxProfit)
+
+	for _, s := range []transit.Strategy{
+		transit.ProfitWeighted{}, // demand-driven, ignores the class structure
+		transit.CostWeighted{},   // ≈ today's region-discount practice
+		transit.Optimal{},
+	} {
+		out, err := market.Run(s, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s capture %5.1f%%\n", s.Name(), out.Capture*100)
+		for b := range out.Partition {
+			counts := map[transit.Region]int{}
+			var demand float64
+			for _, i := range out.Partition[b] {
+				counts[ds.Flows[i].Region]++
+				demand += ds.Flows[i].Demand
+			}
+			fmt.Printf("  tier %d @ $%6.2f/Mbps  %6.1f Gbps  (metro %d, national %d, international %d)\n",
+				b, out.Prices[b], demand/1000,
+				counts[transit.RegionMetro], counts[transit.RegionNational],
+				counts[transit.RegionInternational])
+		}
+	}
+
+	fmt.Println("\nwith only three regional cost classes, tiers that respect the class")
+	fmt.Println("boundaries (cost-weighted, optimal) capture nearly everything, while a")
+	fmt.Println("purely demand-driven grouping mixes classes and misprices them — the")
+	fmt.Println("paper's §4.3.1 lesson behind its class-aware heuristic.")
+}

@@ -1,0 +1,3 @@
+module tieredpricing
+
+go 1.22

@@ -1,0 +1,233 @@
+package accounting
+
+import (
+	"math"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"tieredpricing/internal/bgp"
+	"tieredpricing/internal/netflow"
+)
+
+func TestLinkMeterBasics(t *testing.T) {
+	m := NewLinkMeter()
+	if err := m.AddLink(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddLink(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AddLink(1, 2); err == nil {
+		t.Error("expected duplicate-interface error")
+	}
+	if err := m.AddLink(3, 0); err == nil {
+		t.Error("expected duplicate-tier error")
+	}
+	if err := m.Count(1, 500); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Count(1, 250); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Count(2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Count(9, 1); err == nil {
+		t.Error("expected unknown-interface error")
+	}
+	samples := m.Poll()
+	if len(samples) != 2 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	if samples[0].Octets != 750 || samples[0].Tier != 0 {
+		t.Errorf("sample 0 = %+v", samples[0])
+	}
+	per := PerTierOctets(samples)
+	if per[0] != 750 || per[1] != 100 {
+		t.Errorf("per tier = %v", per)
+	}
+	if ifIndex, ok := m.LinkFor(1); !ok || ifIndex != 2 {
+		t.Errorf("LinkFor(1) = %d, %v", ifIndex, ok)
+	}
+}
+
+func TestLinkMeterConcurrentCount(t *testing.T) {
+	m := NewLinkMeter()
+	if err := m.AddLink(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := m.Count(1, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Poll()[0].Octets; got != 5000 {
+		t.Fatalf("octets = %d, want 5000", got)
+	}
+}
+
+// tieredRIB builds a RIB with two tier-tagged routes.
+func tieredRIB(t *testing.T) *bgp.RIB {
+	t.Helper()
+	rib := bgp.NewRIB()
+	if err := rib.Apply(&bgp.Update{
+		Tier:      &bgp.TierCommunity{Tier: 0, PriceMilli: 9500},
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.1.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rib.Apply(&bgp.Update{
+		Tier:      &bgp.TierCommunity{Tier: 1, PriceMilli: 21000},
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.2.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rib
+}
+
+func rec(dst string, octets uint32, seq uint16) netflow.Record {
+	return netflow.Record{
+		SrcAddr: netip.MustParseAddr("192.0.2.1"),
+		DstAddr: netip.MustParseAddr(dst),
+		Octets:  octets,
+		SrcAS:   seq,
+	}
+}
+
+func TestFlowAccountantAttributesTiers(t *testing.T) {
+	fa, err := NewFlowAccountant(tieredRIB(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa.Ingest(netflow.Header{SamplingInterval: 10}, []netflow.Record{
+		rec("10.1.0.5", 100, 0),
+		rec("10.2.0.5", 200, 1),
+		rec("10.1.0.5", 100, 0), // duplicate of the first
+		rec("99.9.9.9", 50, 2),  // unrouted
+	})
+	per := fa.PerTierOctets()
+	if per[0] != 1000 || per[1] != 2000 {
+		t.Fatalf("per tier = %v, want 1000/2000 (sampling ×10, deduped)", per)
+	}
+	if fa.Unrouted() != 500 {
+		t.Fatalf("unrouted = %d, want 500", fa.Unrouted())
+	}
+}
+
+func TestNewFlowAccountantNilRIB(t *testing.T) {
+	if _, err := NewFlowAccountant(nil); err == nil {
+		t.Error("expected error for nil RIB")
+	}
+}
+
+// TestArchitecturesAgree is the §5.2 consistency check: the same traffic
+// measured by per-tier links and by flow records + RIB yields identical
+// per-tier totals and bills.
+func TestArchitecturesAgree(t *testing.T) {
+	rib := tieredRIB(t)
+	fa, err := NewFlowAccountant(rib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm := NewLinkMeter()
+	if err := lm.AddLink(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.AddLink(11, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	traffic := []netflow.Record{
+		rec("10.1.0.1", 1000, 0),
+		rec("10.1.7.7", 500, 1),
+		rec("10.2.3.4", 2500, 2),
+		rec("10.2.8.8", 100, 3),
+	}
+	// Flow path.
+	fa.Ingest(netflow.Header{SamplingInterval: 1}, traffic)
+	// Link path: the customer's router picks the egress link using the
+	// same tier-tagged RIB (the §5.1 routing-policy mechanism).
+	for _, r := range traffic {
+		route, ok := rib.Lookup(r.DstAddr)
+		if !ok {
+			t.Fatalf("no route for %v", r.DstAddr)
+		}
+		ifIndex, ok := lm.LinkFor(int(route.Tier.Tier))
+		if !ok {
+			t.Fatalf("no link for tier %d", route.Tier.Tier)
+		}
+		if err := lm.Count(ifIndex, uint64(r.Octets)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	flowTotals := fa.PerTierOctets()
+	linkTotals := PerTierOctets(lm.Poll())
+	for tier, want := range linkTotals {
+		if flowTotals[tier] != want {
+			t.Errorf("tier %d: flow %d != link %d", tier, flowTotals[tier], want)
+		}
+	}
+
+	prices := []float64{9.5, 21.0}
+	window := 3600.0
+	b1, err := ComputeBill(flowTotals, prices, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ComputeBill(linkTotals, prices, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b1.Total-b2.Total) > 1e-12 {
+		t.Errorf("bills differ: %v vs %v", b1.Total, b2.Total)
+	}
+}
+
+func TestComputeBill(t *testing.T) {
+	// 1e6 bytes over 8 seconds = 1 Mbps; at $9.5/Mbps that's $9.5.
+	bill, err := ComputeBill(map[int]uint64{0: 1e6}, []float64{9.5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bill.Total-9.5) > 1e-9 {
+		t.Fatalf("total = %v, want 9.5", bill.Total)
+	}
+	if math.Abs(bill.MbpsPerTier[0]-1) > 1e-9 {
+		t.Fatalf("mbps = %v, want 1", bill.MbpsPerTier[0])
+	}
+	if _, err := ComputeBill(map[int]uint64{3: 1}, []float64{1}, 8); err == nil {
+		t.Error("expected error for unpriced tier")
+	}
+	if _, err := ComputeBill(nil, nil, 0); err == nil {
+		t.Error("expected error for zero window")
+	}
+}
+
+func TestOverheadScaling(t *testing.T) {
+	o := Overhead{PerTierLink: 100, CollectorFixed: 500, PerMillionRecords: 2}
+	if got := o.LinkBased(3); got != 300 {
+		t.Errorf("LinkBased(3) = %v", got)
+	}
+	if got := o.FlowBased(2_000_000); got != 504 {
+		t.Errorf("FlowBased(2M) = %v", got)
+	}
+	// The paper's point: link-based overhead grows with tier count while
+	// flow-based does not.
+	if !(o.LinkBased(10) > o.LinkBased(2)) {
+		t.Error("link overhead should grow with tiers")
+	}
+	if o.FlowBased(1000) != o.FlowBased(1000) {
+		t.Error("flow overhead should be deterministic")
+	}
+}

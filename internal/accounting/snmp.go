@@ -1,0 +1,158 @@
+package accounting
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file models the parts of "Periodic SNMP Polling" (Figure 17a)
+// that bite in production: interface octet counters are 32-bit and wrap
+// (a 10 Gbps link wraps ifInOctets every ~3.4 seconds), so the poller
+// must sample often enough and unwrap deltas; and transit is billed not
+// on averages but on a percentile of interval samples (the industry's
+// 95th-percentile rule), which PercentileBilling implements.
+
+// Agent simulates a router's interface MIB: one wrapping Counter32 of
+// octets per ifIndex. Safe for concurrent use (data path vs poller).
+type Agent struct {
+	mu       sync.Mutex
+	counters map[uint16]uint32
+}
+
+// NewAgent creates an agent with no interfaces; counting on a new
+// ifIndex implicitly provisions it at zero.
+func NewAgent() *Agent {
+	return &Agent{counters: map[uint16]uint32{}}
+}
+
+// Count adds octets on the data path, wrapping modulo 2³² exactly as
+// ifInOctets does.
+func (a *Agent) Count(ifIndex uint16, octets uint64) {
+	a.mu.Lock()
+	a.counters[ifIndex] += uint32(octets) // wraps by construction
+	a.mu.Unlock()
+}
+
+// Read returns the current raw counter (an SNMP GET of ifInOctets).
+func (a *Agent) Read(ifIndex uint16) uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.counters[ifIndex]
+}
+
+// Poller accumulates true octet totals from periodic raw counter reads,
+// unwrapping at most one 2³² wrap per polling interval — the standard
+// SNMP assumption, which holds as long as the interval is shorter than
+// the counter's minimum wrap time at line rate.
+type Poller struct {
+	mu     sync.Mutex
+	last   map[uint16]uint32
+	seen   map[uint16]bool
+	totals map[uint16]uint64
+	wraps  map[uint16]int
+}
+
+// NewPoller creates an empty poller.
+func NewPoller() *Poller {
+	return &Poller{
+		last:   map[uint16]uint32{},
+		seen:   map[uint16]bool{},
+		totals: map[uint16]uint64{},
+		wraps:  map[uint16]int{},
+	}
+}
+
+// Observe records one raw counter reading and returns the octet delta
+// attributed to the interval since the previous reading (zero for the
+// first reading of an interface, which only establishes the baseline).
+func (p *Poller) Observe(ifIndex uint16, raw uint32) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.seen[ifIndex] {
+		p.seen[ifIndex] = true
+		p.last[ifIndex] = raw
+		return 0
+	}
+	prev := p.last[ifIndex]
+	p.last[ifIndex] = raw
+	var delta uint64
+	if raw >= prev {
+		delta = uint64(raw - prev)
+	} else {
+		// The counter wrapped (assumed once).
+		delta = uint64(raw) + (1 << 32) - uint64(prev)
+		p.wraps[ifIndex]++
+	}
+	p.totals[ifIndex] += delta
+	return delta
+}
+
+// Total returns the accumulated octets for an interface.
+func (p *Poller) Total(ifIndex uint16) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totals[ifIndex]
+}
+
+// Wraps returns how many counter wraps were unwrapped for an interface.
+func (p *Poller) Wraps(ifIndex uint16) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wraps[ifIndex]
+}
+
+// PercentileBilling prices traffic the way transit contracts actually
+// do: the billing window is cut into fixed intervals (classically 5
+// minutes), each interval's average Mbps is a sample, the top
+// (1 − Percentile) fraction of samples is discarded, and the highest
+// surviving sample is the billable rate. Bursts above the percentile are
+// free — the practice the paper's $/Mbps/month prices plug into.
+type PercentileBilling struct {
+	// Percentile in (0, 1]; zero selects the standard 0.95.
+	Percentile float64
+}
+
+// Rate returns the billable Mbps for one tier's interval samples.
+func (pb PercentileBilling) Rate(samplesMbps []float64) (float64, error) {
+	if len(samplesMbps) == 0 {
+		return 0, errors.New("accounting: no samples")
+	}
+	p := pb.Percentile
+	if p == 0 {
+		p = 0.95
+	}
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("accounting: percentile %v outside (0, 1]", p)
+	}
+	sorted := append([]float64(nil), samplesMbps...)
+	sort.Float64s(sorted)
+	// Discard the top (1−p) fraction; bill the highest survivor.
+	idx := int(p*float64(len(sorted))+1e-9) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx], nil
+}
+
+// Bill prices per-tier interval samples at the given $/Mbps/month rates.
+func (pb PercentileBilling) Bill(samplesPerTier map[int][]float64, prices []float64) (Bill, error) {
+	b := Bill{MbpsPerTier: map[int]float64{}, ChargePerTier: map[int]float64{}}
+	for tier, samples := range samplesPerTier {
+		if tier < 0 || tier >= len(prices) {
+			return Bill{}, fmt.Errorf("accounting: no price for tier %d", tier)
+		}
+		rate, err := pb.Rate(samples)
+		if err != nil {
+			return Bill{}, fmt.Errorf("accounting: tier %d: %w", tier, err)
+		}
+		b.MbpsPerTier[tier] = rate
+		b.ChargePerTier[tier] = rate * prices[tier]
+		b.Total += rate * prices[tier]
+	}
+	return b, nil
+}

@@ -1,0 +1,301 @@
+package bgp
+
+import (
+	"io"
+	"net"
+	"net/netip"
+	"testing"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := Open{AS: 64512, HoldTime: 180, ID: 0x0A000001}
+	msg, err := EncodeOpen(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg) != HeaderLen+10 {
+		t.Fatalf("OPEN length = %d", len(msg))
+	}
+	got, err := DecodeBody(MsgOpen, msg[HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.(*Open) != o {
+		t.Fatalf("round trip: %+v != %+v", got, o)
+	}
+}
+
+func TestKeepaliveAndNotification(t *testing.T) {
+	ka, err := EncodeKeepalive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ka) != HeaderLen {
+		t.Fatalf("KEEPALIVE length = %d", len(ka))
+	}
+	if v, err := DecodeBody(MsgKeepalive, nil); err != nil || v != nil {
+		t.Fatalf("KEEPALIVE decode = (%v, %v)", v, err)
+	}
+	n := Notification{Code: 6, Subcode: 2}
+	msg, err := EncodeNotification(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBody(MsgNotification, msg[HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got.(*Notification) != n {
+		t.Fatalf("NOTIFICATION round trip: %+v", got)
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")},
+		NextHop:   netip.MustParseAddr("10.0.0.1"),
+		Tier:      &TierCommunity{Tier: 2, PriceMilli: 17350},
+		Announced: []netip.Prefix{
+			netip.MustParsePrefix("10.1.0.0/16"),
+			netip.MustParsePrefix("10.2.3.0/24"),
+			netip.MustParsePrefix("0.0.0.0/0"),
+		},
+	}
+	msg, err := EncodeUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBody(MsgUpdate, msg[HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*Update)
+	if len(g.Withdrawn) != 1 || g.Withdrawn[0] != u.Withdrawn[0] {
+		t.Errorf("withdrawn = %v", g.Withdrawn)
+	}
+	if g.NextHop != u.NextHop {
+		t.Errorf("next hop = %v", g.NextHop)
+	}
+	if g.Tier == nil || *g.Tier != *u.Tier {
+		t.Errorf("tier = %+v", g.Tier)
+	}
+	if len(g.Announced) != 3 {
+		t.Fatalf("announced = %v", g.Announced)
+	}
+	for i := range u.Announced {
+		if g.Announced[i] != u.Announced[i] {
+			t.Errorf("announced[%d] = %v, want %v", i, g.Announced[i], u.Announced[i])
+		}
+	}
+}
+
+func TestUpdateWithoutOptionalParts(t *testing.T) {
+	u := Update{Announced: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}}
+	msg, err := EncodeUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBody(MsgUpdate, msg[HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*Update)
+	if g.Tier != nil || g.NextHop.IsValid() || len(g.Withdrawn) != 0 {
+		t.Errorf("unexpected optional parts: %+v", g)
+	}
+}
+
+func TestUpdateRejectsIPv6(t *testing.T) {
+	u := Update{Announced: []netip.Prefix{netip.MustParsePrefix("2001:db8::/32")}}
+	if _, err := EncodeUpdate(u); err == nil {
+		t.Error("expected error for IPv6 NLRI")
+	}
+	u = Update{NextHop: netip.MustParseAddr("2001:db8::1")}
+	if _, err := EncodeUpdate(u); err == nil {
+		t.Error("expected error for IPv6 next hop")
+	}
+}
+
+func TestDecodeBodyErrors(t *testing.T) {
+	cases := []struct {
+		typ  uint8
+		body []byte
+	}{
+		{MsgOpen, []byte{1, 2}},
+		{MsgOpen, []byte{9, 0, 1, 0, 180, 1, 2, 3, 4, 0}}, // wrong version
+		{MsgKeepalive, []byte{1}},
+		{MsgNotification, []byte{6}},
+		{MsgUpdate, []byte{0}},
+		{MsgUpdate, []byte{0, 5, 0, 0}},        // withdrawn overruns
+		{MsgUpdate, []byte{0, 0, 0, 9}},        // attrs overrun
+		{MsgUpdate, []byte{0, 0, 0, 0, 40}},    // NLRI length > 32
+		{MsgUpdate, []byte{0, 0, 0, 0, 24, 1}}, // truncated NLRI body
+		{99, nil},
+	}
+	for i, c := range cases {
+		if _, err := DecodeBody(c.typ, c.body); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTierCommunityForeignIgnored(t *testing.T) {
+	var foreign [8]byte
+	foreign[0] = 0x00 // two-octet-AS route target, not ours
+	if _, ok := parseTierCommunity(foreign); ok {
+		t.Error("foreign community parsed as tier tag")
+	}
+}
+
+// TestSessionOverTCP runs a real handshake and tier-tagged route exchange
+// over loopback TCP.
+func TestSessionOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		rib *RIB
+		err error
+	}
+	done := make(chan result, 1)
+
+	// Customer side: accept, establish, apply updates until EOF.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		defer conn.Close()
+		sess, err := Establish(conn, Open{AS: 64513, HoldTime: 180, ID: 2})
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		rib := NewRIB()
+		for {
+			msg, err := sess.Recv()
+			if err == io.EOF {
+				done <- result{rib, nil}
+				return
+			}
+			if err != nil {
+				done <- result{nil, err}
+				return
+			}
+			if u, ok := msg.(*Update); ok {
+				if err := rib.Apply(u); err != nil {
+					done <- result{nil, err}
+					return
+				}
+			}
+		}
+	}()
+
+	// Provider side: announce two tiers, withdraw one prefix, close.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Establish(conn, Open{AS: 64512, HoldTime: 180, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Peer.AS != 64513 {
+		t.Fatalf("peer AS = %d", sess.Peer.AS)
+	}
+	updates, err := AnnounceTiered(
+		[]netip.Prefix{
+			netip.MustParsePrefix("10.1.0.0/16"),
+			netip.MustParsePrefix("10.2.0.0/16"),
+			netip.MustParsePrefix("10.3.0.0/16"),
+		},
+		netip.MustParseAddr("192.0.2.1"),
+		func(p netip.Prefix) int {
+			if p.Addr().As4()[1] == 1 {
+				return 0
+			}
+			return 1
+		},
+		[]float64{9.5, 21.0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range updates {
+		if err := sess.SendUpdate(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.SendUpdate(Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("10.3.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	rib := res.rib
+	if rib.Len() != 2 {
+		t.Fatalf("RIB has %d routes, want 2 (one withdrawn)", rib.Len())
+	}
+	r, ok := rib.Lookup(netip.MustParseAddr("10.1.2.3"))
+	if !ok || r.Tier == nil || r.Tier.Tier != 0 || r.Tier.PriceMilli != 9500 {
+		t.Fatalf("10.1/16 route = %+v", r)
+	}
+	r, ok = rib.Lookup(netip.MustParseAddr("10.2.9.9"))
+	if !ok || r.Tier == nil || r.Tier.Tier != 1 || r.Tier.PriceMilli != 21000 {
+		t.Fatalf("10.2/16 route = %+v", r)
+	}
+	if _, ok := rib.Lookup(netip.MustParseAddr("10.3.0.1")); ok {
+		t.Error("withdrawn route still present")
+	}
+}
+
+func TestRIBLongestPrefixMatch(t *testing.T) {
+	rib := NewRIB()
+	tier0 := &TierCommunity{Tier: 0, PriceMilli: 1000}
+	tier1 := &TierCommunity{Tier: 1, PriceMilli: 2000}
+	if err := rib.Apply(&Update{Tier: tier0,
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rib.Apply(&Update{Tier: tier1,
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.5.0.0/16")}}); err != nil {
+		t.Fatal(err)
+	}
+	r, ok := rib.Lookup(netip.MustParseAddr("10.5.1.1"))
+	if !ok || r.Tier.Tier != 1 {
+		t.Fatalf("LPM picked %+v", r)
+	}
+	r, ok = rib.Lookup(netip.MustParseAddr("10.6.1.1"))
+	if !ok || r.Tier.Tier != 0 {
+		t.Fatalf("fallback picked %+v", r)
+	}
+	if _, ok := rib.Lookup(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Error("lookup outside routes matched")
+	}
+	if got := len(rib.Routes()); got != 2 {
+		t.Errorf("Routes() = %d entries", got)
+	}
+}
+
+func TestAnnounceTieredRejectsBadTier(t *testing.T) {
+	_, err := AnnounceTiered(
+		[]netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+		netip.MustParseAddr("192.0.2.1"),
+		func(netip.Prefix) int { return 5 },
+		[]float64{1.0},
+	)
+	if err == nil {
+		t.Error("expected error for tier outside price list")
+	}
+}

@@ -1,0 +1,71 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzDecodeUpdate hardens the UPDATE parser: a malicious or corrupted
+// peer message must produce an error, never a panic or over-read.
+func FuzzDecodeUpdate(f *testing.F) {
+	valid, err := EncodeUpdate(Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")},
+		NextHop:   netip.MustParseAddr("10.0.0.1"),
+		Tier:      &TierCommunity{Tier: 1, PriceMilli: 20000},
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid[HeaderLen:])
+	f.Add(valid[HeaderLen : len(valid)-2])
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		got, err := DecodeBody(MsgUpdate, body)
+		if err != nil {
+			return
+		}
+		u := got.(*Update)
+		// Anything that decodes must re-encode (prefixes are masked on
+		// the way in, so re-encoding is always well-formed).
+		re, err := EncodeUpdate(*u)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v (update %+v)", err, u)
+		}
+		got2, err := DecodeBody(MsgUpdate, re[HeaderLen:])
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		u2 := got2.(*Update)
+		if len(u2.Announced) != len(u.Announced) || len(u2.Withdrawn) != len(u.Withdrawn) {
+			t.Fatal("round trip changed prefix counts")
+		}
+	})
+}
+
+// FuzzDecodeOpen fuzzes the OPEN parser.
+func FuzzDecodeOpen(f *testing.F) {
+	valid, err := EncodeOpen(Open{AS: 64512, HoldTime: 180, ID: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid[HeaderLen:])
+	f.Add([]byte{4})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		got, err := DecodeBody(MsgOpen, body)
+		if err != nil {
+			return
+		}
+		o := got.(*Open)
+		re, err := EncodeOpen(*o)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		got2, err := DecodeBody(MsgOpen, re[HeaderLen:])
+		if err != nil || *got2.(*Open) != *o {
+			t.Fatalf("round trip mismatch: %+v vs %+v (%v)", got2, o, err)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// Route is a RIB entry: a destination prefix with its next hop, the AS
+// path it arrived with, and, when the upstream tagged it, the pricing
+// tier it belongs to.
+type Route struct {
+	Prefix  netip.Prefix
+	NextHop netip.Addr
+	// ASPath is the announcement's AS_PATH (nearest AS first).
+	ASPath []uint16
+	// Tier is the tag from the upstream's extended community; nil for
+	// untagged routes.
+	Tier *TierCommunity
+}
+
+// RIB is a routing information base with longest-prefix-match lookup —
+// the structure the flow-based accounting pipeline of §5.2 consults to
+// assign each flow to a pricing tier. Safe for concurrent use.
+//
+// Setting LocalAS to a non-zero value enables BGP loop prevention:
+// announcements whose AS_PATH already contains LocalAS are dropped
+// (counted in Looped) instead of installed.
+type RIB struct {
+	// LocalAS, when non-zero, rejects announcements containing it in
+	// their AS_PATH. Set before the first Apply.
+	LocalAS uint16
+
+	mu     sync.RWMutex
+	routes map[netip.Prefix]Route
+	looped int
+}
+
+// NewRIB creates an empty RIB.
+func NewRIB() *RIB {
+	return &RIB{routes: make(map[netip.Prefix]Route)}
+}
+
+// Apply merges an UPDATE into the RIB: withdrawals first, then
+// announcements, as RFC 4271 prescribes.
+func (rib *RIB) Apply(u *Update) error {
+	rib.mu.Lock()
+	defer rib.mu.Unlock()
+	for _, p := range u.Withdrawn {
+		delete(rib.routes, p.Masked())
+	}
+	if rib.LocalAS != 0 && len(u.Announced) > 0 {
+		for _, as := range u.ASPath {
+			if as == rib.LocalAS {
+				// Loop: our own AS already forwarded this route.
+				rib.looped += len(u.Announced)
+				return nil
+			}
+		}
+	}
+	for _, p := range u.Announced {
+		if !p.IsValid() || !p.Addr().Is4() {
+			return fmt.Errorf("bgp: invalid announced prefix %v", p)
+		}
+		r := Route{Prefix: p.Masked(), NextHop: u.NextHop, ASPath: append([]uint16(nil), u.ASPath...)}
+		if u.Tier != nil {
+			tc := *u.Tier
+			r.Tier = &tc
+		}
+		rib.routes[p.Masked()] = r
+	}
+	return nil
+}
+
+// Lookup returns the longest-prefix-match route for ip.
+func (rib *RIB) Lookup(ip netip.Addr) (Route, bool) {
+	rib.mu.RLock()
+	defer rib.mu.RUnlock()
+	var best Route
+	found := false
+	for _, r := range rib.routes {
+		if r.Prefix.Contains(ip) && (!found || r.Prefix.Bits() > best.Prefix.Bits()) {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Looped returns how many announced prefixes were dropped by loop
+// prevention.
+func (rib *RIB) Looped() int {
+	rib.mu.RLock()
+	defer rib.mu.RUnlock()
+	return rib.looped
+}
+
+// Len returns the number of routes.
+func (rib *RIB) Len() int {
+	rib.mu.RLock()
+	defer rib.mu.RUnlock()
+	return len(rib.routes)
+}
+
+// Routes returns all routes sorted by prefix string (for stable output).
+func (rib *RIB) Routes() []Route {
+	rib.mu.RLock()
+	defer rib.mu.RUnlock()
+	out := make([]Route, 0, len(rib.routes))
+	for _, r := range rib.routes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Prefix.String() < out[j].Prefix.String()
+	})
+	return out
+}
+
+// AnnounceTiered builds the per-tier UPDATE batch an upstream sends a
+// customer: prefixes grouped by tier, each group tagged with its tier
+// community (§5.1). prices are in $/Mbps/month, converted to
+// milli-dollars on the wire; tierOf maps each prefix to a tier index into
+// prices.
+func AnnounceTiered(prefixes []netip.Prefix, nextHop netip.Addr,
+	tierOf func(netip.Prefix) int, prices []float64) ([]Update, error) {
+	groups := make(map[int][]netip.Prefix)
+	for _, p := range prefixes {
+		t := tierOf(p)
+		if t < 0 || t >= len(prices) {
+			return nil, fmt.Errorf("bgp: prefix %v mapped to tier %d outside price list", p, t)
+		}
+		groups[t] = append(groups[t], p)
+	}
+	tiers := make([]int, 0, len(groups))
+	for t := range groups {
+		tiers = append(tiers, t)
+	}
+	sort.Ints(tiers)
+	out := make([]Update, 0, len(tiers))
+	for _, t := range tiers {
+		out = append(out, Update{
+			NextHop:   nextHop,
+			Tier:      &TierCommunity{Tier: uint16(t), PriceMilli: uint32(prices[t]*1000 + 0.5)},
+			Announced: groups[t],
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestASPathRoundTrip(t *testing.T) {
+	u := Update{
+		ASPath:    []uint16{64512, 3356, 1299},
+		NextHop:   netip.MustParseAddr("10.0.0.1"),
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	}
+	msg, err := EncodeUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBody(MsgUpdate, msg[HeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*Update)
+	if len(g.ASPath) != 3 || g.ASPath[0] != 64512 || g.ASPath[2] != 1299 {
+		t.Fatalf("AS path = %v", g.ASPath)
+	}
+}
+
+func TestASPathTooLong(t *testing.T) {
+	u := Update{
+		ASPath:    make([]uint16, 256),
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	}
+	if _, err := EncodeUpdate(u); err == nil {
+		t.Error("expected error for oversized AS path")
+	}
+}
+
+func TestRIBLoopPrevention(t *testing.T) {
+	rib := NewRIB()
+	rib.LocalAS = 64513
+	// A clean route installs.
+	if err := rib.Apply(&Update{
+		ASPath:    []uint16{64512},
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rib.Len() != 1 {
+		t.Fatalf("len = %d", rib.Len())
+	}
+	// A looped route (our AS in the path) is dropped and counted.
+	if err := rib.Apply(&Update{
+		ASPath:    []uint16{64512, 64513},
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.9.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rib.Len() != 1 {
+		t.Fatalf("looped route installed: len = %d", rib.Len())
+	}
+	if rib.Looped() != 1 {
+		t.Fatalf("looped = %d, want 1", rib.Looped())
+	}
+	// Withdrawals still apply even when the announce part loops.
+	if err := rib.Apply(&Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")},
+		ASPath:    []uint16{64513},
+		Announced: []netip.Prefix{netip.MustParsePrefix("10.9.0.0/16")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if rib.Len() != 0 {
+		t.Fatalf("withdrawal ignored: len = %d", rib.Len())
+	}
+}
+
+func TestSpeakerStampsASPath(t *testing.T) {
+	updates := diffTables(nil, map[netip.Prefix]TierCommunity{
+		netip.MustParsePrefix("10.0.0.0/24"): {Tier: 0, PriceMilli: 1000},
+	}, netip.MustParseAddr("192.0.2.1"), []uint16{64512})
+	if len(updates) != 1 || len(updates[0].ASPath) != 1 || updates[0].ASPath[0] != 64512 {
+		t.Fatalf("updates = %+v", updates)
+	}
+}

@@ -1,0 +1,254 @@
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// Speaker is the provider side of §5.1 at service scale: it listens for
+// customer sessions, replays its current tier-tagged table to each new
+// customer, and pushes incremental UPDATEs to every connected customer
+// when the operator re-prices (re-bundles) destinations — the paper's
+// "simply apply a profit-weighted bundling strategy to re-factor their
+// pricing ... possibly without even making many changes to the network
+// configuration".
+type Speaker struct {
+	local   Open
+	nextHop netip.Addr
+	ln      net.Listener
+
+	mu       sync.Mutex
+	table    map[netip.Prefix]TierCommunity
+	sessions map[*Session]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewSpeaker starts a provider speaker listening on addr
+// (e.g. "127.0.0.1:0").
+func NewSpeaker(addr string, local Open, nextHop netip.Addr) (*Speaker, error) {
+	if !nextHop.Is4() {
+		return nil, errors.New("bgp: speaker next hop must be IPv4")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: listen: %w", err)
+	}
+	s := &Speaker{
+		local:    local,
+		nextHop:  nextHop,
+		ln:       ln,
+		table:    map[netip.Prefix]TierCommunity{},
+		sessions: map[*Session]struct{}{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address customers dial.
+func (s *Speaker) Addr() string { return s.ln.Addr().String() }
+
+// Sessions returns the number of connected customers.
+func (s *Speaker) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Reprice installs a new tier table: prefixes absent from the new table
+// are withdrawn, new or re-tiered prefixes are announced, and the
+// resulting UPDATE batch is pushed to every connected customer. tierOf
+// maps each prefix to an index into prices.
+func (s *Speaker) Reprice(prefixes []netip.Prefix, tierOf func(netip.Prefix) int, prices []float64) error {
+	next := make(map[netip.Prefix]TierCommunity, len(prefixes))
+	for _, p := range prefixes {
+		if !p.IsValid() || !p.Addr().Is4() {
+			return fmt.Errorf("bgp: invalid prefix %v", p)
+		}
+		t := tierOf(p)
+		if t < 0 || t >= len(prices) {
+			return fmt.Errorf("bgp: prefix %v mapped to tier %d outside price list", p, t)
+		}
+		next[p.Masked()] = TierCommunity{Tier: uint16(t), PriceMilli: uint32(prices[t]*1000 + 0.5)}
+	}
+
+	s.mu.Lock()
+	updates := diffTables(s.table, next, s.nextHop, []uint16{s.local.AS})
+	s.table = next
+	targets := make([]*Session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		targets = append(targets, sess)
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	for _, sess := range targets {
+		if err := sendAll(sess, updates); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close stops accepting and tears down all sessions.
+func (s *Speaker) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := make([]*Session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, sess := range sessions {
+		sess.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Speaker) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve establishes one customer session, replays the full table, then
+// keeps the session registered (draining inbound keepalives) until the
+// customer hangs up.
+func (s *Speaker) serve(conn net.Conn) {
+	sess, err := Establish(conn, s.local)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.Close()
+		return
+	}
+	snapshot := diffTables(nil, s.table, s.nextHop, []uint16{s.local.AS})
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+
+	if err := sendAll(sess, snapshot); err != nil {
+		s.drop(sess)
+		return
+	}
+	for {
+		if _, err := sess.Recv(); err != nil {
+			if err != io.EOF {
+				_ = err // session error; drop either way
+			}
+			s.drop(sess)
+			return
+		}
+	}
+}
+
+func (s *Speaker) drop(sess *Session) {
+	s.mu.Lock()
+	delete(s.sessions, sess)
+	s.mu.Unlock()
+	sess.Close()
+}
+
+// diffTables computes the UPDATE batch that transforms table old into
+// table next: withdrawals for removed prefixes, tier-grouped
+// announcements for added or re-tagged prefixes, each carrying the
+// speaker's AS path. Passing old = nil yields a full-table replay.
+// Announcements are chunked to fit the message size limit.
+func diffTables(old, next map[netip.Prefix]TierCommunity, nextHop netip.Addr, asPath []uint16) []Update {
+	var withdrawn []netip.Prefix
+	for p := range old {
+		if _, ok := next[p]; !ok {
+			withdrawn = append(withdrawn, p)
+		}
+	}
+	sort.Slice(withdrawn, func(i, j int) bool {
+		return withdrawn[i].String() < withdrawn[j].String()
+	})
+
+	byTag := map[TierCommunity][]netip.Prefix{}
+	for p, tag := range next {
+		if oldTag, ok := old[p]; ok && oldTag == tag {
+			continue // unchanged
+		}
+		byTag[tag] = append(byTag[tag], p)
+	}
+	tags := make([]TierCommunity, 0, len(byTag))
+	for tag := range byTag {
+		tags = append(tags, tag)
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		if tags[i].Tier != tags[j].Tier {
+			return tags[i].Tier < tags[j].Tier
+		}
+		return tags[i].PriceMilli < tags[j].PriceMilli
+	})
+
+	var out []Update
+	for len(withdrawn) > 0 {
+		n := len(withdrawn)
+		if n > maxPrefixesPerUpdate {
+			n = maxPrefixesPerUpdate
+		}
+		out = append(out, Update{Withdrawn: withdrawn[:n]})
+		withdrawn = withdrawn[n:]
+	}
+	for _, tag := range tags {
+		prefixes := byTag[tag]
+		sort.Slice(prefixes, func(i, j int) bool {
+			return prefixes[i].String() < prefixes[j].String()
+		})
+		for len(prefixes) > 0 {
+			n := len(prefixes)
+			if n > maxPrefixesPerUpdate {
+				n = maxPrefixesPerUpdate
+			}
+			t := tag
+			out = append(out, Update{
+				NextHop:   nextHop,
+				ASPath:    asPath,
+				Tier:      &t,
+				Announced: prefixes[:n],
+			})
+			prefixes = prefixes[n:]
+		}
+	}
+	return out
+}
+
+// maxPrefixesPerUpdate keeps every UPDATE safely inside MaxMsgLen
+// (a /32 prefix costs 5 NLRI bytes; 500·5 + attributes ≪ 4096).
+const maxPrefixesPerUpdate = 500
+
+// sendAll transmits a batch of updates on one session.
+func sendAll(sess *Session, updates []Update) error {
+	for _, u := range updates {
+		if err := sess.SendUpdate(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package bundling
+
+import (
+	"fmt"
+
+	"tieredpricing/internal/econ"
+)
+
+// ClassAware wraps another strategy with the guard §4.3.1 introduces for
+// the destination-type cost model: flows from different traffic classes
+// ("on-net" vs "off-net") are never grouped into the same bundle, except
+// when b is smaller than the number of classes present (a single blended
+// bundle is then unavoidable and matches the b = 1 baseline).
+//
+// Bundles are allocated to classes proportionally to each class's share
+// of the inner strategy's weights — approximated here by demand share —
+// with every class getting at least one bundle.
+type ClassAware struct {
+	// Inner is the strategy applied within each class; the paper pairs
+	// this guard with ProfitWeighted.
+	Inner Strategy
+}
+
+// Name implements Strategy.
+func (s ClassAware) Name() string { return "class-aware " + s.Inner.Name() }
+
+// Bundle implements Strategy.
+func (s ClassAware) Bundle(flows []econ.Flow, model econ.Model, b int) ([][]int, error) {
+	if s.Inner == nil {
+		return nil, fmt.Errorf("bundling: class-aware strategy needs an inner strategy")
+	}
+	if err := validateInput(flows, b); err != nil {
+		return nil, err
+	}
+
+	// Group flow indices by class, preserving first-seen class order.
+	type class struct {
+		idx    []int
+		demand float64
+	}
+	byClass := map[bool]*class{}
+	var classOrder []bool
+	for i, f := range flows {
+		c, ok := byClass[f.OnNet]
+		if !ok {
+			c = &class{}
+			byClass[f.OnNet] = c
+			classOrder = append(classOrder, f.OnNet)
+		}
+		c.idx = append(c.idx, i)
+		c.demand += f.Demand
+	}
+
+	if len(classOrder) == 1 || b < len(classOrder) {
+		// Single class, or too few bundles to separate classes: defer to
+		// the inner strategy on the whole flow set.
+		return s.Inner.Bundle(flows, model, b)
+	}
+
+	// Allocate bundles: one per class, remainder by demand share
+	// (largest-remainder method).
+	alloc := make([]int, len(classOrder))
+	for i := range alloc {
+		alloc[i] = 1
+	}
+	remaining := b - len(classOrder)
+	var total float64
+	for _, key := range classOrder {
+		total += byClass[key].demand
+	}
+	// Distribute the remaining bundles one at a time to the class with
+	// the largest demand per already-allocated bundle.
+	for r := 0; r < remaining; r++ {
+		best, bestScore := -1, -1.0
+		for i, key := range classOrder {
+			// A class cannot use more bundles than it has flows.
+			if alloc[i] >= len(byClass[key].idx) {
+				continue
+			}
+			score := byClass[key].demand / total / float64(alloc[i])
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		alloc[best]++
+	}
+
+	var out [][]int
+	for i, key := range classOrder {
+		c := byClass[key]
+		sub := make([]econ.Flow, len(c.idx))
+		for j, fi := range c.idx {
+			sub[j] = flows[fi]
+		}
+		parts, err := s.Inner.Bundle(sub, model, alloc[i])
+		if err != nil {
+			return nil, err
+		}
+		for _, block := range parts {
+			mapped := make([]int, len(block))
+			for j, sj := range block {
+				mapped[j] = c.idx[sj]
+			}
+			out = append(out, mapped)
+		}
+	}
+	return out, nil
+}

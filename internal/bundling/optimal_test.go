@@ -1,0 +1,142 @@
+package bundling
+
+import (
+	"math"
+	"testing"
+
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/optimize"
+)
+
+// TestOptimalMatchesExhaustiveSearch is the end-to-end validation of the
+// DP-based optimal strategy: on small flow sets, enumerate EVERY set
+// partition, price each with the real model, and confirm the DP's
+// partition earns the maximum profit. This exercises the full chain the
+// paper calls "exhaustive search" — for the CED closed form and for the
+// logit equal-markup fixed point via its profit-monotone surrogate.
+func TestOptimalMatchesExhaustiveSearch(t *testing.T) {
+	models := []econ.Model{
+		econ.CED{Alpha: 1.3},
+		econ.CED{Alpha: 3.0},
+		econ.Logit{Alpha: 0.8, S0: 0.2},
+		econ.Logit{Alpha: 1.5, S0: 0.35},
+	}
+	for _, m := range models {
+		for seed := int64(0); seed < 6; seed++ {
+			flows := fitFlows(t, m, 7, seed, 20)
+			for _, b := range []int{2, 3} {
+				bestExact := math.Inf(-1)
+				err := optimize.EnumeratePartitions(len(flows), b, func(p [][]int) bool {
+					prices, err := m.PriceBundles(flows, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pi, err := m.Profit(flows, p, prices)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if pi > bestExact {
+						bestExact = pi
+					}
+					return true
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pOpt, err := Optimal{}.Bundle(flows, m, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				piOpt := profitOf(t, m, flows, pOpt)
+				if piOpt < bestExact-1e-6*math.Abs(bestExact) {
+					t.Fatalf("%s seed %d b=%d: DP profit %v < exhaustive %v",
+						m.Name(), seed, b, piOpt, bestExact)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalSingleBundleIsWholeSet(t *testing.T) {
+	m := econ.CED{Alpha: 1.1}
+	flows := fitFlows(t, m, 10, 2, 20)
+	p, err := Optimal{}.Bundle(flows, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 1 || len(p[0]) != 10 {
+		t.Fatalf("b=1 optimal = %v, want one full bundle", p)
+	}
+}
+
+func TestOptimalProfitMonotoneInBundles(t *testing.T) {
+	// More allowed bundles can never hurt the optimum.
+	for _, m := range []econ.Model{
+		econ.CED{Alpha: 1.1},
+		econ.Logit{Alpha: 1.1, S0: 0.2},
+	} {
+		flows := fitFlows(t, m, 25, 13, 20)
+		prev := math.Inf(-1)
+		for b := 1; b <= 8; b++ {
+			p, err := Optimal{}.Bundle(flows, m, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pi := profitOf(t, m, flows, p)
+			if pi < prev-1e-6*math.Abs(prev) {
+				t.Fatalf("%s: optimal profit fell from %v (b=%d) to %v (b=%d)",
+					m.Name(), prev, b-1, pi, b)
+			}
+			prev = pi
+		}
+	}
+}
+
+func TestOptimalApproachesMaxProfit(t *testing.T) {
+	// With as many bundles as flows, the optimal bundling must achieve
+	// the per-flow pricing maximum.
+	for _, m := range []econ.Model{
+		econ.CED{Alpha: 1.2},
+		econ.Logit{Alpha: 1.1, S0: 0.2},
+	} {
+		flows := fitFlows(t, m, 12, 21, 20)
+		p, err := Optimal{}.Bundle(flows, m, len(flows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi := profitOf(t, m, flows, p)
+		max, err := m.MaxProfit(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pi-max) > 1e-6*math.Abs(max) {
+			t.Fatalf("%s: optimal with n bundles %v != max %v", m.Name(), pi, max)
+		}
+	}
+}
+
+func TestCEDBlockValueMatchesRealProfit(t *testing.T) {
+	// The DP's O(1) block value must equal the profit of pricing that
+	// block with Eq. 5.
+	m := econ.CED{Alpha: 1.4}
+	flows := fitFlows(t, m, 9, 31, 20)
+	order := costOrder(flows)
+	val := cedBlockValue(flows, order, m.Alpha)
+	for lo := 0; lo < len(flows); lo++ {
+		for hi := lo + 1; hi <= len(flows); hi++ {
+			block := order[lo:hi]
+			price, err := m.BundlePrice(flows, block)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want float64
+			for _, i := range block {
+				want += econ.CEDFlowProfit(flows[i].Valuation, price, flows[i].Cost, m.Alpha)
+			}
+			got := val(lo, hi)
+			if math.Abs(got-want) > 1e-9*math.Abs(want) {
+				t.Fatalf("block [%d,%d): value %v != profit %v", lo, hi, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tieredpricing/internal/econ"
+)
+
+// AggregateFlows coarsens a flow set to at most k aggregates by merging
+// cost-adjacent flows (sorted by distance) into contiguous groups of
+// roughly equal demand. A merged aggregate carries the summed demand and
+// the demand-weighted mean distance of its members, and inherits the
+// region of its demand-dominant member.
+//
+// This models the market-granularity choice the paper discusses in §1
+// ("higher market granularity leads to increased efficiency" versus the
+// practicality of few tiers), and gives the exhaustive-search ablation a
+// tractable flow set.
+func AggregateFlows(flows []econ.Flow, k int) ([]econ.Flow, error) {
+	if k < 1 {
+		return nil, errors.New("core: need at least one aggregate")
+	}
+	if len(flows) == 0 {
+		return nil, errors.New("core: no flows")
+	}
+	if k >= len(flows) {
+		return append([]econ.Flow(nil), flows...), nil
+	}
+
+	order := make([]int, len(flows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return flows[order[a]].Distance < flows[order[b]].Distance
+	})
+
+	var total float64
+	for _, f := range flows {
+		total += f.Demand
+	}
+	perGroup := total / float64(k)
+
+	out := make([]econ.Flow, 0, k)
+	var cur []int
+	var curDemand float64
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		agg := mergeFlows(flows, cur, len(out))
+		out = append(out, agg)
+		cur = cur[:0]
+		curDemand = 0
+	}
+	for pos, i := range order {
+		cur = append(cur, i)
+		curDemand += flows[i].Demand
+		remainingGroups := k - len(out) - 1
+		remainingFlows := len(order) - pos - 1
+		// Close the group once its demand share is met, but never leave
+		// fewer flows than groups still to fill.
+		if curDemand >= perGroup && remainingGroups > 0 && remainingFlows >= remainingGroups {
+			flush()
+		}
+	}
+	flush()
+	return out, nil
+}
+
+// mergeFlows folds member flows into one aggregate.
+func mergeFlows(flows []econ.Flow, members []int, idx int) econ.Flow {
+	var demand, wdist float64
+	dominant := members[0]
+	for _, i := range members {
+		demand += flows[i].Demand
+		wdist += flows[i].Demand * flows[i].Distance
+		if flows[i].Demand > flows[dominant].Demand {
+			dominant = i
+		}
+	}
+	return econ.Flow{
+		ID:       fmt.Sprintf("agg%d(%d flows)", idx, len(members)),
+		Demand:   demand,
+		Distance: wdist / demand,
+		Region:   flows[dominant].Region,
+		OnNet:    flows[dominant].OnNet,
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"tieredpricing/internal/cost"
+	"tieredpricing/internal/econ"
+)
+
+func TestAggregateFlowsPreservesDemandAndWeightedDistance(t *testing.T) {
+	flows := syntheticFlows(100, 41)
+	for _, k := range []int{1, 3, 10, 50} {
+		agg, err := AggregateFlows(flows, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(agg) > k {
+			t.Fatalf("k=%d: got %d aggregates", k, len(agg))
+		}
+		var wantQ, gotQ, wantWD, gotWD float64
+		for _, f := range flows {
+			wantQ += f.Demand
+			wantWD += f.Demand * f.Distance
+		}
+		for _, f := range agg {
+			if f.Demand <= 0 || f.Distance < 0 {
+				t.Fatalf("k=%d: bad aggregate %+v", k, f)
+			}
+			gotQ += f.Demand
+			gotWD += f.Demand * f.Distance
+		}
+		if math.Abs(gotQ-wantQ) > 1e-9*wantQ {
+			t.Fatalf("k=%d: demand not conserved: %v vs %v", k, gotQ, wantQ)
+		}
+		if math.Abs(gotWD-wantWD) > 1e-9*wantWD {
+			t.Fatalf("k=%d: weighted distance not conserved: %v vs %v", k, gotWD, wantWD)
+		}
+	}
+}
+
+func TestAggregateFlowsIdentityWhenKLarge(t *testing.T) {
+	flows := syntheticFlows(10, 43)
+	agg, err := AggregateFlows(flows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg) != 10 {
+		t.Fatalf("got %d aggregates", len(agg))
+	}
+	for i := range flows {
+		if agg[i] != flows[i] {
+			t.Fatalf("identity aggregation changed flow %d", i)
+		}
+	}
+	// k > n also returns copies, not aliases.
+	agg2, err := AggregateFlows(flows, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg2[0].Demand = -1
+	if flows[0].Demand == -1 {
+		t.Fatal("aggregation aliases the input slice")
+	}
+}
+
+func TestAggregateFlowsContiguousInDistance(t *testing.T) {
+	flows := syntheticFlows(60, 47)
+	agg, err := AggregateFlows(flows, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregates come out in ascending distance order (contiguous groups
+	// of the sorted order).
+	for i := 1; i < len(agg); i++ {
+		if agg[i].Distance < agg[i-1].Distance {
+			t.Fatalf("aggregates not distance-ordered: %v then %v",
+				agg[i-1].Distance, agg[i].Distance)
+		}
+	}
+}
+
+func TestAggregateFlowsUsableByMarket(t *testing.T) {
+	flows := syntheticFlows(80, 53)
+	agg, err := AggregateFlows(flows, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMarket(agg, econ.CED{Alpha: 1.1},
+		cost.Linear{Theta: 0.2}, 20); err != nil {
+		t.Fatalf("aggregated market: %v", err)
+	}
+}
+
+func TestAggregateFlowsErrors(t *testing.T) {
+	if _, err := AggregateFlows(nil, 3); err == nil {
+		t.Error("expected error for no flows")
+	}
+	if _, err := AggregateFlows(syntheticFlows(5, 1), 0); err == nil {
+		t.Error("expected error for k = 0")
+	}
+}

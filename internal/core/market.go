@@ -1,0 +1,168 @@
+// Package core assembles the paper's counterfactual engine (Figure 7):
+// starting from observed per-flow traffic demands at a blended rate, it
+// (1) fits a demand model's valuation coefficients, (2) maps a cost
+// model's relative costs to absolute costs by assuming the ISP is already
+// profit-maximizing at the blended rate, and (3) evaluates bundling
+// strategies by re-pricing each candidate tiering at its
+// profit-maximizing prices and reporting the profit-capture metric.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"tieredpricing/internal/bundling"
+	"tieredpricing/internal/cost"
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/pricing"
+)
+
+// Market is a fitted transit market: flows with valuations and absolute
+// costs consistent with the observed blended rate, plus the profit
+// baselines the capture metric needs.
+type Market struct {
+	// Flows carry fitted Valuation and Cost fields.
+	Flows []econ.Flow
+	// Demand is the fitted demand model.
+	Demand econ.Model
+	// Cost is the cost model used to derive relative costs.
+	Cost cost.Model
+	// P0 is the observed blended rate ($/Mbps/month).
+	P0 float64
+	// Gamma is the calibrated cost scale γ with c_i = γ·f(d_i).
+	Gamma float64
+	// GammaClamped reports that calibration hit the infeasible corner
+	// (possible only under logit when P0 ≤ 1/(α·s0)) and γ was floored.
+	GammaClamped bool
+	// OriginalProfit is the status-quo profit: every flow at the blended
+	// rate P0. By construction of the calibration it equals the optimal
+	// single-bundle profit (up to the clamp above).
+	OriginalProfit float64
+	// MaxProfit is the per-flow-pricing profit — the "infinite bundles"
+	// benchmark π_max.
+	MaxProfit float64
+}
+
+// Outcome is the result of running one bundling strategy on a market.
+type Outcome struct {
+	// Strategy is the strategy name.
+	Strategy string
+	// Bundles is the requested maximum number of bundles B.
+	Bundles int
+	// Partition and Prices describe the resulting tiers; len(Prices) may
+	// be below Bundles when the strategy needs fewer tiers.
+	Partition [][]int
+	Prices    []float64
+	// Profit is the total ISP profit at those prices.
+	Profit float64
+	// Capture is the profit-capture metric (NaN when the market has no
+	// bundling headroom).
+	Capture float64
+}
+
+// NewMarket fits a market per §4.1: flows must carry positive Demand and
+// the attributes the cost model reads (Distance, Region, OnNet). The
+// returned market owns a copy of flows with Valuation and Cost populated.
+func NewMarket(flows []econ.Flow, demand econ.Model, costModel cost.Model, p0 float64) (*Market, error) {
+	if demand == nil || costModel == nil {
+		return nil, errors.New("core: demand and cost models are required")
+	}
+	if p0 <= 0 {
+		return nil, fmt.Errorf("core: blended rate must be positive, got %v", p0)
+	}
+	if len(flows) == 0 {
+		return nil, errors.New("core: no flows")
+	}
+	owned := append([]econ.Flow(nil), flows...)
+	demands := make([]float64, len(owned))
+	for i, f := range owned {
+		if f.Demand <= 0 {
+			return nil, fmt.Errorf("core: flow %q has non-positive demand", f.ID)
+		}
+		demands[i] = f.Demand
+	}
+
+	rel, err := costModel.RelativeCosts(owned)
+	if err != nil {
+		return nil, fmt.Errorf("core: cost model: %w", err)
+	}
+	vals, err := demand.FitValuations(demands, p0)
+	if err != nil {
+		return nil, fmt.Errorf("core: valuation fit: %w", err)
+	}
+	gamma, clamped, err := demand.CalibrateScale(vals, rel, p0)
+	if err != nil {
+		return nil, fmt.Errorf("core: cost calibration: %w", err)
+	}
+	for i := range owned {
+		owned[i].Valuation = vals[i]
+		owned[i].Cost = gamma * rel[i]
+	}
+
+	m := &Market{
+		Flows:        owned,
+		Demand:       demand,
+		Cost:         costModel,
+		P0:           p0,
+		Gamma:        gamma,
+		GammaClamped: clamped,
+	}
+	one := econ.OneBundle(len(owned))
+	if m.OriginalProfit, err = demand.Profit(owned, one, []float64{p0}); err != nil {
+		return nil, fmt.Errorf("core: original profit: %w", err)
+	}
+	if m.MaxProfit, err = demand.MaxProfit(owned); err != nil {
+		return nil, fmt.Errorf("core: max profit: %w", err)
+	}
+	return m, nil
+}
+
+// Run bundles the market's flows with the strategy into at most b tiers,
+// prices each tier optimally, and reports profit and capture.
+func (m *Market) Run(s bundling.Strategy, b int) (Outcome, error) {
+	partition, err := s.Bundle(m.Flows, m.Demand, b)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("core: %s bundling: %w", s.Name(), err)
+	}
+	ev, err := pricing.Evaluate(m.Demand, m.Flows, partition)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("core: pricing %s bundling: %w", s.Name(), err)
+	}
+	return Outcome{
+		Strategy:  s.Name(),
+		Bundles:   b,
+		Partition: ev.Partition,
+		Prices:    ev.Prices,
+		Profit:    ev.Profit,
+		Capture:   m.Capture(ev.Profit),
+	}, nil
+}
+
+// Capture maps a profit to the market's profit-capture metric.
+func (m *Market) Capture(profit float64) float64 {
+	return pricing.Capture(profit, m.OriginalProfit, m.MaxProfit)
+}
+
+// SplitByDestType implements the paper's destination-type θ (§3.3): every
+// flow is split into an on-net part carrying fraction theta of its demand
+// and an off-net part carrying the rest, so that "a fraction of traffic at
+// each distance is destined to clients". theta must lie in (0, 1); at the
+// endpoints the whole market is a single class and splitting is pointless.
+func SplitByDestType(flows []econ.Flow, theta float64) ([]econ.Flow, error) {
+	if !(theta > 0 && theta < 1) {
+		return nil, fmt.Errorf("core: on-net fraction must be in (0,1), got %v", theta)
+	}
+	out := make([]econ.Flow, 0, 2*len(flows))
+	for _, f := range flows {
+		on := f
+		on.ID = f.ID + "/on"
+		on.Demand = f.Demand * theta
+		on.OnNet = true
+		off := f
+		off.ID = f.ID + "/off"
+		off.Demand = f.Demand * (1 - theta)
+		off.OnNet = false
+		out = append(out, on, off)
+	}
+	return out, nil
+}

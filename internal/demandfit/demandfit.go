@@ -1,0 +1,108 @@
+// Package demandfit is the stage between raw trace collection and the
+// economic model (§4.1): it resolves NetFlow aggregates back to located
+// endpoint pairs (GeoIP for addresses, topology for routed distances),
+// applies the dataset-specific distance heuristic, classifies regions,
+// and produces the fitted-ready flow set that core.NewMarket consumes.
+package demandfit
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"tieredpricing/internal/cost"
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/geoip"
+	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/topology"
+)
+
+// Resolver turns record endpoints into flow distance and region using the
+// paper's per-dataset heuristics.
+type Resolver struct {
+	// Geo resolves both source blocks and destination prefixes.
+	Geo *geoip.DB
+	// Topo, when set, computes routed (path-sum) distances between the
+	// endpoint cities — the Internet2 heuristic. When nil, distance is
+	// the great-circle distance between the resolved coordinates (the EU
+	// ISP and CDN heuristics).
+	Topo *topology.Graph
+	// DistanceRegions, when true, classifies regions from distance
+	// thresholds (metro < 10 miles, national < 100) as the paper does for
+	// the EU ISP, instead of from city/country identity.
+	DistanceRegions bool
+}
+
+// Resolve maps a (src, dst) address pair to flow distance and region.
+func (rv *Resolver) Resolve(src, dst netip.Addr) (float64, econ.Region, error) {
+	if rv.Geo == nil {
+		return 0, 0, errors.New("demandfit: resolver needs a GeoIP database")
+	}
+	srcRec, ok := rv.Geo.Lookup(src)
+	if !ok {
+		return 0, 0, fmt.Errorf("demandfit: source %v not in GeoIP database", src)
+	}
+	dstRec, ok := rv.Geo.Lookup(dst)
+	if !ok {
+		return 0, 0, fmt.Errorf("demandfit: destination %v not in GeoIP database", dst)
+	}
+
+	var distance float64
+	if rv.Topo != nil && srcRec.City != dstRec.City {
+		path, err := rv.Topo.ShortestPath(srcRec.City, dstRec.City)
+		if err != nil {
+			return 0, 0, fmt.Errorf("demandfit: routing %s->%s: %w", srcRec.City, dstRec.City, err)
+		}
+		distance = path.Miles
+	} else {
+		distance = topology.HaversineMiles(srcRec.Lat, srcRec.Lon, dstRec.Lat, dstRec.Lon)
+	}
+
+	var region econ.Region
+	switch {
+	case rv.DistanceRegions:
+		region = cost.ClassifyByDistance(distance, 10, 100)
+	case srcRec.City == dstRec.City:
+		region = econ.RegionMetro
+	case srcRec.Country == dstRec.Country:
+		region = econ.RegionNational
+	default:
+		region = econ.RegionInternational
+	}
+	return distance, region, nil
+}
+
+// BuildFlows converts collected aggregates into fitted-ready flows:
+// demand in Mbps over the capture window, resolved distance, and region.
+// Aggregates that fail to resolve are reported in skipped rather than
+// aborting the build (real captures always contain unroutable junk).
+func BuildFlows(aggs []netflow.Aggregate, rv *Resolver, durationSec float64) (flows []econ.Flow, skipped int, err error) {
+	if durationSec <= 0 {
+		return nil, 0, errors.New("demandfit: capture duration must be positive")
+	}
+	if len(aggs) == 0 {
+		return nil, 0, errors.New("demandfit: no aggregates")
+	}
+	for _, a := range aggs {
+		distance, region, rerr := rv.Resolve(a.SrcAddr, a.DstAddr)
+		if rerr != nil {
+			skipped++
+			continue
+		}
+		demand := netflow.DemandMbps(a.Octets, durationSec)
+		if demand <= 0 {
+			skipped++
+			continue
+		}
+		flows = append(flows, econ.Flow{
+			ID:       a.Key,
+			Demand:   demand,
+			Distance: distance,
+			Region:   region,
+		})
+	}
+	if len(flows) == 0 {
+		return nil, skipped, errors.New("demandfit: no aggregate resolved to a usable flow")
+	}
+	return flows, skipped, nil
+}

@@ -1,0 +1,251 @@
+package econ
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// CED is the constant-elasticity demand model of §3.2.1, derived from
+// alpha-fair utility: flow i's demand at unit price p is
+//
+//	Q_i(p) = (v_i / p)^α                                    (Eq. 2)
+//
+// with price sensitivity α ∈ (1, ∞) shared by all flows and per-flow
+// valuation coefficients v_i > 0. Demands are separable: each flow's
+// quantity depends only on its own price, which models customers with no
+// alternative destination for their traffic.
+type CED struct {
+	// Alpha is the price sensitivity α; must be strictly greater than 1
+	// (at α ≤ 1 revenue is unbounded and no profit-maximizing price
+	// exists).
+	Alpha float64
+}
+
+// Name implements Model.
+func (m CED) Name() string { return "ced" }
+
+// check validates the model parameters.
+func (m CED) check() error {
+	if !(m.Alpha > 1) || math.IsInf(m.Alpha, 1) {
+		return fmt.Errorf("econ: CED requires alpha > 1, got %v", m.Alpha)
+	}
+	return nil
+}
+
+// checkFlows validates flows for CED use, which additionally needs
+// strictly positive valuations (they enter as v^α).
+func (m CED) checkFlows(flows []Flow) error {
+	if err := ValidateFlows(flows); err != nil {
+		return err
+	}
+	for _, f := range flows {
+		if f.Valuation <= 0 {
+			return fmt.Errorf("econ: flow %q has non-positive valuation %v for CED", f.ID, f.Valuation)
+		}
+	}
+	return nil
+}
+
+// CEDQuantity evaluates Eq. 2 for a single flow with its own elasticity.
+// It is exposed as a free function because the paper's Figure 1
+// illustration gives the two flows different demand slopes.
+func CEDQuantity(v, p, alpha float64) float64 {
+	return math.Pow(v/p, alpha)
+}
+
+// CEDOptimalPrice returns the per-flow profit-maximizing price
+// p* = α·c/(α−1) (Eq. 4).
+func CEDOptimalPrice(c, alpha float64) float64 {
+	return alpha * c / (alpha - 1)
+}
+
+// CEDFlowProfit returns (v/p)^α · (p − c), one term of Eq. 3.
+func CEDFlowProfit(v, p, c, alpha float64) float64 {
+	return CEDQuantity(v, p, alpha) * (p - c)
+}
+
+// CEDSurplus returns the consumer surplus of one CED flow at price p:
+// the area under the demand curve above p,
+// ∫_p^∞ (v/u)^α du = v^α · p^{1−α} / (α−1).
+func CEDSurplus(v, p, alpha float64) float64 {
+	return math.Pow(v, alpha) * math.Pow(p, 1-alpha) / (alpha - 1)
+}
+
+// Quantity evaluates Eq. 2 at the model's α.
+func (m CED) Quantity(v, p float64) float64 { return CEDQuantity(v, p, m.Alpha) }
+
+// OptimalPrice evaluates Eq. 4 at the model's α.
+func (m CED) OptimalPrice(c float64) float64 { return CEDOptimalPrice(c, m.Alpha) }
+
+// FitValuations implements Model. Inverting Eq. 2 at the blended rate p0,
+// the valuation that reproduces observed demand q_i is
+//
+//	v_i = p0 · q_i^{1/α}                                    (§4.1.2)
+func (m CED) FitValuations(demands []float64, p0 float64) ([]float64, error) {
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	if p0 <= 0 {
+		return nil, fmt.Errorf("econ: blended rate must be positive, got %v", p0)
+	}
+	out := make([]float64, len(demands))
+	for i, q := range demands {
+		if q <= 0 {
+			return nil, fmt.Errorf("econ: demand %d is non-positive (%v)", i, q)
+		}
+		out[i] = p0 * math.Pow(q, 1/m.Alpha)
+	}
+	return out, nil
+}
+
+// bundleStats returns Σ v_i^α and the v^α-weighted mean cost of the given
+// flow indices — the two sufficient statistics of a CED bundle.
+func (m CED) bundleStats(flows []Flow, block []int) (vAlphaSum, meanCost float64) {
+	var num float64
+	for _, i := range block {
+		va := math.Pow(flows[i].Valuation, m.Alpha)
+		vAlphaSum += va
+		num += va * flows[i].Cost
+	}
+	return vAlphaSum, num / vAlphaSum
+}
+
+// BundlePrice returns the profit-maximizing common price for the flows in
+// block (Eq. 5):
+//
+//	P* = α·Σ c_i v_i^α / ((α−1)·Σ v_i^α)
+//
+// which reduces to Eq. 4 for a single flow.
+func (m CED) BundlePrice(flows []Flow, block []int) (float64, error) {
+	if err := m.check(); err != nil {
+		return 0, err
+	}
+	if len(block) == 0 {
+		return 0, errors.New("econ: empty bundle")
+	}
+	_, meanCost := m.bundleStats(flows, block)
+	return CEDOptimalPrice(meanCost, m.Alpha), nil
+}
+
+// CalibrateScale implements Model. With relative costs f_i and absolute
+// costs c_i = γ·f_i, requiring that the observed blended rate p0 satisfy
+// the single-bundle optimum (Eq. 5) pins down
+//
+//	γ = p0·(α−1)·Σ v_i^α / (α·Σ f_i·v_i^α)                  (§4.1.3)
+//
+// CED calibration is always feasible for α > 1, so clamped is always
+// false.
+func (m CED) CalibrateScale(valuations, relCosts []float64, p0 float64) (float64, bool, error) {
+	if err := m.check(); err != nil {
+		return 0, false, err
+	}
+	if len(valuations) != len(relCosts) {
+		return 0, false, errors.New("econ: valuation/cost length mismatch")
+	}
+	if len(valuations) == 0 {
+		return 0, false, errors.New("econ: no flows")
+	}
+	if p0 <= 0 {
+		return 0, false, fmt.Errorf("econ: blended rate must be positive, got %v", p0)
+	}
+	var sumVA, sumFVA float64
+	for i, v := range valuations {
+		if v <= 0 {
+			return 0, false, fmt.Errorf("econ: valuation %d non-positive", i)
+		}
+		if relCosts[i] <= 0 {
+			return 0, false, fmt.Errorf("econ: relative cost %d non-positive", i)
+		}
+		va := math.Pow(v, m.Alpha)
+		sumVA += va
+		sumFVA += relCosts[i] * va
+	}
+	gamma := p0 * (m.Alpha - 1) * sumVA / (m.Alpha * sumFVA)
+	return gamma, false, nil
+}
+
+// PriceBundles implements Model: Eq. 5 applied independently to each block
+// (CED demands are separable, so bundles do not interact).
+func (m CED) PriceBundles(flows []Flow, partition [][]int) ([]float64, error) {
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	if err := m.checkFlows(flows); err != nil {
+		return nil, err
+	}
+	if err := checkPartition(len(flows), partition); err != nil {
+		return nil, err
+	}
+	prices := make([]float64, len(partition))
+	for b, block := range partition {
+		p, err := m.BundlePrice(flows, block)
+		if err != nil {
+			return nil, err
+		}
+		prices[b] = p
+	}
+	return prices, nil
+}
+
+// Profit implements Model: Eq. 3 with each flow priced at its bundle's
+// price.
+func (m CED) Profit(flows []Flow, partition [][]int, prices []float64) (float64, error) {
+	if err := m.check(); err != nil {
+		return 0, err
+	}
+	if err := checkPartition(len(flows), partition); err != nil {
+		return 0, err
+	}
+	if len(prices) != len(partition) {
+		return 0, errors.New("econ: one price per bundle required")
+	}
+	var profit float64
+	for b, block := range partition {
+		p := prices[b]
+		if p <= 0 {
+			return 0, fmt.Errorf("econ: bundle %d has non-positive price %v", b, p)
+		}
+		for _, i := range block {
+			profit += CEDFlowProfit(flows[i].Valuation, p, flows[i].Cost, m.Alpha)
+		}
+	}
+	return profit, nil
+}
+
+// MaxProfit implements Model: every flow at its Eq. 4 price.
+func (m CED) MaxProfit(flows []Flow) (float64, error) {
+	parts := Singletons(len(flows))
+	prices, err := m.PriceBundles(flows, parts)
+	if err != nil {
+		return 0, err
+	}
+	return m.Profit(flows, parts, prices)
+}
+
+// PotentialProfits implements Model: Eq. 12,
+//
+//	π_i = v_i^α/α · (α·c_i/(α−1))^{1−α}
+//
+// which equals the flow's stand-alone maximum profit.
+func (m CED) PotentialProfits(flows []Flow) ([]float64, error) {
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	if err := m.checkFlows(flows); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(flows))
+	for i, f := range flows {
+		out[i] = math.Pow(f.Valuation, m.Alpha) / m.Alpha *
+			math.Pow(CEDOptimalPrice(f.Cost, m.Alpha), 1-m.Alpha)
+	}
+	return out, nil
+}
+
+// BlendedProfit returns the profit when every flow is charged the single
+// price p0 — the paper's status quo (π_original in the profit-capture
+// metric).
+func (m CED) BlendedProfit(flows []Flow, p0 float64) (float64, error) {
+	return m.Profit(flows, OneBundle(len(flows)), []float64{p0})
+}

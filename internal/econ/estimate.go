@@ -1,0 +1,104 @@
+package econ
+
+import (
+	"errors"
+	"math"
+
+	"tieredpricing/internal/stats"
+)
+
+// This file provides the inverse problem the paper leaves to the
+// operator: the counterfactuals take the price sensitivity α as given
+// ("we use a range of price sensitivity values"), but an ISP that has
+// observed demand respond to past price changes can estimate α directly.
+
+// EstimateCED fits a constant-elasticity demand curve to (price,
+// quantity) observations of one flow by ordinary least squares on the
+// log-log form of Eq. 2:
+//
+//	ln q = α·ln v − α·ln p
+//
+// so the regression slope of ln q on ln p is −α and the intercept
+// recovers v. At least two observations at distinct prices are required;
+// R² of the log-log fit is returned for diagnostics.
+func EstimateCED(prices, quantities []float64) (alpha, v, r2 float64, err error) {
+	if len(prices) != len(quantities) {
+		return 0, 0, 0, errors.New("econ: prices/quantities length mismatch")
+	}
+	if len(prices) < 2 {
+		return 0, 0, 0, errors.New("econ: need at least two observations")
+	}
+	lp := make([]float64, len(prices))
+	lq := make([]float64, len(prices))
+	for i := range prices {
+		if prices[i] <= 0 || quantities[i] <= 0 {
+			return 0, 0, 0, errors.New("econ: observations must be positive")
+		}
+		lp[i] = math.Log(prices[i])
+		lq[i] = math.Log(quantities[i])
+	}
+	fit, err := stats.FitLinear(lp, lq)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	alpha = -fit.Slope
+	if alpha <= 1 {
+		return alpha, 0, fit.R2, errors.New("econ: estimated alpha <= 1 (demand not elastic enough for a CED optimum; check the data)")
+	}
+	v = math.Exp(fit.Intercept / alpha)
+	return alpha, v, fit.R2, nil
+}
+
+// EstimateLogitAlpha fits the logit elasticity from observed market
+// shares of ONE flow at different prices, holding everything else fixed:
+// from Eq. 6, ln(s_i/s_0) = α(v_i − p_i), so regressing the log
+// odds-against-opt-out on price gives slope −α.
+func EstimateLogitAlpha(prices, shares, optOutShares []float64) (alpha float64, r2 float64, err error) {
+	if len(prices) != len(shares) || len(prices) != len(optOutShares) {
+		return 0, 0, errors.New("econ: observation length mismatch")
+	}
+	if len(prices) < 2 {
+		return 0, 0, errors.New("econ: need at least two observations")
+	}
+	y := make([]float64, len(prices))
+	for i := range prices {
+		if shares[i] <= 0 || optOutShares[i] <= 0 || shares[i]+optOutShares[i] > 1 {
+			return 0, 0, errors.New("econ: shares must be positive and sum below one")
+		}
+		y[i] = math.Log(shares[i] / optOutShares[i])
+	}
+	fit, err := stats.FitLinear(prices, y)
+	if err != nil {
+		return 0, 0, err
+	}
+	alpha = -fit.Slope
+	if alpha <= 0 {
+		return alpha, fit.R2, errors.New("econ: estimated alpha <= 0 (shares rise with price; check the data)")
+	}
+	return alpha, fit.R2, nil
+}
+
+// Surplus returns aggregate consumer surplus at the given bundle prices
+// under CED: the sum of per-flow surpluses v^α·p^{1−α}/(α−1) (demand is
+// separable, so flow surpluses add).
+func (m CED) Surplus(flows []Flow, partition [][]int, prices []float64) (float64, error) {
+	if err := m.check(); err != nil {
+		return 0, err
+	}
+	if err := m.checkFlows(flows); err != nil {
+		return 0, err
+	}
+	if err := checkPartition(len(flows), partition); err != nil {
+		return 0, err
+	}
+	if len(prices) != len(partition) {
+		return 0, errors.New("econ: one price per bundle required")
+	}
+	var s float64
+	for b, block := range partition {
+		for _, i := range block {
+			s += CEDSurplus(flows[i].Valuation, prices[b], m.Alpha)
+		}
+	}
+	return s, nil
+}

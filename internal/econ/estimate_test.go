@@ -1,0 +1,134 @@
+package econ
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEstimateCEDRecoversParameters(t *testing.T) {
+	const alpha, v = 1.7, 3.2
+	var prices, qs []float64
+	for p := 0.5; p <= 8; p += 0.25 {
+		prices = append(prices, p)
+		qs = append(qs, CEDQuantity(v, p, alpha))
+	}
+	gotAlpha, gotV, r2, err := EstimateCED(prices, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(gotAlpha, alpha, 1e-9) || !almostEq(gotV, v, 1e-9) {
+		t.Fatalf("estimate = (α=%v, v=%v), want (%v, %v)", gotAlpha, gotV, alpha, v)
+	}
+	if !almostEq(r2, 1, 1e-12) {
+		t.Fatalf("R² = %v", r2)
+	}
+}
+
+func TestEstimateCEDNoisy(t *testing.T) {
+	const alpha, v = 2.4, 1.5
+	r := rand.New(rand.NewSource(5))
+	var prices, qs []float64
+	for i := 0; i < 400; i++ {
+		p := 0.5 + r.Float64()*9
+		prices = append(prices, p)
+		qs = append(qs, CEDQuantity(v, p, alpha)*math.Exp(r.NormFloat64()*0.05))
+	}
+	gotAlpha, gotV, r2, err := EstimateCED(prices, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(gotAlpha, alpha, 0.05) || !almostEq(gotV, v, 0.05) {
+		t.Fatalf("estimate = (α=%v, v=%v), want ≈(%v, %v)", gotAlpha, gotV, alpha, v)
+	}
+	if r2 < 0.98 {
+		t.Fatalf("R² = %v", r2)
+	}
+}
+
+func TestEstimateCEDErrors(t *testing.T) {
+	if _, _, _, err := EstimateCED([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected mismatch error")
+	}
+	if _, _, _, err := EstimateCED([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected too-few-observations error")
+	}
+	if _, _, _, err := EstimateCED([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("expected positivity error")
+	}
+	// Inelastic data (α ≤ 1): flag it.
+	prices := []float64{1, 2, 4}
+	qs := []float64{8, 6, 4.5} // slope ≈ −0.4
+	if _, _, _, err := EstimateCED(prices, qs); err == nil {
+		t.Error("expected inelastic-demand error")
+	}
+}
+
+func TestEstimateLogitAlphaRecovers(t *testing.T) {
+	// One flow with valuation v and fixed competitors: vary its price and
+	// record shares from the model itself.
+	m := Logit{Alpha: 1.3, S0: 0.2}
+	vals := []float64{4, 3}
+	var prices, shares, s0s []float64
+	for p := 0.5; p <= 6; p += 0.5 {
+		sh, s0, err := m.Shares(vals, []float64{p, 2.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prices = append(prices, p)
+		shares = append(shares, sh[0])
+		s0s = append(s0s, s0)
+	}
+	alpha, r2, err := EstimateLogitAlpha(prices, shares, s0s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(alpha, 1.3, 1e-9) {
+		t.Fatalf("α = %v, want 1.3", alpha)
+	}
+	if !almostEq(r2, 1, 1e-9) {
+		t.Fatalf("R² = %v", r2)
+	}
+}
+
+func TestEstimateLogitAlphaErrors(t *testing.T) {
+	if _, _, err := EstimateLogitAlpha([]float64{1}, []float64{0.5}, []float64{0.2, 0.3}); err == nil {
+		t.Error("expected mismatch error")
+	}
+	if _, _, err := EstimateLogitAlpha([]float64{1}, []float64{0.5}, []float64{0.2}); err == nil {
+		t.Error("expected too-few error")
+	}
+	if _, _, err := EstimateLogitAlpha([]float64{1, 2}, []float64{0.9, 0.8}, []float64{0.3, 0.3}); err == nil {
+		t.Error("expected share-sum error")
+	}
+	// Shares rising with price: nonsense data must be flagged.
+	if _, _, err := EstimateLogitAlpha([]float64{1, 2}, []float64{0.2, 0.4}, []float64{0.2, 0.2}); err == nil {
+		t.Error("expected negative-alpha error")
+	}
+}
+
+func TestCEDSurplusMethodMatchesPerFlow(t *testing.T) {
+	m := CED{Alpha: 1.5}
+	flows := randomFlows(t, 6, 3, m, 20)
+	parts := [][]int{{0, 1, 2}, {3, 4, 5}}
+	prices, err := m.PriceBundles(flows, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Surplus(flows, parts, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for b, block := range parts {
+		for _, i := range block {
+			want += CEDSurplus(flows[i].Valuation, prices[b], m.Alpha)
+		}
+	}
+	if !almostEq(got, want, 1e-9*want) {
+		t.Fatalf("Surplus = %v, want %v", got, want)
+	}
+	if _, err := m.Surplus(flows, parts, []float64{1}); err == nil {
+		t.Error("expected price-count error")
+	}
+}

@@ -1,0 +1,347 @@
+package econ
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogitRejectsBadParams(t *testing.T) {
+	bad := []Logit{
+		{Alpha: 0, S0: 0.2},
+		{Alpha: -1, S0: 0.2},
+		{Alpha: math.Inf(1), S0: 0.2},
+		{Alpha: 1, S0: 0},
+		{Alpha: 1, S0: 1},
+		{Alpha: 1, S0: -0.5},
+	}
+	for _, m := range bad {
+		if _, err := m.FitValuations([]float64{1}, 1); err == nil {
+			t.Errorf("%+v: expected error", m)
+		}
+	}
+}
+
+func TestLogitSharesSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Logit{Alpha: 0.1 + r.Float64()*3, S0: 0.2}
+		n := 1 + r.Intn(15)
+		vals := make([]float64, n)
+		prices := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()*40 - 10
+			prices[i] = r.Float64() * 30
+		}
+		shares, s0, err := m.Shares(vals, prices)
+		if err != nil {
+			return false
+		}
+		sum := s0
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogitSharesMismatch(t *testing.T) {
+	m := Logit{Alpha: 1, S0: 0.2}
+	if _, _, err := m.Shares([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("expected mismatch error")
+	}
+}
+
+func TestLogitFitValuationsRoundTrip(t *testing.T) {
+	// At the blended rate the fitted valuations must reproduce both the
+	// assumed no-purchase share and the observed demands.
+	m := Logit{Alpha: 1.1, S0: 0.2}
+	p0 := 20.0
+	demands := []float64{1, 5, 0.2, 40}
+	vals, err := m.FitValuations(demands, p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := []float64{p0, p0, p0, p0}
+	shares, s0, err := m.Shares(vals, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(s0, m.S0, 1e-9) {
+		t.Fatalf("s0 at blended rate = %v, want %v", s0, m.S0)
+	}
+	flows := make([]Flow, len(demands))
+	for i := range flows {
+		flows[i] = Flow{Demand: demands[i], Valuation: vals[i], Cost: 1}
+	}
+	k := m.MarketSize(flows)
+	for i, q := range demands {
+		if got := k * shares[i]; !almostEq(got, q, 1e-9*q) {
+			t.Errorf("flow %d: K·s = %v, want %v", i, got, q)
+		}
+	}
+}
+
+func TestLogitBundleValuationAggregation(t *testing.T) {
+	// A bundle priced at P must capture exactly the same market share as
+	// its member flows priced individually at P (Eq. 10 is defined to
+	// make this hold).
+	m := Logit{Alpha: 0.7, S0: 0.2}
+	vals := []float64{3, 5, 4.2}
+	vb, err := m.BundleValuation(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	price := 2.5
+	sharesInd, s0Ind, err := m.Shares(vals, []float64{price, price, price})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumInd float64
+	for _, s := range sharesInd {
+		sumInd += s
+	}
+	sharesAgg, s0Agg, err := m.Shares([]float64{vb}, []float64{price})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(sharesAgg[0], sumInd, 1e-9) || !almostEq(s0Agg, s0Ind, 1e-9) {
+		t.Fatalf("aggregated share %v (s0 %v) != summed %v (s0 %v)",
+			sharesAgg[0], s0Agg, sumInd, s0Ind)
+	}
+}
+
+func TestLogitBundleCostIsConvexCombination(t *testing.T) {
+	m := Logit{Alpha: 1.5, S0: 0.3}
+	costs := []float64{1, 10}
+	vals := []float64{2, 2}
+	c, err := m.BundleCost(costs, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal valuations ⇒ simple average.
+	if !almostEq(c, 5.5, 1e-9) {
+		t.Fatalf("BundleCost = %v, want 5.5", c)
+	}
+	// Higher-valuation flow dominates the average.
+	c2, err := m.BundleCost(costs, []float64{2, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(c2 > 9.9) {
+		t.Fatalf("BundleCost = %v, want ≈10", c2)
+	}
+}
+
+func TestLogitCalibrationMakesBlendedRateOptimal(t *testing.T) {
+	m := Logit{Alpha: 1.1, S0: 0.2}
+	p0 := 20.0
+	flows := randomFlows(t, 20, 17, m, p0)
+	prices, err := m.PriceBundles(flows, OneBundle(len(flows)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(prices[0], p0, 1e-6*p0) {
+		t.Fatalf("single-bundle optimum = %v, want blended rate %v", prices[0], p0)
+	}
+}
+
+func TestLogitCalibrateScaleClampsInfeasible(t *testing.T) {
+	// p0 < 1/(α·s0) makes the implied cost negative; γ must clamp.
+	m := Logit{Alpha: 1, S0: 0.05} // markup = 20
+	vals, err := m.FitValuations([]float64{1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma, clamped, err := m.CalibrateScale(vals, []float64{1, 2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clamped {
+		t.Error("expected clamped calibration")
+	}
+	if gamma <= 0 {
+		t.Errorf("clamped gamma = %v, want positive", gamma)
+	}
+}
+
+func TestLogitPriceBundlesSatisfiesFOC(t *testing.T) {
+	// Eq. 9: at the solution every bundle's markup over its Eq. 11 cost
+	// equals 1/(α·s0) with s0 the realized no-purchase share.
+	m := Logit{Alpha: 1.1, S0: 0.2}
+	flows := randomFlows(t, 9, 23, m, 20)
+	parts := [][]int{{0, 3, 6}, {1, 4, 7}, {2, 5, 8}}
+	prices, err := m.PriceBundles(flows, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, costs, err := m.bundleAggregates(flows, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s0, err := m.Shares(vals, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	markup := 1 / (m.Alpha * s0)
+	for b := range parts {
+		if !almostEq(prices[b]-costs[b], markup, 1e-6*markup) {
+			t.Errorf("bundle %d markup = %v, want %v", b, prices[b]-costs[b], markup)
+		}
+	}
+}
+
+func TestLogitPriceBundlesIsLocalOptimum(t *testing.T) {
+	// Perturbing any one bundle price away from the fixed-point solution
+	// must not increase profit.
+	m := Logit{Alpha: 1.3, S0: 0.25}
+	flows := randomFlows(t, 8, 31, m, 15)
+	parts := [][]int{{0, 1}, {2, 3, 4}, {5, 6, 7}}
+	prices, err := m.PriceBundles(flows, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := m.Profit(flows, parts, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range prices {
+		for _, eps := range []float64{0.97, 1.03} {
+			mod := append([]float64(nil), prices...)
+			mod[b] *= eps
+			pi, err := m.Profit(flows, parts, mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pi > base+1e-7*math.Abs(base) {
+				t.Fatalf("perturbing bundle %d by %v improves profit %v → %v",
+					b, eps, base, pi)
+			}
+		}
+	}
+}
+
+func TestLogitProfitPerFlowMatchesBundleAggregation(t *testing.T) {
+	// Π computed per flow (Eq. 8) must equal Π computed on the Eq. 10/11
+	// bundle aggregates.
+	m := Logit{Alpha: 0.9, S0: 0.2}
+	flows := randomFlows(t, 10, 41, m, 20)
+	parts := [][]int{{0, 1, 2, 3, 4}, {5, 6}, {7, 8, 9}}
+	prices, err := m.PriceBundles(flows, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFlow, err := m.Profit(flows, parts, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, costs, err := m.bundleAggregates(flows, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares, _, err := m.Shares(vals, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := m.MarketSize(flows)
+	var agg float64
+	for b := range parts {
+		agg += k * shares[b] * (prices[b] - costs[b])
+	}
+	if !almostEq(perFlow, agg, 1e-6*math.Abs(agg)) {
+		t.Fatalf("per-flow profit %v != aggregated %v", perFlow, agg)
+	}
+}
+
+func TestLogitMaxProfitDominatesBundles(t *testing.T) {
+	m := Logit{Alpha: 1.1, S0: 0.2}
+	flows := randomFlows(t, 12, 53, m, 20)
+	max, err := m.MaxProfit(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range [][][]int{
+		OneBundle(12),
+		{{0, 1, 2, 3, 4, 5}, {6, 7, 8, 9, 10, 11}},
+	} {
+		prices, err := m.PriceBundles(flows, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := m.Profit(flows, parts, prices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pi > max+1e-7*max {
+			t.Fatalf("partition profit %v exceeds max %v", pi, max)
+		}
+	}
+}
+
+func TestLogitPotentialProfitsProportionalToDemand(t *testing.T) {
+	// Eq. 13: π_i ∝ q_i.
+	m := Logit{Alpha: 1.1, S0: 0.2}
+	flows := randomFlows(t, 6, 61, m, 20)
+	pots, err := m.PotentialProfits(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := pots[0] / flows[0].Demand
+	for i := range flows {
+		if !almostEq(pots[i]/flows[i].Demand, ratio, 1e-9*ratio) {
+			t.Errorf("flow %d: potential/demand = %v, want %v",
+				i, pots[i]/flows[i].Demand, ratio)
+		}
+	}
+}
+
+func TestLogitSurplusDecreasingInPrice(t *testing.T) {
+	m := Logit{Alpha: 1, S0: 0.2}
+	flows := randomFlows(t, 4, 71, m, 10)
+	one := OneBundle(4)
+	s1, err := m.Surplus(flows, one, []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := m.Surplus(flows, one, []float64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s1 > s2) {
+		t.Fatalf("surplus not decreasing: s(5)=%v s(8)=%v", s1, s2)
+	}
+}
+
+func TestLogitMarketSize(t *testing.T) {
+	m := Logit{Alpha: 1, S0: 0.2}
+	flows := []Flow{{Demand: 4}, {Demand: 4}}
+	if k := m.MarketSize(flows); !almostEq(k, 10, 1e-12) {
+		t.Fatalf("MarketSize = %v, want 10", k)
+	}
+}
+
+func TestLogitDegenerateMarketDoesNotHang(t *testing.T) {
+	// Valuations far below cost: the market collapses; PriceBundles must
+	// still terminate with finite prices ≥ cost.
+	m := Logit{Alpha: 2, S0: 0.2}
+	flows := []Flow{
+		{ID: "a", Demand: 1, Valuation: 0.001, Cost: 1000},
+		{ID: "b", Demand: 1, Valuation: 0.002, Cost: 2000},
+	}
+	prices, err := m.PriceBundles(flows, Singletons(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, p := range prices {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < flows[b].Cost {
+			t.Fatalf("degenerate price[%d] = %v", b, p)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"tieredpricing/internal/bundling"
+	"tieredpricing/internal/core"
+	"tieredpricing/internal/cost"
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/optimize"
+	"tieredpricing/internal/pricing"
+	"tieredpricing/internal/report"
+	"tieredpricing/internal/traces"
+)
+
+// The ablations of DESIGN.md §6: experiments beyond the paper's figures
+// that bound or explain its design choices.
+
+func init() {
+	register(Experiment{
+		ID:    "ablation1",
+		Title: "Exhaustive set-partition search vs the contiguous DP optimum",
+		Paper: "bounds the gap of the 'optimal' strategy against the paper's literal exhaustive search (aggregated flows)",
+		Run:   runAblation1,
+	})
+	register(Experiment{
+		ID:    "ablation2",
+		Title: "Class-aware guard on/off for the destination-type cost model",
+		Paper: "quantifies §4.3.1: 'the standard profit-weighting algorithm does not work well with the destination type-based cost model'",
+		Run:   runAblation2,
+	})
+	register(Experiment{
+		ID:    "ablation3",
+		Title: "NetFlow cross-router dedup on/off",
+		Paper: "quantifies the §4.1.1 double-counting caveat on demands and fitted prices",
+		Run:   runAblation3,
+	})
+	register(Experiment{
+		ID:    "ablation4",
+		Title: "Market granularity: capture vs number of flow aggregates",
+		Paper: "the §1 granularity/efficiency trade-off, measured",
+		Run:   runAblation4,
+	})
+	register(Experiment{
+		ID:    "ext1",
+		Title: "95th-percentile vs average-rate billing on tiered contracts",
+		Paper: "extension: the industry billing rule the paper's $/Mbps/month prices plug into",
+		Run:   runExt1,
+	})
+}
+
+// runAblation1 aggregates each dataset to 10 flows, enumerates EVERY set
+// partition into ≤ 4 bundles with real pricing, and compares the optimum
+// against the contiguous DP — the empirical check that "optimal" is
+// optimal.
+func runAblation1(opts Options) (*Result, error) {
+	const aggFlows, bundles = 10, 4
+	res := &Result{ID: "ablation1", Title: "exhaustive search vs contiguous DP"}
+	t := report.New(
+		fmt.Sprintf("Exhaustive (all partitions of %d aggregates into ≤%d bundles) vs DP",
+			aggFlows, bundles),
+		"network", "model", "partitions", "exhaustive π", "DP π", "gap")
+	for _, name := range traces.Names() {
+		ds, err := traces.ByName(name, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		small, err := core.AggregateFlows(ds.Flows, aggFlows)
+		if err != nil {
+			return nil, err
+		}
+		for _, model := range []string{"ced", "logit"} {
+			dm, err := demandModel(model)
+			if err != nil {
+				return nil, err
+			}
+			m, err := core.NewMarket(small, dm, cost.Linear{Theta: defaultTheta}, ds.P0)
+			if err != nil {
+				return nil, err
+			}
+			count := 0
+			bestExhaustive := math.Inf(-1)
+			err = optimize.EnumeratePartitions(len(m.Flows), bundles, func(p [][]int) bool {
+				count++
+				ev, err := pricing.Evaluate(m.Demand, m.Flows, p)
+				if err != nil {
+					return false
+				}
+				if ev.Profit > bestExhaustive {
+					bestExhaustive = ev.Profit
+				}
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+			dp, err := m.Run(bundling.Optimal{}, bundles)
+			if err != nil {
+				return nil, err
+			}
+			gap := (bestExhaustive - dp.Profit) / bestExhaustive
+			if err := t.AddRow(name, model, report.I(count),
+				report.F1(bestExhaustive), report.F1(dp.Profit),
+				fmt.Sprintf("%.2e", gap)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	t.AddNote("gap ≈ 0 everywhere: the contiguous-in-cost DP attains the exhaustive optimum (DESIGN.md §4)")
+	res.Tables = append(res.Tables, t)
+	return res, nil
+}
+
+// runAblation2 compares profit-weighted bundling with and without the
+// never-mix-classes guard under the destination-type cost model.
+func runAblation2(opts Options) (*Result, error) {
+	ds, err := traces.EUISP(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	split, err := core.SplitByDestType(ds.Flows, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: "ablation2", Title: "class-aware guard ablation"}
+	for _, model := range []string{"ced", "logit"} {
+		dm, err := demandModel(model)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.NewMarket(split, dm, cost.DestType{}, ds.P0)
+		if err != nil {
+			return nil, err
+		}
+		t := report.New(
+			fmt.Sprintf("Destination-type cost (θ=0.1), %s demand: profit capture", model),
+			"strategy", "b=2", "b=3", "b=4", "b=5", "b=6")
+		for _, s := range []bundling.Strategy{
+			bundling.ProfitWeighted{},
+			bundling.ClassAware{Inner: bundling.ProfitWeighted{}},
+		} {
+			cells := []string{s.Name()}
+			for b := 2; b <= 6; b++ {
+				out, err := m.Run(s, b)
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, report.F(out.Capture))
+			}
+			if err := t.AddRow(cells...); err != nil {
+				return nil, err
+			}
+		}
+		t.AddNote("the guard pins capture at its two-class maximum from b=2; the unguarded heuristic mixes on- and off-net flows into shared bundles")
+		res.Tables = append(res.Tables, t)
+	}
+	return res, nil
+}
+
+// runAblation3 replays the EU ISP NetFlow streams twice — with and
+// without cross-router dedup — and fits a market on each, quantifying
+// how double-counting inflates demands and distorts tier prices.
+func runAblation3(opts Options) (*Result, error) {
+	ds, err := traces.EUISP(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	streams, err := ds.EmitNetFlow(traces.EmitConfig{Seed: opts.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	collect := func(dedup bool) (*core.Market, traces.Stats, error) {
+		c := netflow.NewCollector(traces.AggregateKey)
+		if !dedup {
+			c.DisableDedup()
+		}
+		if err := ingestStreams(c, streams); err != nil {
+			return nil, traces.Stats{}, err
+		}
+		flows, err := resolveEUISP(c, ds)
+		if err != nil {
+			return nil, traces.Stats{}, err
+		}
+		st, err := traces.MeasureFlows(flows)
+		if err != nil {
+			return nil, traces.Stats{}, err
+		}
+		m, err := core.NewMarket(flows, econ.CED{Alpha: defaultAlpha},
+			cost.Linear{Theta: defaultTheta}, ds.P0)
+		if err != nil {
+			return nil, traces.Stats{}, err
+		}
+		return m, st, nil
+	}
+	withDedup, stDedup, err := collect(true)
+	if err != nil {
+		return nil, err
+	}
+	without, stRaw, err := collect(false)
+	if err != nil {
+		return nil, err
+	}
+	outDedup, err := withDedup.Run(bundling.ProfitWeighted{}, 3)
+	if err != nil {
+		return nil, err
+	}
+	outRaw, err := without.Run(bundling.ProfitWeighted{}, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.New("EU ISP pipeline with vs without cross-router dedup (CED, 3 tiers)",
+		"quantity", "with dedup", "without dedup")
+	t.MustAddRow("measured traffic (Gbps)",
+		report.F1(stDedup.AggregateGbps), report.F1(stRaw.AggregateGbps))
+	t.MustAddRow("demand-weighted distance (mi)",
+		report.F1(stDedup.WeightedMeanDistance), report.F1(stRaw.WeightedMeanDistance))
+	for b := 0; b < 3; b++ {
+		t.MustAddRow(fmt.Sprintf("tier %d price ($/Mbps)", b),
+			report.F(outDedup.Prices[b]), report.F(outRaw.Prices[b]))
+	}
+	t.MustAddRow("blended-equivalent profit ($)",
+		report.F1(withDedup.OriginalProfit), report.F1(without.OriginalProfit))
+	t.AddNote("without dedup, records exported by both the entry and exit PoP are counted twice: demands double where paths have 2 exporters, and every fitted dollar figure silently scales with the duplication factor")
+	return &Result{ID: "ablation3", Title: "dedup ablation", Tables: []*report.Table{t}}, nil
+}
+
+// runAblation4 measures optimal-bundling capture when the market is
+// coarsened to k aggregates before fitting.
+func runAblation4(opts Options) (*Result, error) {
+	res := &Result{ID: "ablation4", Title: "granularity ablation"}
+	t := report.New("Optimal capture at b=3 vs market granularity (EU ISP, CED)",
+		"aggregates", "capture b=3", "max profit $")
+	ds, err := traces.EUISP(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range []int{5, 10, 25, 50, 100, 200} {
+		flows, err := core.AggregateFlows(ds.Flows, k)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.NewMarket(flows, econ.CED{Alpha: defaultAlpha},
+			cost.Linear{Theta: defaultTheta}, ds.P0)
+		if err != nil {
+			return nil, err
+		}
+		out, err := m.Run(bundling.Optimal{}, 3)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.AddRow(report.I(len(flows)), report.F(out.Capture),
+			report.F1(m.MaxProfit)); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("after recalibration the attainable maximum is nearly granularity-invariant, but capture with 3 tiers declines as the market gets finer: more distinct cost points leave more headroom that few tiers cannot reach — the practical face of the §1 granularity/efficiency trade-off")
+	res.Tables = append(res.Tables, t)
+	return res, nil
+}
+
+// runExt1 compares average-rate billing (what ComputeBill does, and what
+// the counterfactuals assume) against 95th-percentile billing on a
+// bursty replay of the EU ISP tiers.
+func runExt1(opts Options) (*Result, error) {
+	ds, err := traces.EUISP(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	market, err := core.NewMarket(ds.Flows, econ.CED{Alpha: defaultAlpha},
+		cost.Linear{Theta: defaultTheta}, ds.P0)
+	if err != nil {
+		return nil, err
+	}
+	out, err := market.Run(bundling.ProfitWeighted{}, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build a day of 5-minute samples per tier: flat base rate plus a
+	// deterministic diurnal swell and a short evening peak.
+	const intervals = 288
+	samples := map[int][]float64{}
+	avg := map[int]float64{}
+	for b, block := range out.Partition {
+		var base float64
+		for _, i := range block {
+			base += market.Flows[i].Demand
+		}
+		row := make([]float64, intervals)
+		var sum float64
+		for i := range row {
+			frac := float64(i) / intervals
+			diurnal := 0.75 + 0.5*frac // traffic grows through the day
+			v := base * diurnal
+			if i >= 252 && i < 262 { // ~50-minute evening peak
+				v = base * 1.9
+			}
+			row[i] = v
+			sum += v
+		}
+		samples[b] = row
+		avg[b] = sum / intervals
+	}
+
+	avgBill := 0.0
+	for b := range out.Prices {
+		avgBill += avg[b] * out.Prices[b]
+	}
+	p95Bill, err := billPercentile(samples, out.Prices)
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.New("Average-rate vs 95th-percentile billing, EU ISP, 3 tiers",
+		"tier", "price $/Mbps", "avg Mbps", "p95 Mbps", "avg bill $", "p95 bill $")
+	for b := range out.Prices {
+		if err := t.AddRow(report.I(b), report.F(out.Prices[b]),
+			report.F1(avg[b]), report.F1(p95Bill.MbpsPerTier[b]),
+			report.F1(avg[b]*out.Prices[b]), report.F1(p95Bill.ChargePerTier[b])); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("totals: average $%s vs 95th percentile $%s — percentile billing charges the near-peak sustained rate while the evening burst rides free",
+		report.F1(avgBill), report.F1(p95Bill.Total))
+	return &Result{ID: "ext1", Title: "percentile billing extension", Tables: []*report.Table{t}}, nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExt2ProductsBelowOptimal(t *testing.T) {
+	res := runExperiment(t, "ext2")
+	for _, table := range res.Tables {
+		for _, row := range table.Rows {
+			opt2 := cell(t, row[5])
+			// Blended transit captures nothing by definition.
+			if v := cell(t, row[1]); v < -1e-3 || v > 1e-3 {
+				t.Errorf("%s %s: blended capture = %v", table.Title, row[0], v)
+			}
+			// Every two-tier product is bounded by the two-tier optimum.
+			for col := 2; col <= 4; col++ {
+				if row[col] == "n/a" {
+					continue
+				}
+				v := cell(t, row[col])
+				if v > opt2+1e-6 {
+					t.Errorf("%s %s col %d: product capture %v beats optimal-2 %v",
+						table.Title, row[0], col, v, opt2)
+				}
+				if v <= 0 {
+					t.Errorf("%s %s col %d: product capture %v, want positive",
+						table.Title, row[0], col, v)
+				}
+			}
+			// Optimal 3 tiers beats optimal 2.
+			if opt3 := cell(t, row[6]); opt3 < opt2-1e-9 {
+				t.Errorf("%s %s: optimal-3 %v below optimal-2 %v", table.Title, row[0], opt3, opt2)
+			}
+		}
+	}
+}
+
+func TestExt3SavingsMonotoneInBackboneCost(t *testing.T) {
+	res := runExperiment(t, "ext3")
+	rows := res.Tables[0].Rows
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad savings cell %q", s)
+		}
+		return v
+	}
+	prev := 101.0
+	for _, row := range rows {
+		savings := parse(row[3])
+		if savings > prev+1e-9 {
+			t.Fatalf("savings not decreasing in internal cost: %v after %v", savings, prev)
+		}
+		prev = savings
+		hot, planned := cell(t, row[1]), cell(t, row[2])
+		if planned > hot+1e-6 {
+			t.Fatalf("planned %v exceeds hot potato %v", planned, hot)
+		}
+	}
+	// Cheap backbone must yield real savings; expensive must collapse to
+	// hot potato.
+	if first := parse(rows[0][3]); first < 5 {
+		t.Errorf("cheap-backbone savings = %v%%, want substantial", first)
+	}
+	if last := parse(rows[len(rows)-1][3]); last > 1 {
+		t.Errorf("expensive-backbone savings = %v%%, want ≈0", last)
+	}
+	if cold := cell(t, rows[len(rows)-1][4]); cold != 0 {
+		t.Errorf("expensive backbone should have no cold-potato flows, got %v", cold)
+	}
+}
+
+func TestExt4WelfareDirections(t *testing.T) {
+	res := runExperiment(t, "ext4")
+	for _, table := range res.Tables {
+		// Every row's profit must be ≥ the blended baseline (1.0) and
+		// non-decreasing down the table (optimal with more tiers).
+		prev := 0.0
+		for _, row := range table.Rows {
+			p := cell(t, row[1])
+			if p < 1-1e-9 {
+				t.Errorf("%s tiers=%s: profit %v below blended", table.Title, row[0], p)
+			}
+			if p < prev-1e-9 {
+				t.Errorf("%s tiers=%s: profit fell from %v to %v", table.Title, row[0], prev, p)
+			}
+			prev = p
+			// Welfare = profit + surplus must also not fall below 1 when
+			// both components are ≥ 1.
+			if s, w := cell(t, row[2]), cell(t, row[3]); s >= 1 && p >= 1 && w < 1-1e-9 {
+				t.Errorf("%s tiers=%s: welfare %v below blended with both parts ≥ 1", table.Title, row[0], w)
+			}
+		}
+		// Figure 1's claim at market scale: the per-flow row's surplus
+		// must not be below the blended baseline.
+		last := table.Rows[len(table.Rows)-1]
+		if s := cell(t, last[2]); s < 1-1e-6 {
+			t.Errorf("%s: per-flow surplus %v below blended", table.Title, s)
+		}
+	}
+}
+
+func TestExt5ExpansionShape(t *testing.T) {
+	res := runExperiment(t, "ext5")
+	rows := res.Tables[0].Rows
+	if len(rows) != 10 {
+		t.Fatalf("want top-10 rows, got %d", len(rows))
+	}
+	prev := 1e18
+	for _, row := range rows {
+		savings := cell(t, row[4])
+		if savings > prev+1e-9 {
+			t.Fatalf("builds not sorted by savings: %v after %v", savings, prev)
+		}
+		prev = savings
+		if savings > 0 && row[3] == "stay" {
+			t.Fatalf("positive savings with stay outcome: %v", row)
+		}
+		// Direct unit cost of a paying build sits below the blended rate.
+		if savings > 0 && cell(t, row[2]) >= 20 {
+			t.Fatalf("paying build with c_direct ≥ R: %v", row)
+		}
+	}
+}
+
+func TestExt6TieringPremiumGrowsWithElasticity(t *testing.T) {
+	res := runExperiment(t, "ext6")
+	rows := res.Tables[0].Rows
+	if len(rows) != 6 {
+		t.Fatalf("want 6 year rows, got %d", len(rows))
+	}
+	prevBlended := 1e18
+	prevPremium := -1.0
+	for _, row := range rows {
+		blended, tiered := cell(t, row[3]), cell(t, row[4])
+		if blended >= prevBlended {
+			t.Errorf("year %s: blended profit %v did not fall", row[0], blended)
+		}
+		prevBlended = blended
+		if tiered < blended {
+			t.Errorf("year %s: tiered profit %v below blended %v", row[0], tiered, blended)
+		}
+		premium := tiered/blended - 1
+		if premium < prevPremium-1e-9 {
+			t.Errorf("year %s: tiering premium %v shrank from %v", row[0], premium, prevPremium)
+		}
+		prevPremium = premium
+	}
+}

@@ -1,0 +1,104 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, each regenerating the corresponding rows/series
+// from the synthetic substrates. The cmd/tiersim binary and the
+// repository-level benchmarks both drive this registry.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"tieredpricing/internal/report"
+)
+
+// Options parameterize a run.
+type Options struct {
+	// Seed drives all randomness; a fixed seed reproduces a run exactly.
+	Seed int64
+}
+
+// Result is an experiment's output: one or more tables mirroring the
+// paper artifact.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+}
+
+// WriteASCII renders every table.
+func (r *Result) WriteASCII(w io.Writer) error {
+	fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		if err := t.WriteASCII(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Runner produces a Result.
+type Runner func(Options) (*Result, error)
+
+// Experiment is a registered paper artifact.
+type Experiment struct {
+	// ID is the registry key ("fig8", "table1", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Paper cites what the artifact shows in the paper.
+	Paper string
+	// Run regenerates it.
+	Run Runner
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment at init time.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// Get looks an experiment up by ID.
+func Get(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (run `tiersim list`)", id)
+	}
+	return e, nil
+}
+
+// All returns every experiment sorted by ID (figures first, then tables,
+// in numeric order).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i].ID, out[j].ID) })
+	return out
+}
+
+// lessID orders fig1 < fig2 < ... < fig17 < table1.
+func lessID(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return na < nb
+}
+
+func splitID(id string) (string, int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	var n int
+	fmt.Sscanf(id[i:], "%d", &n)
+	return id[:i], n
+}

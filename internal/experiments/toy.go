@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/report"
+	"tieredpricing/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Market efficiency loss due to coarse bundling (blended vs tiered, two flows)",
+		Paper: "Figure 1: P0=$1.2, (P1,P2)=($2.7,$1); profit $2.08→$2.25, surplus $4.17→$4.5",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Feasible CED demand functions",
+		Paper: "Figure 3: Q(p) = (v/p)^α for v=1, α ∈ {1.4, 3.3}",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "CED profit vs price for two flows with identical demand, different cost",
+		Paper: "Figure 4: v=1, α=2, c ∈ {$1, $2}; optima p*=2c",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Logit demand functions",
+		Paper: "Figure 5: two flows, v=(1.6, 1), p1=1, p2 ∈ [0,4], α ∈ {1, 2}",
+		Run:   runFig5,
+	})
+}
+
+// runFig1 reconstructs the paper's two-flow illustration. The figure's
+// stated prices pin the elasticities: P1 = α1·c1/(α1−1) with c1 = $1
+// gives α1 = 2.7/1.7; P2 = α2·c2/(α2−1) with c2 = $0.5 gives α2 = 2.
+// The remaining valuations (v1, v2) are identified by requiring the
+// blended rate P0 = $1.2 to be profit-maximizing with blended profit
+// $2.08 — a 2×2 linear system in A = v1^α1, B = v2^α2.
+func runFig1(Options) (*Result, error) {
+	const (
+		p0     = 1.2
+		c1, c2 = 1.0, 0.5
+		pi0    = 2.08
+	)
+	alpha1 := 2.7 / 1.7
+	alpha2 := 2.0
+
+	// FOC coefficients: d/dP [A·P^{−α}(P−c)] at P0 is
+	// A·[(1−α)P0^{−α} + α·c·P0^{−α−1}].
+	g := func(alpha, c float64) float64 {
+		return (1-alpha)*math.Pow(p0, -alpha) + alpha*c*math.Pow(p0, -alpha-1)
+	}
+	// Profit coefficients at the blended rate.
+	h := func(alpha, c float64) float64 {
+		return math.Pow(p0, -alpha) * (p0 - c)
+	}
+	// Solve A·g1 + B·g2 = 0, A·h1 + B·h2 = pi0.
+	g1, g2 := g(alpha1, c1), g(alpha2, c2)
+	h1, h2 := h(alpha1, c1), h(alpha2, c2)
+	// A = −B·g2/g1.
+	B := pi0 / (h2 - h1*g2/g1)
+	A := -B * g2 / g1
+	if A <= 0 || B <= 0 {
+		return nil, fmt.Errorf("fig1: degenerate calibration A=%v B=%v", A, B)
+	}
+	v1 := math.Pow(A, 1/alpha1)
+	v2 := math.Pow(B, 1/alpha2)
+
+	p1 := econ.CEDOptimalPrice(c1, alpha1)
+	p2 := econ.CEDOptimalPrice(c2, alpha2)
+	blendedProfit := econ.CEDFlowProfit(v1, p0, c1, alpha1) + econ.CEDFlowProfit(v2, p0, c2, alpha2)
+	tieredProfit := econ.CEDFlowProfit(v1, p1, c1, alpha1) + econ.CEDFlowProfit(v2, p2, c2, alpha2)
+	blendedSurplus := econ.CEDSurplus(v1, p0, alpha1) + econ.CEDSurplus(v2, p0, alpha2)
+	tieredSurplus := econ.CEDSurplus(v1, p1, alpha1) + econ.CEDSurplus(v2, p2, alpha2)
+
+	t := report.New("Blended vs tiered pricing, two-flow market",
+		"quantity", "paper", "measured")
+	t.MustAddRow("blended rate P0", "1.20", report.F(p0))
+	t.MustAddRow("tier price P1", "2.70", report.F(p1))
+	t.MustAddRow("tier price P2", "1.00", report.F(p2))
+	t.MustAddRow("blended profit", "2.08", report.F(blendedProfit))
+	t.MustAddRow("tiered profit", "2.25", report.F(tieredProfit))
+	t.MustAddRow("blended surplus", "4.17", report.F(blendedSurplus))
+	t.MustAddRow("tiered surplus", "4.50", report.F(tieredSurplus))
+	t.MustAddRow("demand Q1 at P0", "<1", report.F(econ.CEDQuantity(v1, p0, alpha1)))
+	t.MustAddRow("demand Q2 at P0", "2..3", report.F(econ.CEDQuantity(v2, p0, alpha2)))
+	t.AddNote("fitted v1=%s (α1=%s), v2=%s (α2=%s); tiered pricing must raise both profit and surplus",
+		report.F(v1), report.F(alpha1), report.F(v2), report.F(alpha2))
+	return &Result{ID: "fig1", Title: "blended vs tiered toy market", Tables: []*report.Table{t}}, nil
+}
+
+func runFig3(Options) (*Result, error) {
+	prices, err := stats.Linspace(0.25, 4.0, 16)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("CED demand curves, v = 1", "price", "Q(α=1.4)", "Q(α=3.3)")
+	for _, p := range prices {
+		t.MustAddRow(report.F(p),
+			report.F(econ.CEDQuantity(1, p, 1.4)),
+			report.F(econ.CEDQuantity(1, p, 3.3)))
+	}
+	t.AddNote("higher α = more elastic: demand collapses faster as price rises past v")
+	return &Result{ID: "fig3", Title: "feasible CED demand functions", Tables: []*report.Table{t}}, nil
+}
+
+func runFig4(Options) (*Result, error) {
+	prices, err := stats.Linspace(0.5, 7.0, 27)
+	if err != nil {
+		return nil, err
+	}
+	const alpha = 2.0
+	t := report.New("CED profit vs price, v = 1, α = 2", "price", "π(c=1)", "π(c=2)")
+	for _, p := range prices {
+		t.MustAddRow(report.F(p),
+			report.F(econ.CEDFlowProfit(1, p, 1, alpha)),
+			report.F(econ.CEDFlowProfit(1, p, 2, alpha)))
+	}
+	t.AddNote("optima: p*(c=1)=%s with π=%s; p*(c=2)=%s with π=%s — costlier flows carry higher optimal prices",
+		report.F(econ.CEDOptimalPrice(1, alpha)), report.F(econ.CEDFlowProfit(1, 2, 1, alpha)),
+		report.F(econ.CEDOptimalPrice(2, alpha)), report.F(econ.CEDFlowProfit(1, 4, 2, alpha)))
+	return &Result{ID: "fig4", Title: "CED profit curves", Tables: []*report.Table{t}}, nil
+}
+
+func runFig5(Options) (*Result, error) {
+	prices, err := stats.Linspace(0, 4, 17)
+	if err != nil {
+		return nil, err
+	}
+	vals := []float64{1.6, 1.0}
+	t := report.New("Logit demand for flow 2 (v2=1, v1=1.6 priced at 1)",
+		"price p2", "Q2(α=1)", "Q2(α=2)")
+	for _, p2 := range prices {
+		row := []string{report.F(p2)}
+		for _, alpha := range []float64{1, 2} {
+			m := econ.Logit{Alpha: alpha, S0: 0.2}
+			shares, _, err := m.Shares(vals, []float64{1, p2})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, report.F(shares[1]))
+		}
+		if err := t.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	t.AddNote("demands are not separable: flow 2's share leaks to flow 1 and the outside option as p2 rises")
+	return &Result{ID: "fig5", Title: "logit demand functions", Tables: []*report.Table{t}}, nil
+}

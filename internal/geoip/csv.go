@@ -1,0 +1,76 @@
+package geoip
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+)
+
+// csvHeader is the column layout of the CSV interchange format.
+var csvHeader = []string{"prefix", "city", "country", "lat", "lon"}
+
+// WriteCSV serializes the database in prefix order.
+func (db *DB) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, rec := range db.Records() {
+		row := []string{
+			rec.Prefix.String(),
+			rec.City,
+			rec.Country,
+			strconv.FormatFloat(rec.Lat, 'g', -1, 64),
+			strconv.FormatFloat(rec.Lon, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a database from the CSV interchange format.
+func ReadCSV(r io.Reader) (*DB, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("geoip: reading header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("geoip: bad header column %d: %q", i, header[i])
+		}
+	}
+	db := &DB{}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("geoip: line %d: %w", line, err)
+		}
+		prefix, err := netip.ParsePrefix(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("geoip: line %d: %w", line, err)
+		}
+		lat, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geoip: line %d: lat: %w", line, err)
+		}
+		lon, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geoip: line %d: lon: %w", line, err)
+		}
+		rec := Record{Prefix: prefix, City: row[1], Country: row[2], Lat: lat, Lon: lon}
+		if err := db.Insert(rec); err != nil {
+			return nil, fmt.Errorf("geoip: line %d: %w", line, err)
+		}
+	}
+	return db, nil
+}

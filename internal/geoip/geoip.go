@@ -1,0 +1,171 @@
+// Package geoip implements the GeoIP substrate the paper's CDN distance
+// heuristic depends on (§4.1.1: "we use the GeoIP database to estimate the
+// distance to the destination"). The real MaxMind database is proprietary;
+// this is a from-scratch equivalent: an IPv4 longest-prefix-match database
+// mapping address prefixes to (city, country, lat, lon) records, with a
+// binary-trie lookup path and a CSV interchange format. The synthetic
+// trace generators allocate destination prefixes to world cities through
+// this package, and the flow-classification stage resolves them back.
+package geoip
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Record is one GeoIP entry: the location information for an address
+// prefix.
+type Record struct {
+	// Prefix is the IPv4 prefix this record covers.
+	Prefix netip.Prefix
+	// City and Country name the location (country as ISO-like short
+	// code, e.g. "DE").
+	City    string
+	Country string
+	// Lat and Lon are the location's coordinates in degrees.
+	Lat, Lon float64
+}
+
+// DB is a longest-prefix-match GeoIP database. The zero value is an empty
+// database ready to use.
+type DB struct {
+	root *trieNode
+	size int
+}
+
+type trieNode struct {
+	children [2]*trieNode
+	rec      *Record // non-nil if a record terminates here
+}
+
+// Insert adds a record. Inserting a second record for the exact same
+// prefix is an error; nested prefixes are fine (most-specific wins on
+// lookup).
+func (db *DB) Insert(rec Record) error {
+	if !rec.Prefix.IsValid() {
+		return errors.New("geoip: invalid prefix")
+	}
+	if !rec.Prefix.Addr().Is4() {
+		return errors.New("geoip: only IPv4 prefixes are supported")
+	}
+	if rec.Lat < -90 || rec.Lat > 90 || rec.Lon < -180 || rec.Lon > 180 {
+		return fmt.Errorf("geoip: coordinates out of range (%v, %v)", rec.Lat, rec.Lon)
+	}
+	if db.root == nil {
+		db.root = &trieNode{}
+	}
+	n := db.root
+	addr := ipv4ToUint32(rec.Prefix.Addr())
+	for i := 0; i < rec.Prefix.Bits(); i++ {
+		bit := (addr >> (31 - uint(i))) & 1
+		if n.children[bit] == nil {
+			n.children[bit] = &trieNode{}
+		}
+		n = n.children[bit]
+	}
+	if n.rec != nil {
+		return fmt.Errorf("geoip: duplicate prefix %v", rec.Prefix)
+	}
+	r := rec
+	n.rec = &r
+	db.size++
+	return nil
+}
+
+// Lookup returns the record of the longest prefix containing ip, and
+// whether one exists.
+func (db *DB) Lookup(ip netip.Addr) (Record, bool) {
+	if db.root == nil || !ip.Is4() {
+		return Record{}, false
+	}
+	addr := ipv4ToUint32(ip)
+	n := db.root
+	var best *Record
+	for i := 0; i < 32; i++ {
+		if n.rec != nil {
+			best = n.rec
+		}
+		bit := (addr >> (31 - uint(i))) & 1
+		if n.children[bit] == nil {
+			break
+		}
+		n = n.children[bit]
+	}
+	if n.rec != nil {
+		best = n.rec
+	}
+	if best == nil {
+		return Record{}, false
+	}
+	return *best, true
+}
+
+// Len returns the number of records in the database.
+func (db *DB) Len() int { return db.size }
+
+// Records returns all records in depth-first prefix order.
+func (db *DB) Records() []Record {
+	var out []Record
+	var walk func(*trieNode)
+	walk = func(n *trieNode) {
+		if n == nil {
+			return
+		}
+		if n.rec != nil {
+			out = append(out, *n.rec)
+		}
+		walk(n.children[0])
+		walk(n.children[1])
+	}
+	walk(db.root)
+	return out
+}
+
+// ipv4ToUint32 converts an IPv4 netip.Addr to its 32-bit value.
+func ipv4ToUint32(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// uint32ToIPv4 converts a 32-bit value to an IPv4 netip.Addr.
+func uint32ToIPv4(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// PrefixAllocator hands out consecutive, non-overlapping IPv4 prefixes of
+// a fixed length from a base prefix; the trace generators use it to give
+// every synthetic destination city block its own address space.
+type PrefixAllocator struct {
+	next uint32
+	end  uint32
+	bits int
+}
+
+// NewPrefixAllocator allocates /bits prefixes from within base.
+func NewPrefixAllocator(base netip.Prefix, bits int) (*PrefixAllocator, error) {
+	if !base.IsValid() || !base.Addr().Is4() {
+		return nil, errors.New("geoip: invalid base prefix")
+	}
+	if bits < base.Bits() || bits > 32 {
+		return nil, fmt.Errorf("geoip: allocation size /%d outside base /%d", bits, base.Bits())
+	}
+	start := ipv4ToUint32(base.Masked().Addr())
+	span := uint64(1) << uint(32-base.Bits())
+	return &PrefixAllocator{
+		next: start,
+		end:  uint32(uint64(start) + span - 1),
+		bits: bits,
+	}, nil
+}
+
+// Next returns the next unallocated prefix.
+func (a *PrefixAllocator) Next() (netip.Prefix, error) {
+	step := uint32(1) << uint(32-a.bits)
+	if a.next > a.end || a.end-a.next+1 < step {
+		return netip.Prefix{}, errors.New("geoip: allocator exhausted")
+	}
+	p := netip.PrefixFrom(uint32ToIPv4(a.next), a.bits)
+	a.next += step
+	return p, nil
+}

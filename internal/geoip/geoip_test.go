@@ -1,0 +1,245 @@
+package geoip
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	db := &DB{}
+	recs := []Record{
+		{Prefix: mustPrefix(t, "10.0.0.0/8"), City: "Frankfurt", Country: "DE", Lat: 50.1, Lon: 8.7},
+		{Prefix: mustPrefix(t, "10.1.0.0/16"), City: "London", Country: "UK", Lat: 51.5, Lon: -0.1},
+		{Prefix: mustPrefix(t, "10.1.2.0/24"), City: "Paris", Country: "FR", Lat: 48.9, Lon: 2.4},
+	}
+	for _, r := range recs {
+		if err := db.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", db.Len())
+	}
+	cases := []struct {
+		ip   string
+		city string
+	}{
+		{"10.200.0.1", "Frankfurt"}, // only /8 matches
+		{"10.1.99.1", "London"},     // /16 beats /8
+		{"10.1.2.3", "Paris"},       // /24 beats both
+	}
+	for _, c := range cases {
+		rec, ok := db.Lookup(netip.MustParseAddr(c.ip))
+		if !ok {
+			t.Fatalf("Lookup(%s): no match", c.ip)
+		}
+		if rec.City != c.city {
+			t.Errorf("Lookup(%s) = %q, want %q", c.ip, rec.City, c.city)
+		}
+	}
+	if _, ok := db.Lookup(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Error("Lookup outside all prefixes should miss")
+	}
+}
+
+func TestLookupEmptyDB(t *testing.T) {
+	db := &DB{}
+	if _, ok := db.Lookup(netip.MustParseAddr("1.2.3.4")); ok {
+		t.Error("empty DB should miss")
+	}
+}
+
+func TestInsertRejections(t *testing.T) {
+	db := &DB{}
+	if err := db.Insert(Record{}); err == nil {
+		t.Error("expected error for invalid prefix")
+	}
+	if err := db.Insert(Record{Prefix: netip.MustParsePrefix("2001:db8::/32")}); err == nil {
+		t.Error("expected error for IPv6 prefix")
+	}
+	if err := db.Insert(Record{Prefix: mustPrefix(t, "1.0.0.0/8"), Lat: 91}); err == nil {
+		t.Error("expected error for out-of-range latitude")
+	}
+	ok := Record{Prefix: mustPrefix(t, "1.0.0.0/8"), City: "x"}
+	if err := db.Insert(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert(ok); err == nil {
+		t.Error("expected error for duplicate prefix")
+	}
+}
+
+func TestLookupIPv6Misses(t *testing.T) {
+	db := &DB{}
+	if err := db.Insert(Record{Prefix: mustPrefix(t, "0.0.0.0/0"), City: "any"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Lookup(netip.MustParseAddr("2001:db8::1")); ok {
+		t.Error("IPv6 lookup should miss an IPv4 DB")
+	}
+}
+
+func TestDefaultRouteMatchesEverything(t *testing.T) {
+	db := &DB{}
+	if err := db.Insert(Record{Prefix: mustPrefix(t, "0.0.0.0/0"), City: "default"}); err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b, c, d byte) bool {
+		rec, ok := db.Lookup(netip.AddrFrom4([4]byte{a, b, c, d}))
+		return ok && rec.City == "default"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLPMProperty(t *testing.T) {
+	// Insert random non-duplicate prefixes; for random IPs, the result
+	// must equal a brute-force longest-match scan.
+	r := rand.New(rand.NewSource(42))
+	db := &DB{}
+	var recs []Record
+	seen := map[string]bool{}
+	for len(recs) < 200 {
+		bits := 4 + r.Intn(25) // /4../28
+		addr := netip.AddrFrom4([4]byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+		p := netip.PrefixFrom(addr, bits).Masked()
+		if seen[p.String()] {
+			continue
+		}
+		seen[p.String()] = true
+		rec := Record{Prefix: p, City: p.String()}
+		if err := db.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		ip := netip.AddrFrom4([4]byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+		var want *Record
+		for i := range recs {
+			if recs[i].Prefix.Contains(ip) {
+				if want == nil || recs[i].Prefix.Bits() > want.Prefix.Bits() {
+					want = &recs[i]
+				}
+			}
+		}
+		got, ok := db.Lookup(ip)
+		if want == nil {
+			if ok {
+				t.Fatalf("ip %v: unexpected match %v", ip, got.Prefix)
+			}
+			continue
+		}
+		if !ok || got.Prefix != want.Prefix {
+			t.Fatalf("ip %v: got %v ok=%v, want %v", ip, got.Prefix, ok, want.Prefix)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := &DB{}
+	recs := []Record{
+		{Prefix: mustPrefix(t, "10.0.0.0/8"), City: "Frankfurt", Country: "DE", Lat: 50.11, Lon: 8.68},
+		{Prefix: mustPrefix(t, "172.16.0.0/12"), City: "New York", Country: "US", Lat: 40.71, Lon: -74.01},
+	}
+	for _, r := range recs {
+		if err := db.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != db.Len() {
+		t.Fatalf("round trip lost records: %d vs %d", back.Len(), db.Len())
+	}
+	for _, want := range recs {
+		got, ok := back.Lookup(want.Prefix.Addr())
+		if !ok || got != want {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"bogus,header,row,x,y\n",
+		"prefix,city,country,lat,lon\nnot-a-prefix,a,b,1,2\n",
+		"prefix,city,country,lat,lon\n1.0.0.0/8,a,b,not-a-float,2\n",
+		"prefix,city,country,lat,lon\n1.0.0.0/8,a,b,1,not-a-float\n",
+		"prefix,city,country,lat,lon\n1.0.0.0/8,a,b,1,2\n1.0.0.0/8,a,b,1,2\n",
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPrefixAllocator(t *testing.T) {
+	a, err := NewPrefixAllocator(mustPrefix(t, "10.0.0.0/8"), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := a.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := a.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != "10.0.0.0/24" || p2.String() != "10.0.1.0/24" {
+		t.Fatalf("allocations = %v, %v", p1, p2)
+	}
+	if p1.Overlaps(p2) {
+		t.Error("allocations overlap")
+	}
+}
+
+func TestPrefixAllocatorExhaustion(t *testing.T) {
+	a, err := NewPrefixAllocator(mustPrefix(t, "10.0.0.0/30"), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Next(); err == nil {
+		t.Error("expected exhaustion")
+	}
+}
+
+func TestPrefixAllocatorErrors(t *testing.T) {
+	if _, err := NewPrefixAllocator(netip.Prefix{}, 24); err == nil {
+		t.Error("expected error for invalid base")
+	}
+	if _, err := NewPrefixAllocator(mustPrefix(t, "10.0.0.0/24"), 8); err == nil {
+		t.Error("expected error for size above base")
+	}
+	if _, err := NewPrefixAllocator(mustPrefix(t, "10.0.0.0/24"), 33); err == nil {
+		t.Error("expected error for size > 32")
+	}
+}

@@ -1,0 +1,171 @@
+package netflow
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// FlowKey identifies a flow record independently of which router exported
+// it: two records with equal keys observed at different routers describe
+// the same traffic and must be counted once (§4.1.1).
+type FlowKey struct {
+	SrcAddr  netip.Addr
+	DstAddr  netip.Addr
+	SrcPort  uint16
+	DstPort  uint16
+	Proto    uint8
+	First    uint32
+	Last     uint32
+	Octets   uint32
+	Sequence uint32 // exporter-assigned record index within the flow
+}
+
+// KeyOf extracts a record's dedup key. The exporting pipeline stamps a
+// per-flow record sequence into SrcAS (a field the accounting pipeline
+// does not otherwise need) so that distinct records of one long-lived
+// flow are not mistaken for duplicates.
+func KeyOf(r Record) FlowKey {
+	return FlowKey{
+		SrcAddr:  r.SrcAddr,
+		DstAddr:  r.DstAddr,
+		SrcPort:  r.SrcPort,
+		DstPort:  r.DstPort,
+		Proto:    r.Proto,
+		First:    r.First,
+		Last:     r.Last,
+		Octets:   r.Octets,
+		Sequence: r.FlowSequence(),
+	}
+}
+
+// FlowSequence returns the per-flow record sequence number stamped by the
+// exporter (carried in SrcAS).
+func (r Record) FlowSequence() uint32 { return uint32(r.SrcAS) }
+
+// AggregateKeyFunc maps a record to the demand-aggregation bucket it
+// belongs to — e.g. the destination /24, or an entry/exit PoP pair
+// recovered from addressing. Returning "" drops the record.
+type AggregateKeyFunc func(Record) string
+
+// Aggregate is the accumulated demand of one aggregation bucket.
+type Aggregate struct {
+	// Key is the bucket identifier.
+	Key string
+	// Octets is the total de-duplicated, sampling-restored byte count.
+	Octets uint64
+	// Records is the number of distinct records accumulated.
+	Records int
+	// SrcAddr and DstAddr sample one record's endpoints for later
+	// resolution (all records in a bucket share their resolution).
+	SrcAddr netip.Addr
+	DstAddr netip.Addr
+	// Input and Output sample the SNMP interface indices.
+	Input, Output uint16
+}
+
+// Collector ingests export packets from multiple routers, de-duplicates
+// records, restores sampled volumes, and accumulates per-bucket demand.
+// It is safe for concurrent use by multiple ingest goroutines (core
+// routers export independently).
+type Collector struct {
+	keyFn AggregateKeyFunc
+
+	mu         sync.Mutex
+	seen       map[FlowKey]struct{}
+	aggs       map[string]*Aggregate
+	records    int
+	duplicates int
+	dropped    int
+	noDedup    bool
+}
+
+// DisableDedup turns off cross-router duplicate suppression. It exists to
+// quantify the double-counting bias the paper's pipeline avoids ("while
+// ensuring that we do not double-count records that are duplicated on
+// different routers", §4.1.1); see the ablation experiment. Call it
+// before the first Ingest.
+func (c *Collector) DisableDedup() {
+	c.mu.Lock()
+	c.noDedup = true
+	c.mu.Unlock()
+}
+
+// NewCollector creates a collector aggregating by keyFn.
+func NewCollector(keyFn AggregateKeyFunc) *Collector {
+	return &Collector{
+		keyFn: keyFn,
+		seen:  make(map[FlowKey]struct{}),
+		aggs:  make(map[string]*Aggregate),
+	}
+}
+
+// Ingest processes one export packet from a router. The router identity
+// is informational: dedup works on flow keys alone, so the same record
+// arriving from two routers is counted once regardless.
+func (c *Collector) Ingest(h Header, recs []Record) {
+	sampling := uint64(h.SamplingInterval)
+	if sampling == 0 {
+		sampling = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range recs {
+		c.records++
+		if !c.noDedup {
+			key := KeyOf(r)
+			if _, dup := c.seen[key]; dup {
+				c.duplicates++
+				continue
+			}
+			c.seen[key] = struct{}{}
+		}
+		bucket := c.keyFn(r)
+		if bucket == "" {
+			c.dropped++
+			continue
+		}
+		agg, ok := c.aggs[bucket]
+		if !ok {
+			agg = &Aggregate{
+				Key:     bucket,
+				SrcAddr: r.SrcAddr,
+				DstAddr: r.DstAddr,
+				Input:   r.Input,
+				Output:  r.Output,
+			}
+			c.aggs[bucket] = agg
+		}
+		agg.Octets += uint64(r.Octets) * sampling
+		agg.Records++
+	}
+}
+
+// Aggregates returns the accumulated buckets sorted by key.
+func (c *Collector) Aggregates() []Aggregate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Aggregate, 0, len(c.aggs))
+	for _, a := range c.aggs {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Stats reports how many records were ingested, how many were dropped as
+// cross-router duplicates, and how many had no aggregation bucket.
+func (c *Collector) Stats() (records, duplicates, dropped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.records, c.duplicates, c.dropped
+}
+
+// DemandMbps converts a byte count accumulated over a capture window into
+// megabits per second.
+func DemandMbps(octets uint64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(octets) * 8 / seconds / 1e6
+}

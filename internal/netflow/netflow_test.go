@@ -1,0 +1,347 @@
+package netflow
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func randRecord(r *rand.Rand) Record {
+	ip := func() netip.Addr {
+		return netip.AddrFrom4([4]byte{byte(r.Intn(256)), byte(r.Intn(256)),
+			byte(r.Intn(256)), byte(r.Intn(256))})
+	}
+	return Record{
+		SrcAddr: ip(), DstAddr: ip(), NextHop: ip(),
+		Input: uint16(r.Intn(1 << 16)), Output: uint16(r.Intn(1 << 16)),
+		Packets: r.Uint32(), Octets: r.Uint32(),
+		First: r.Uint32(), Last: r.Uint32(),
+		SrcPort: uint16(r.Intn(1 << 16)), DstPort: uint16(r.Intn(1 << 16)),
+		TCPFlags: uint8(r.Intn(256)), Proto: uint8(r.Intn(256)), ToS: uint8(r.Intn(256)),
+		SrcAS: uint16(r.Intn(1 << 16)), DstAS: uint16(r.Intn(1 << 16)),
+		SrcMask: uint8(r.Intn(33)), DstMask: uint8(r.Intn(33)),
+	}
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	h := Header{
+		SysUptime: 12345, UnixSecs: 1257985000, UnixNsecs: 42,
+		FlowSequence: 777, EngineType: 1, EngineID: 2, SamplingInterval: 100,
+	}
+	recs := make([]Record, 17)
+	for i := range recs {
+		recs[i] = randRecord(r)
+	}
+	pkt, err := EncodePacket(h, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) != HeaderSize+len(recs)*RecordSize {
+		t.Fatalf("packet size %d", len(pkt))
+	}
+	h2, recs2, err := DecodePacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Count = uint16(len(recs))
+	if h2 != h {
+		t.Fatalf("header mismatch:\n got %+v\nwant %+v", h2, h)
+	}
+	for i := range recs {
+		if recs2[i] != recs[i] {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, recs2[i], recs[i])
+		}
+	}
+}
+
+func TestPacketRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := 1 + int(n)%MaxRecordsPerPacket
+		recs := make([]Record, count)
+		for i := range recs {
+			recs[i] = randRecord(r)
+		}
+		pkt, err := EncodePacket(Header{UnixSecs: r.Uint32()}, recs)
+		if err != nil {
+			return false
+		}
+		_, got, err := DecodePacket(pkt)
+		if err != nil || len(got) != count {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePacketLimits(t *testing.T) {
+	if _, err := EncodePacket(Header{}, nil); err == nil {
+		t.Error("expected error for empty packet")
+	}
+	recs := make([]Record, MaxRecordsPerPacket+1)
+	for i := range recs {
+		recs[i] = Record{SrcAddr: netip.MustParseAddr("1.1.1.1"), DstAddr: netip.MustParseAddr("2.2.2.2")}
+	}
+	if _, err := EncodePacket(Header{}, recs); err == nil {
+		t.Error("expected error for oversized packet")
+	}
+}
+
+func TestEncodeRejectsIPv6(t *testing.T) {
+	recs := []Record{{
+		SrcAddr: netip.MustParseAddr("2001:db8::1"),
+		DstAddr: netip.MustParseAddr("2.2.2.2"),
+	}}
+	if _, err := EncodePacket(Header{}, recs); err == nil {
+		t.Error("expected error for IPv6 source")
+	}
+}
+
+func TestEncodeAllowsZeroNextHop(t *testing.T) {
+	recs := []Record{{
+		SrcAddr: netip.MustParseAddr("1.1.1.1"),
+		DstAddr: netip.MustParseAddr("2.2.2.2"),
+	}}
+	pkt, err := EncodePacket(Header{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := DecodePacket(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].NextHop != netip.AddrFrom4([4]byte{}) {
+		t.Errorf("next hop = %v, want 0.0.0.0", got[0].NextHop)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodePacket(nil); err == nil {
+		t.Error("expected error for empty buffer")
+	}
+	// Wrong version.
+	bad := make([]byte, HeaderSize+RecordSize)
+	bad[1] = 9
+	if _, _, err := DecodePacket(bad); err == nil {
+		t.Error("expected error for wrong version")
+	}
+	// Valid header claiming more records than present.
+	recs := []Record{{SrcAddr: netip.MustParseAddr("1.1.1.1"), DstAddr: netip.MustParseAddr("2.2.2.2")}}
+	pkt, err := EncodePacket(Header{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt[3] = 5 // count = 5, body has 1
+	if _, _, err := DecodePacket(pkt); err == nil {
+		t.Error("expected error for truncated body")
+	}
+	// Zero count.
+	pkt[3] = 0
+	if _, _, err := DecodePacket(pkt); err == nil {
+		t.Error("expected error for zero count")
+	}
+}
+
+func TestWriterReaderStream(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	recs := make([]Record, 95) // spans 4 packets at 30/packet
+	for i := range recs {
+		recs[i] = randRecord(r)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{UnixSecs: 1000, SamplingInterval: 10})
+	if err := w.Write(recs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Sequence() != 95 {
+		t.Fatalf("sequence = %d, want 95", w.Sequence())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestWriterFlushEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Header{})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Error("empty flush wrote bytes")
+	}
+}
+
+func TestReaderTruncatedStream(t *testing.T) {
+	recs := []Record{{SrcAddr: netip.MustParseAddr("1.1.1.1"), DstAddr: netip.MustParseAddr("2.2.2.2")}}
+	pkt, err := EncodePacket(Header{}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(bytes.NewReader(pkt[:len(pkt)-4]))
+	if _, _, err := rd.Next(); err == nil || err == io.EOF {
+		t.Errorf("expected truncation error, got %v", err)
+	}
+}
+
+func TestCollectorDeduplicates(t *testing.T) {
+	rec := Record{
+		SrcAddr: netip.MustParseAddr("10.0.0.1"),
+		DstAddr: netip.MustParseAddr("10.1.0.1"),
+		Octets:  1000, First: 5, Last: 9, SrcAS: 1,
+	}
+	c := NewCollector(func(r Record) string { return r.DstAddr.String() })
+	h := Header{SamplingInterval: 1}
+	// The same record exported by three routers on the path.
+	c.Ingest(h, []Record{rec})
+	c.Ingest(h, []Record{rec})
+	c.Ingest(h, []Record{rec})
+	aggs := c.Aggregates()
+	if len(aggs) != 1 {
+		t.Fatalf("got %d aggregates", len(aggs))
+	}
+	if aggs[0].Octets != 1000 {
+		t.Fatalf("octets = %d, want 1000 (deduplicated)", aggs[0].Octets)
+	}
+	records, dups, dropped := c.Stats()
+	if records != 3 || dups != 2 || dropped != 0 {
+		t.Fatalf("stats = (%d, %d, %d), want (3, 2, 0)", records, dups, dropped)
+	}
+}
+
+func TestCollectorDistinguishesRecordsOfOneFlow(t *testing.T) {
+	// Two records of the same 5-tuple at the same uptime window but with
+	// distinct exporter sequence stamps are NOT duplicates.
+	base := Record{
+		SrcAddr: netip.MustParseAddr("10.0.0.1"),
+		DstAddr: netip.MustParseAddr("10.1.0.1"),
+		Octets:  500, First: 5, Last: 9,
+	}
+	r1, r2 := base, base
+	r1.SrcAS = 1
+	r2.SrcAS = 2
+	c := NewCollector(func(r Record) string { return r.DstAddr.String() })
+	c.Ingest(Header{}, []Record{r1, r2})
+	aggs := c.Aggregates()
+	if aggs[0].Octets != 1000 {
+		t.Fatalf("octets = %d, want 1000", aggs[0].Octets)
+	}
+}
+
+func TestCollectorRestoresSampling(t *testing.T) {
+	rec := Record{
+		SrcAddr: netip.MustParseAddr("10.0.0.1"),
+		DstAddr: netip.MustParseAddr("10.1.0.1"),
+		Octets:  1000,
+	}
+	c := NewCollector(func(r Record) string { return "all" })
+	c.Ingest(Header{SamplingInterval: 100}, []Record{rec})
+	if got := c.Aggregates()[0].Octets; got != 100000 {
+		t.Fatalf("octets = %d, want 100000 (1-in-100 sampling restored)", got)
+	}
+}
+
+func TestCollectorDropsUnkeyedRecords(t *testing.T) {
+	rec := Record{
+		SrcAddr: netip.MustParseAddr("10.0.0.1"),
+		DstAddr: netip.MustParseAddr("10.1.0.1"),
+		Octets:  1,
+	}
+	c := NewCollector(func(r Record) string { return "" })
+	c.Ingest(Header{}, []Record{rec})
+	if len(c.Aggregates()) != 0 {
+		t.Error("unkeyed record should be dropped")
+	}
+	_, _, dropped := c.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+}
+
+func TestCollectorOrderIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	recs := make([]Record, 200)
+	for i := range recs {
+		recs[i] = randRecord(r)
+	}
+	// Duplicate a third of them.
+	withDups := append([]Record{}, recs...)
+	withDups = append(withDups, recs[:70]...)
+
+	collect := func(order []Record) []Aggregate {
+		c := NewCollector(func(r Record) string { return r.DstAddr.String() })
+		c.Ingest(Header{SamplingInterval: 1}, order)
+		return c.Aggregates()
+	}
+	a := collect(withDups)
+	rev := make([]Record, len(withDups))
+	for i := range withDups {
+		rev[i] = withDups[len(withDups)-1-i]
+	}
+	b := collect(rev)
+	if len(a) != len(b) {
+		t.Fatalf("aggregate counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Octets != b[i].Octets {
+			t.Fatalf("aggregate %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCollectorConcurrentIngest(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	packets := make([][]Record, 20)
+	for i := range packets {
+		packets[i] = []Record{randRecord(r), randRecord(r), randRecord(r)}
+	}
+	c := NewCollector(func(r Record) string { return r.DstAddr.String() })
+	var wg sync.WaitGroup
+	for _, p := range packets {
+		wg.Add(1)
+		go func(recs []Record) {
+			defer wg.Done()
+			c.Ingest(Header{}, recs)
+		}(p)
+	}
+	wg.Wait()
+	records, _, _ := c.Stats()
+	if records != 60 {
+		t.Fatalf("records = %d, want 60", records)
+	}
+}
+
+func TestDemandMbps(t *testing.T) {
+	// 1 MB over 8 seconds = 1 Mbps.
+	if got := DemandMbps(1e6, 8); got != 1 {
+		t.Fatalf("DemandMbps = %v, want 1", got)
+	}
+	if got := DemandMbps(1e6, 0); got != 0 {
+		t.Fatalf("DemandMbps with zero duration = %v, want 0", got)
+	}
+}

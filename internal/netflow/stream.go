@@ -1,0 +1,129 @@
+package netflow
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Writer batches flow records into export packets and writes them to an
+// underlying stream (a trace file, or a UDP socket wrapped in an
+// io.Writer). Packets are self-framing — the header carries the record
+// count — so consecutive packets can simply be concatenated.
+type Writer struct {
+	w        io.Writer
+	pending  []Record
+	sequence uint32
+	// Template header copied into every packet (timestamps and sampling).
+	Template Header
+	err      error
+}
+
+// NewWriter creates a Writer exporting through w.
+func NewWriter(w io.Writer, template Header) *Writer {
+	return &Writer{w: w, Template: template}
+}
+
+// Write queues records for export, flushing full packets as it goes.
+func (wr *Writer) Write(recs ...Record) error {
+	if wr.err != nil {
+		return wr.err
+	}
+	for _, r := range recs {
+		wr.pending = append(wr.pending, r)
+		if len(wr.pending) == MaxRecordsPerPacket {
+			if err := wr.flushPacket(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush writes any partially filled packet.
+func (wr *Writer) Flush() error {
+	if wr.err != nil {
+		return wr.err
+	}
+	if len(wr.pending) == 0 {
+		return nil
+	}
+	return wr.flushPacket()
+}
+
+// Sequence returns the number of records exported so far.
+func (wr *Writer) Sequence() uint32 { return wr.sequence }
+
+func (wr *Writer) flushPacket() error {
+	h := wr.Template
+	h.FlowSequence = wr.sequence
+	pkt, err := EncodePacket(h, wr.pending)
+	if err != nil {
+		wr.err = err
+		return err
+	}
+	if _, err := wr.w.Write(pkt); err != nil {
+		wr.err = fmt.Errorf("netflow: write: %w", err)
+		return wr.err
+	}
+	wr.sequence += uint32(len(wr.pending))
+	wr.pending = wr.pending[:0]
+	return nil
+}
+
+// Reader streams export packets back from a concatenated packet stream.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader creates a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Next reads one export packet. It returns io.EOF cleanly at end of
+// stream and an error for truncated or corrupt input.
+func (rd *Reader) Next() (Header, []Record, error) {
+	head := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(rd.r, head); err != nil {
+		if err == io.EOF {
+			return Header{}, nil, io.EOF
+		}
+		return Header{}, nil, fmt.Errorf("netflow: reading header: %w", err)
+	}
+	h, err := parseHeader(head)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if h.Count == 0 || h.Count > MaxRecordsPerPacket {
+		return Header{}, nil, fmt.Errorf("netflow: bad record count %d", h.Count)
+	}
+	body := make([]byte, int(h.Count)*RecordSize)
+	if _, err := io.ReadFull(rd.r, body); err != nil {
+		return Header{}, nil, fmt.Errorf("netflow: reading %d records: %w", h.Count, err)
+	}
+	recs := make([]Record, h.Count)
+	for i := range recs {
+		if recs[i], err = parseRecord(body[i*RecordSize:]); err != nil {
+			return Header{}, nil, err
+		}
+	}
+	return h, recs, nil
+}
+
+// ReadAll drains the stream, returning all records in order.
+func ReadAll(r io.Reader) ([]Record, error) {
+	rd := NewReader(r)
+	var out []Record
+	for {
+		_, recs, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+}

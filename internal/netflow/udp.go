@@ -1,0 +1,186 @@
+package netflow
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file adds the wire transport the paper's collection infrastructure
+// actually uses: NetFlow is exported over UDP from each core router to a
+// central collector (Figure 17b, "Flow Collector"). Exporter wraps a
+// Writer around a UDP socket with one datagram per export packet;
+// CollectorServer listens, decodes and feeds a Collector.
+
+// Exporter sends export packets to a collector over UDP, one datagram
+// per packet (as real routers do — NetFlow v5 has no fragmentation or
+// retransmission; loss tolerance is part of the protocol's design).
+type Exporter struct {
+	conn net.Conn
+	mu   sync.Mutex
+	pend []Record
+	// Template is copied into every packet.
+	Template Header
+	sequence uint32
+}
+
+// NewExporter dials the collector address ("host:port").
+func NewExporter(addr string, template Header) (*Exporter, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: dialing collector: %w", err)
+	}
+	return &Exporter{conn: conn, Template: template}, nil
+}
+
+// Export queues records, sending a datagram whenever a packet fills.
+func (e *Exporter) Export(recs ...Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range recs {
+		e.pend = append(e.pend, r)
+		if len(e.pend) == MaxRecordsPerPacket {
+			if err := e.flushLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush sends any partially filled packet.
+func (e *Exporter) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.pend) == 0 {
+		return nil
+	}
+	return e.flushLocked()
+}
+
+func (e *Exporter) flushLocked() error {
+	h := e.Template
+	h.FlowSequence = e.sequence
+	pkt, err := EncodePacket(h, e.pend)
+	if err != nil {
+		return err
+	}
+	if _, err := e.conn.Write(pkt); err != nil {
+		return fmt.Errorf("netflow: udp send: %w", err)
+	}
+	e.sequence += uint32(len(e.pend))
+	e.pend = e.pend[:0]
+	return nil
+}
+
+// Close flushes and closes the socket.
+func (e *Exporter) Close() error {
+	if err := e.Flush(); err != nil {
+		e.conn.Close()
+		return err
+	}
+	return e.conn.Close()
+}
+
+// CollectorServer receives export datagrams on a UDP socket and feeds
+// them to a Collector.
+type CollectorServer struct {
+	pc        net.PacketConn
+	collector *Collector
+
+	mu      sync.Mutex
+	packets int
+	bad     int
+	closed  bool
+	done    chan struct{}
+}
+
+// NewCollectorServer starts listening on addr (use "127.0.0.1:0" for an
+// ephemeral test port) and ingesting into collector in a background
+// goroutine. Callers must Close it.
+func NewCollectorServer(addr string, collector *Collector) (*CollectorServer, error) {
+	if collector == nil {
+		return nil, errors.New("netflow: nil collector")
+	}
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: listen: %w", err)
+	}
+	s := &CollectorServer{pc: pc, collector: collector, done: make(chan struct{})}
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *CollectorServer) Addr() string { return s.pc.LocalAddr().String() }
+
+// Stats reports datagrams received and datagrams that failed to decode.
+func (s *CollectorServer) Stats() (packets, bad int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.packets, s.bad
+}
+
+// Close stops the receive loop and closes the socket.
+func (s *CollectorServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.pc.Close()
+	<-s.done
+	return err
+}
+
+// Drain waits until the server has received at least n datagrams or the
+// timeout elapses, for tests and batch pipelines that need to know the
+// UDP stream has been consumed (UDP gives no delivery signal).
+func (s *CollectorServer) Drain(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		packets, _ := func() (int, int) { return s.Stats() }()
+		if packets >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("netflow: drained %d of %d datagrams before timeout", packets, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (s *CollectorServer) loop() {
+	defer close(s.done)
+	buf := make([]byte, HeaderSize+MaxRecordsPerPacket*RecordSize)
+	for {
+		n, _, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			// Closed socket ends the loop; transient errors are counted.
+			s.mu.Lock()
+			closed := s.closed
+			if !closed {
+				s.bad++
+			}
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		h, recs, err := DecodePacket(buf[:n])
+		s.mu.Lock()
+		s.packets++
+		if err != nil {
+			s.bad++
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		s.collector.Ingest(h, recs)
+	}
+}

@@ -1,0 +1,282 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestContiguousDPSingleBlock(t *testing.T) {
+	val := func(lo, hi int) float64 { return float64(hi - lo) }
+	blocks, total, err := ContiguousDP(5, 1, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || blocks[0] != [2]int{0, 5} {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	if total != 5 {
+		t.Fatalf("total = %v, want 5", total)
+	}
+}
+
+func TestContiguousDPPrefersSplitting(t *testing.T) {
+	// val rewards small blocks quadratically: splitting always wins, so
+	// with maxBlocks = n the optimum is all singletons.
+	val := func(lo, hi int) float64 { return -float64((hi - lo) * (hi - lo)) }
+	blocks, total, err := ContiguousDP(4, 4, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %v, want 4 singletons", blocks)
+	}
+	if total != -4 {
+		t.Fatalf("total = %v, want -4", total)
+	}
+}
+
+func TestContiguousDPMayUseFewerBlocks(t *testing.T) {
+	// Merging always wins here (superadditive value), so the DP should
+	// return a single block even though 3 are allowed.
+	val := func(lo, hi int) float64 { return float64((hi - lo) * (hi - lo)) }
+	blocks, total, err := ContiguousDP(6, 3, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %v, want one block", blocks)
+	}
+	if total != 36 {
+		t.Fatalf("total = %v, want 36", total)
+	}
+}
+
+func TestContiguousDPBlocksCoverInOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	val := func(lo, hi int) float64 {
+		// Arbitrary nonlinear block value.
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return math.Sin(s) + s*s
+	}
+	for b := 1; b <= 6; b++ {
+		blocks, _, err := ContiguousDP(30, b, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(blocks) > b {
+			t.Fatalf("got %d blocks, max %d", len(blocks), b)
+		}
+		prev := 0
+		for _, blk := range blocks {
+			if blk[0] != prev || blk[1] <= blk[0] {
+				t.Fatalf("blocks not a contiguous cover: %v", blocks)
+			}
+			prev = blk[1]
+		}
+		if prev != 30 {
+			t.Fatalf("blocks do not cover: %v", blocks)
+		}
+	}
+}
+
+func TestContiguousDPErrors(t *testing.T) {
+	val := func(lo, hi int) float64 { return 0 }
+	if _, _, err := ContiguousDP(0, 1, val); err == nil {
+		t.Error("expected error for n = 0")
+	}
+	if _, _, err := ContiguousDP(3, 0, val); err == nil {
+		t.Error("expected error for maxBlocks = 0")
+	}
+}
+
+func TestBlocksToPartition(t *testing.T) {
+	order := []int{4, 2, 0, 1, 3}
+	blocks := [][2]int{{0, 2}, {2, 5}}
+	p := BlocksToPartition(blocks, order)
+	if len(p) != 2 {
+		t.Fatalf("p = %v", p)
+	}
+	if p[0][0] != 4 || p[0][1] != 2 {
+		t.Fatalf("p[0] = %v, want [4 2]", p[0])
+	}
+	if len(p[1]) != 3 || p[1][0] != 0 || p[1][2] != 3 {
+		t.Fatalf("p[1] = %v, want [0 1 3]", p[1])
+	}
+}
+
+func TestEnumeratePartitionsCounts(t *testing.T) {
+	// Bell-number style counts, restricted to ≤ maxBlocks blocks.
+	cases := []struct {
+		n, maxBlocks int
+		want         int
+	}{
+		{1, 1, 1},
+		{3, 3, 5},   // Bell(3)
+		{4, 4, 15},  // Bell(4)
+		{4, 2, 8},   // S(4,1)+S(4,2) = 1+7
+		{5, 3, 41},  // 1+15+25
+		{6, 6, 203}, // Bell(6)
+	}
+	for _, c := range cases {
+		count := 0
+		err := EnumeratePartitions(c.n, c.maxBlocks, func(p [][]int) bool {
+			count++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != c.want {
+			t.Errorf("n=%d maxBlocks=%d: count = %d, want %d",
+				c.n, c.maxBlocks, count, c.want)
+		}
+		// CountPartitions must agree with the enumeration.
+		n, err := CountPartitions(c.n, c.maxBlocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int64(c.want) {
+			t.Errorf("CountPartitions(%d,%d) = %d, want %d",
+				c.n, c.maxBlocks, n, c.want)
+		}
+	}
+}
+
+func TestEnumeratePartitionsValidity(t *testing.T) {
+	err := EnumeratePartitions(5, 3, func(p [][]int) bool {
+		seen := make(map[int]bool)
+		if len(p) > 3 {
+			t.Fatalf("too many blocks: %v", p)
+		}
+		for _, block := range p {
+			if len(block) == 0 {
+				t.Fatalf("empty block: %v", p)
+			}
+			for _, i := range block {
+				if seen[i] {
+					t.Fatalf("duplicate item %d: %v", i, p)
+				}
+				seen[i] = true
+			}
+		}
+		if len(seen) != 5 {
+			t.Fatalf("partition does not cover: %v", p)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumeratePartitionsEarlyStop(t *testing.T) {
+	count := 0
+	err := EnumeratePartitions(6, 6, func(p [][]int) bool {
+		count++
+		return count < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+func TestEnumeratePartitionsGuards(t *testing.T) {
+	yield := func([][]int) bool { return true }
+	if err := EnumeratePartitions(0, 1, yield); err == nil {
+		t.Error("expected error for n = 0")
+	}
+	if err := EnumeratePartitions(3, 0, yield); err == nil {
+		t.Error("expected error for maxBlocks = 0")
+	}
+	if err := EnumeratePartitions(25, 3, yield); err == nil {
+		t.Error("expected refusal for huge n")
+	}
+}
+
+// TestContiguityTheorem validates the claim DESIGN.md leans on: for
+// objectives Σ_b W_b·g(C_b), with W_b the block weight sum and C_b the
+// weighted mean of per-item costs, and g strictly convex, the best
+// partition over ALL set partitions is attained by one contiguous in cost
+// order. Both demand models' optimal-bundling objectives have this form
+// (g(C) = C^{1−α} for CED, g(C) = e^{−αC} for logit's profit-monotone
+// surrogate).
+func TestContiguityTheorem(t *testing.T) {
+	type objective struct {
+		name string
+		g    func(float64) float64
+	}
+	objectives := []objective{
+		{"ced", func(c float64) float64 { return math.Pow(c, 1-1.7) }},
+		{"logit", func(c float64) float64 { return math.Exp(-1.1 * c) }},
+	}
+	for _, obj := range objectives {
+		for seed := int64(0); seed < 30; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			n := 5 + r.Intn(4) // 5..8 items
+			w := make([]float64, n)
+			c := make([]float64, n)
+			for i := range w {
+				w[i] = 0.1 + r.Float64()*5
+				c[i] = 0.1 + r.Float64()*10
+			}
+			value := func(block []int) float64 {
+				var sw, swc float64
+				for _, i := range block {
+					sw += w[i]
+					swc += w[i] * c[i]
+				}
+				return sw * obj.g(swc/sw)
+			}
+			maxBlocks := 1 + r.Intn(4)
+			// Exhaustive best over all set partitions.
+			bestExact := math.Inf(-1)
+			err := EnumeratePartitions(n, maxBlocks, func(p [][]int) bool {
+				var total float64
+				for _, block := range p {
+					total += value(block)
+				}
+				if total > bestExact {
+					bestExact = total
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// DP over cost-sorted contiguous partitions.
+			order := make([]int, n)
+			for i := range order {
+				order[i] = i
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if c[order[j]] < c[order[i]] {
+						order[i], order[j] = order[j], order[i]
+					}
+				}
+			}
+			val := func(lo, hi int) float64 {
+				return value(order[lo:hi])
+			}
+			_, bestDP, err := ContiguousDP(n, maxBlocks, val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bestDP < bestExact-1e-9*math.Abs(bestExact) {
+				t.Fatalf("%s seed %d: contiguous DP %v < exhaustive %v",
+					obj.name, seed, bestDP, bestExact)
+			}
+		}
+	}
+}

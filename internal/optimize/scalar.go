@@ -1,0 +1,86 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// Bisect finds a root of f on [lo, hi] by bisection. f(lo) and f(hi) must
+// have opposite signs (or one of them be zero). It returns the midpoint of
+// the final bracket after the interval shrinks below tol or maxIter
+// iterations elapse.
+func Bisect(f func(float64) float64, lo, hi, tol float64, maxIter int) (float64, error) {
+	if !(lo < hi) {
+		return 0, errors.New("optimize: need lo < hi")
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, errors.New("optimize: root not bracketed")
+	}
+	for i := 0; i < maxIter && hi-lo > tol; i++ {
+		mid := lo + (hi-lo)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// GoldenSection maximizes a unimodal f on [lo, hi], returning the argmax
+// and maximum. For non-unimodal f it returns a local maximum.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64, maxIter int) (x, fx float64, err error) {
+	if !(lo < hi) {
+		return 0, 0, errors.New("optimize: need lo < hi")
+	}
+	const invPhi = 0.6180339887498949 // (√5 − 1)/2
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < maxIter && b-a > tol; i++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x), nil
+}
+
+// FixedPoint iterates x ← (1−damping)·x + damping·g(x) from x0 until
+// successive iterates differ by less than tol, returning the final x.
+// damping must lie in (0, 1].
+func FixedPoint(g func(float64) float64, x0, damping, tol float64, maxIter int) (float64, error) {
+	if !(damping > 0 && damping <= 1) {
+		return 0, errors.New("optimize: damping must be in (0, 1]")
+	}
+	x := x0
+	for i := 0; i < maxIter; i++ {
+		next := (1-damping)*x + damping*g(x)
+		if math.IsNaN(next) || math.IsInf(next, 0) {
+			return 0, errors.New("optimize: fixed-point iteration diverged")
+		}
+		if math.Abs(next-x) < tol {
+			return next, nil
+		}
+		x = next
+	}
+	return x, errors.New("optimize: fixed point did not converge")
+}

@@ -1,0 +1,132 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBisectFindsRoot(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	root, err := Bisect(f, 0, 2, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Fatalf("root = %v, want √2", root)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if root, err := Bisect(f, 0, 1, 1e-12, 100); err != nil || root != 0 {
+		t.Fatalf("root = %v err = %v, want lo endpoint", root, err)
+	}
+	if root, err := Bisect(f, -1, 0, 1e-12, 100); err != nil || root != 0 {
+		t.Fatalf("root = %v err = %v, want hi endpoint", root, err)
+	}
+}
+
+func TestBisectErrors(t *testing.T) {
+	f := func(x float64) float64 { return 1 }
+	if _, err := Bisect(f, 0, 1, 1e-12, 100); err == nil {
+		t.Error("expected bracketing error")
+	}
+	if _, err := Bisect(f, 1, 0, 1e-12, 100); err == nil {
+		t.Error("expected lo < hi error")
+	}
+}
+
+func TestGoldenSectionMaximizes(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 3) * (x - 3) }
+	x, fx, err := GoldenSection(f, 0, 10, 1e-10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-3) > 1e-6 || math.Abs(fx) > 1e-10 {
+		t.Fatalf("argmax = %v (f = %v), want 3 (0)", x, fx)
+	}
+}
+
+func TestGoldenSectionErrors(t *testing.T) {
+	if _, _, err := GoldenSection(func(x float64) float64 { return x }, 1, 0, 1e-9, 10); err == nil {
+		t.Error("expected lo < hi error")
+	}
+}
+
+func TestFixedPointConverges(t *testing.T) {
+	// x = cos(x) has a unique fixed point ≈ 0.739085.
+	x, err := FixedPoint(math.Cos, 0.5, 1.0, 1e-12, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-0.7390851332151607) > 1e-9 {
+		t.Fatalf("fixed point = %v", x)
+	}
+}
+
+func TestFixedPointDampingStabilizes(t *testing.T) {
+	// g(x) = 2.8·x·(1−x) (logistic map) oscillates undamped at some
+	// starts but converges with damping.
+	g := func(x float64) float64 { return 2.8 * x * (1 - x) }
+	x, err := FixedPoint(g, 0.2, 0.5, 1e-12, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 1/2.8
+	if math.Abs(x-want) > 1e-9 {
+		t.Fatalf("fixed point = %v, want %v", x, want)
+	}
+}
+
+func TestFixedPointErrors(t *testing.T) {
+	if _, err := FixedPoint(math.Cos, 0, 0, 1e-9, 10); err == nil {
+		t.Error("expected damping error")
+	}
+	div := func(x float64) float64 { return math.Inf(1) }
+	if _, err := FixedPoint(div, 1, 1, 1e-9, 10); err == nil {
+		t.Error("expected divergence error")
+	}
+	slow := func(x float64) float64 { return x + 1 }
+	if _, err := FixedPoint(slow, 0, 1, 1e-9, 5); err == nil {
+		t.Error("expected non-convergence error")
+	}
+}
+
+func TestGradientAscentQuadratic(t *testing.T) {
+	// f(x, y) = −(x−1)² − 2(y+2)², max at (1, −2).
+	f := func(x []float64) float64 {
+		return -(x[0]-1)*(x[0]-1) - 2*(x[1]+2)*(x[1]+2)
+	}
+	x, fx, err := GradientAscent(f, []float64{10, 10}, GradientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]+2) > 1e-3 {
+		t.Fatalf("argmax = %v, want (1, -2)", x)
+	}
+	if fx < -1e-5 {
+		t.Fatalf("max value = %v, want ~0", fx)
+	}
+}
+
+func TestGradientAscentRespectsLowerBound(t *testing.T) {
+	// Unconstrained max at x = −5; with Lower = 0 the solution is 0.
+	f := func(x []float64) float64 { return -(x[0] + 5) * (x[0] + 5) }
+	x, _, err := GradientAscent(f, []float64{3}, GradientConfig{Lower: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] < 0 || x[0] > 1e-3 {
+		t.Fatalf("bounded argmax = %v, want ~0", x[0])
+	}
+}
+
+func TestGradientAscentErrors(t *testing.T) {
+	if _, _, err := GradientAscent(func([]float64) float64 { return 0 }, nil, GradientConfig{}); err == nil {
+		t.Error("expected error for empty start")
+	}
+	if _, _, err := GradientAscent(func([]float64) float64 { return math.NaN() },
+		[]float64{1}, GradientConfig{}); err == nil {
+		t.Error("expected error for NaN objective")
+	}
+}

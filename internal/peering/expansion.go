@@ -1,0 +1,111 @@
+package peering
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/topology"
+)
+
+// This file models the §2.2.2 operational loop: "Some operators we
+// interviewed confirm that they periodically re-evaluate transit bills
+// and expand their backbone coverage if they find that having own
+// presence in an IXP pays off." Given a customer's traffic, the blended
+// rate it pays, and a set of candidate exchange points, the planner
+// ranks which IXP builds pay for themselves.
+
+// Candidate is an exchange point the customer could build a private link
+// to.
+type Candidate struct {
+	// City locates the IXP.
+	City topology.City
+	// LinkMonthly is the amortized monthly cost of the private link from
+	// the customer's PoP to this IXP (the numerator of c_direct).
+	LinkMonthly float64
+	// Radius is the reach of the exchange's peering fabric in miles:
+	// destinations within it are served over the link instead of transit.
+	Radius float64
+}
+
+// Build is the evaluation of one candidate.
+type Build struct {
+	IXP string
+	// OffloadMbps is the traffic the build diverts from transit.
+	OffloadMbps float64
+	// DirectUnitCost is c_direct = LinkMonthly / OffloadMbps.
+	DirectUnitCost float64
+	// MonthlySavings is (R − c_direct) × offload; positive means the
+	// build pays off.
+	MonthlySavings float64
+	// Outcome classifies the build against the ISP's tiered floor: a
+	// profitable build can still be a market failure if the ISP could
+	// have served the traffic cheaper under tiered pricing.
+	Outcome Outcome
+}
+
+// PlanExpansion evaluates every candidate against the customer's flows.
+// dstCoords returns each flow's destination coordinates. base supplies
+// the blended rate and the ISP-side economics (cost, margin, accounting
+// overhead) used to classify profitable builds as efficient or
+// market-failure bypasses; its DirectCost field is ignored. Builds are
+// returned sorted by descending savings.
+func PlanExpansion(flows []econ.Flow, dstCoords func(i int) (lat, lon float64, err error),
+	candidates []Candidate, base Inputs) ([]Build, error) {
+	if len(flows) == 0 {
+		return nil, errors.New("peering: no flows")
+	}
+	if len(candidates) == 0 {
+		return nil, errors.New("peering: no candidates")
+	}
+	if base.BlendedRate <= 0 {
+		return nil, errors.New("peering: blended rate must be positive")
+	}
+	// Resolve all destinations once.
+	lats := make([]float64, len(flows))
+	lons := make([]float64, len(flows))
+	for i := range flows {
+		lat, lon, err := dstCoords(i)
+		if err != nil {
+			return nil, fmt.Errorf("peering: flow %q: %w", flows[i].ID, err)
+		}
+		lats[i], lons[i] = lat, lon
+	}
+
+	builds := make([]Build, 0, len(candidates))
+	for _, c := range candidates {
+		if c.LinkMonthly <= 0 || c.Radius <= 0 {
+			return nil, fmt.Errorf("peering: candidate %q needs positive link cost and radius", c.City.Name)
+		}
+		var offload float64
+		for i, f := range flows {
+			if topology.HaversineMiles(c.City.Lat, c.City.Lon, lats[i], lons[i]) <= c.Radius {
+				offload += f.Demand
+			}
+		}
+		b := Build{IXP: c.City.Name, OffloadMbps: offload}
+		if offload == 0 {
+			b.DirectUnitCost = 0
+			b.Outcome = StayWithISP
+			builds = append(builds, b)
+			continue
+		}
+		b.DirectUnitCost = c.LinkMonthly / offload
+		in := base
+		in.DirectCost = b.DirectUnitCost
+		outcome, err := Decide(in)
+		if err != nil {
+			return nil, fmt.Errorf("peering: candidate %q: %w", c.City.Name, err)
+		}
+		b.Outcome = outcome
+		if outcome != StayWithISP {
+			b.MonthlySavings = (base.BlendedRate - b.DirectUnitCost) * offload
+		}
+		builds = append(builds, b)
+	}
+	sort.SliceStable(builds, func(i, j int) bool {
+		return builds[i].MonthlySavings > builds[j].MonthlySavings
+	})
+	return builds, nil
+}

@@ -1,0 +1,118 @@
+package peering
+
+import (
+	"errors"
+	"testing"
+
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/topology"
+)
+
+// Two destination clusters: "near" at (0,0) with heavy demand and "far"
+// at (0,30) with light demand.
+func expansionFixture() ([]econ.Flow, func(int) (float64, float64, error)) {
+	flows := []econ.Flow{
+		{ID: "near1", Demand: 500},
+		{ID: "near2", Demand: 300},
+		{ID: "far1", Demand: 20},
+	}
+	coords := func(i int) (float64, float64, error) {
+		if i < 2 {
+			return 0, 0, nil
+		}
+		return 0, 30, nil
+	}
+	return flows, coords
+}
+
+func expansionBase() Inputs {
+	return Inputs{BlendedRate: 20, ISPCost: 5, Margin: 0.3, AccountingOverhead: 1}
+}
+
+func TestPlanExpansionRanksBySavings(t *testing.T) {
+	flows, coords := expansionFixture()
+	candidates := []Candidate{
+		{City: topology.City{Name: "NearIXP", Lat: 0, Lon: 0}, LinkMonthly: 4000, Radius: 50},
+		{City: topology.City{Name: "FarIXP", Lat: 0, Lon: 30}, LinkMonthly: 4000, Radius: 50},
+	}
+	builds, err := PlanExpansion(flows, coords, candidates, expansionBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds[0].IXP != "NearIXP" {
+		t.Fatalf("best build = %+v, want NearIXP first", builds[0])
+	}
+	// NearIXP: offload 800 Mbps, c_direct = 5 → saves (20−5)·800 = 12000.
+	if builds[0].OffloadMbps != 800 {
+		t.Fatalf("offload = %v", builds[0].OffloadMbps)
+	}
+	if builds[0].DirectUnitCost != 5 || builds[0].MonthlySavings != 12000 {
+		t.Fatalf("build = %+v", builds[0])
+	}
+	// c_direct = 5 is below the tiered floor 7.5: efficient bypass.
+	if builds[0].Outcome != EfficientBypass {
+		t.Fatalf("outcome = %v", builds[0].Outcome)
+	}
+	// FarIXP: offload 20 Mbps, c_direct = 200 > R: stay.
+	if builds[1].Outcome != StayWithISP || builds[1].MonthlySavings != 0 {
+		t.Fatalf("far build = %+v", builds[1])
+	}
+}
+
+func TestPlanExpansionMarketFailureBand(t *testing.T) {
+	flows, coords := expansionFixture()
+	// Link priced so c_direct lands between the tiered floor (7.5) and R
+	// (20): the build pays off privately but is a market failure.
+	candidates := []Candidate{
+		{City: topology.City{Name: "IXP", Lat: 0, Lon: 0}, LinkMonthly: 8000, Radius: 50},
+	}
+	builds, err := PlanExpansion(flows, coords, candidates, expansionBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds[0].DirectUnitCost != 10 {
+		t.Fatalf("c_direct = %v", builds[0].DirectUnitCost)
+	}
+	if builds[0].Outcome != MarketFailure {
+		t.Fatalf("outcome = %v, want market failure", builds[0].Outcome)
+	}
+	if builds[0].MonthlySavings != (20-10)*800 {
+		t.Fatalf("savings = %v", builds[0].MonthlySavings)
+	}
+}
+
+func TestPlanExpansionZeroOffload(t *testing.T) {
+	flows, coords := expansionFixture()
+	candidates := []Candidate{
+		{City: topology.City{Name: "Nowhere", Lat: 80, Lon: 170}, LinkMonthly: 100, Radius: 10},
+	}
+	builds, err := PlanExpansion(flows, coords, candidates, expansionBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds[0].OffloadMbps != 0 || builds[0].Outcome != StayWithISP {
+		t.Fatalf("build = %+v", builds[0])
+	}
+}
+
+func TestPlanExpansionErrors(t *testing.T) {
+	flows, coords := expansionFixture()
+	good := []Candidate{{City: topology.City{Name: "X"}, LinkMonthly: 1, Radius: 1}}
+	if _, err := PlanExpansion(nil, coords, good, expansionBase()); err == nil {
+		t.Error("expected error for no flows")
+	}
+	if _, err := PlanExpansion(flows, coords, nil, expansionBase()); err == nil {
+		t.Error("expected error for no candidates")
+	}
+	if _, err := PlanExpansion(flows, coords, good, Inputs{}); err == nil {
+		t.Error("expected error for zero blended rate")
+	}
+	bad := []Candidate{{City: topology.City{Name: "X"}, LinkMonthly: 0, Radius: 1}}
+	if _, err := PlanExpansion(flows, coords, bad, expansionBase()); err == nil {
+		t.Error("expected error for zero link cost")
+	}
+	badCoords := func(int) (float64, float64, error) { return 0, 0, errors.New("boom") }
+	if _, err := PlanExpansion(flows, badCoords, good, expansionBase()); err == nil {
+		t.Error("expected coordinate error to propagate")
+	}
+}

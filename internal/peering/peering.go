@@ -1,0 +1,142 @@
+// Package peering models the direct-peering economics of §2.2.2 and
+// Figure 2 of the paper: a customer (e.g. a CDN with its own backbone)
+// served at a blended rate R will procure a private link to a nearby
+// exchange point whenever the link's amortized cost c_direct undercuts R;
+// when c_direct still exceeds what the ISP could profitably have charged
+// under tiered pricing — (M+1)·c_ISP + A, with profit margin M and
+// accounting overhead A — the bypass is a market failure: capacity is
+// deployed at higher social cost than necessary.
+package peering
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Inputs describe one customer/ISP interaction at a candidate IXP.
+type Inputs struct {
+	// BlendedRate is the ISP's single rate R ($/Mbps/month).
+	BlendedRate float64
+	// ISPCost is the ISP's amortized unit cost c_ISP of carrying the
+	// candidate traffic (e.g. the NYC–Boston flows of Figure 2).
+	ISPCost float64
+	// Margin is the ISP's profit margin M (e.g. 0.3 for 30%).
+	Margin float64
+	// AccountingOverhead is the per-unit overhead A of implementing the
+	// tiered accounting that would be needed to price this traffic
+	// separately (§5.2).
+	AccountingOverhead float64
+	// DirectCost is the customer's amortized unit cost c_direct of
+	// procuring the private link.
+	DirectCost float64
+}
+
+// Outcome classifies one interaction.
+type Outcome int
+
+// Outcome values.
+const (
+	// StayWithISP: the blended rate beats the direct link.
+	StayWithISP Outcome = iota
+	// EfficientBypass: the customer peers directly AND beats any price
+	// the ISP could profitably offer — the bypass is efficient.
+	EfficientBypass
+	// MarketFailure: the customer peers directly although the ISP could
+	// have served the traffic cheaper under tiered pricing — surplus is
+	// destroyed by the blended-rate structure.
+	MarketFailure
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case StayWithISP:
+		return "stay"
+	case EfficientBypass:
+		return "efficient-bypass"
+	case MarketFailure:
+		return "market-failure"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// TieredFloor returns the lowest rate the ISP can profitably charge for
+// the traffic under tiered pricing: (M+1)·c_ISP + A.
+func (in Inputs) TieredFloor() float64 {
+	return (in.Margin+1)*in.ISPCost + in.AccountingOverhead
+}
+
+// Validate checks the inputs.
+func (in Inputs) Validate() error {
+	if in.BlendedRate <= 0 {
+		return errors.New("peering: blended rate must be positive")
+	}
+	if in.ISPCost <= 0 {
+		return errors.New("peering: ISP cost must be positive")
+	}
+	if in.Margin < 0 {
+		return errors.New("peering: margin must be non-negative")
+	}
+	if in.AccountingOverhead < 0 {
+		return errors.New("peering: accounting overhead must be non-negative")
+	}
+	if in.DirectCost <= 0 {
+		return errors.New("peering: direct cost must be positive")
+	}
+	return nil
+}
+
+// Decide classifies the interaction per §2.2.2: the customer bypasses
+// when c_direct < R; the bypass is a market failure when additionally
+// c_direct > (M+1)·c_ISP + A.
+func Decide(in Inputs) (Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	if in.DirectCost >= in.BlendedRate {
+		return StayWithISP, nil
+	}
+	if in.DirectCost > in.TieredFloor() {
+		return MarketFailure, nil
+	}
+	return EfficientBypass, nil
+}
+
+// SweepPoint is one point of the Figure 2 counterfactual sweep.
+type SweepPoint struct {
+	DirectCost float64
+	Outcome    Outcome
+	// ISPRevenueLoss is the revenue the ISP forgoes when the customer
+	// bypasses (R per unit), zero otherwise.
+	ISPRevenueLoss float64
+	// WelfareLoss is the extra unit cost society pays in the
+	// market-failure region (c_direct − tiered floor), zero otherwise.
+	WelfareLoss float64
+}
+
+// Sweep evaluates Decide over a range of direct-link costs, tracing out
+// the stay / failure / efficient-bypass regions of Figure 2.
+func Sweep(base Inputs, directCosts []float64) ([]SweepPoint, error) {
+	if len(directCosts) == 0 {
+		return nil, errors.New("peering: empty sweep")
+	}
+	out := make([]SweepPoint, 0, len(directCosts))
+	for _, c := range directCosts {
+		in := base
+		in.DirectCost = c
+		outcome, err := Decide(in)
+		if err != nil {
+			return nil, err
+		}
+		p := SweepPoint{DirectCost: c, Outcome: outcome}
+		if outcome != StayWithISP {
+			p.ISPRevenueLoss = base.BlendedRate
+		}
+		if outcome == MarketFailure {
+			p.WelfareLoss = c - in.TieredFloor()
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package peering
+
+import (
+	"testing"
+)
+
+func base() Inputs {
+	return Inputs{
+		BlendedRate:        20,
+		ISPCost:            5,
+		Margin:             0.3,
+		AccountingOverhead: 1,
+		DirectCost:         10,
+	}
+}
+
+func TestTieredFloor(t *testing.T) {
+	in := base()
+	// (0.3+1)·5 + 1 = 7.5
+	if got := in.TieredFloor(); got != 7.5 {
+		t.Fatalf("floor = %v, want 7.5", got)
+	}
+}
+
+func TestDecideRegions(t *testing.T) {
+	cases := []struct {
+		direct float64
+		want   Outcome
+	}{
+		{25, StayWithISP},   // direct link costs more than the blend
+		{20, StayWithISP},   // indifferent: stays
+		{10, MarketFailure}, // below R but above the tiered floor
+		{7.5001, MarketFailure},
+		{7.4, EfficientBypass}, // cheaper than any profitable ISP offer
+		{1, EfficientBypass},
+	}
+	for _, c := range cases {
+		in := base()
+		in.DirectCost = c.direct
+		got, err := Decide(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("direct=%v: outcome %v, want %v", c.direct, got, c.want)
+		}
+	}
+}
+
+func TestDecideValidation(t *testing.T) {
+	bads := []func(*Inputs){
+		func(in *Inputs) { in.BlendedRate = 0 },
+		func(in *Inputs) { in.ISPCost = -1 },
+		func(in *Inputs) { in.Margin = -0.1 },
+		func(in *Inputs) { in.AccountingOverhead = -1 },
+		func(in *Inputs) { in.DirectCost = 0 },
+	}
+	for i, mod := range bads {
+		in := base()
+		mod(&in)
+		if _, err := Decide(in); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if StayWithISP.String() != "stay" ||
+		EfficientBypass.String() != "efficient-bypass" ||
+		MarketFailure.String() != "market-failure" {
+		t.Error("outcome names wrong")
+	}
+	if Outcome(9).String() == "" {
+		t.Error("unknown outcome should still print")
+	}
+}
+
+func TestSweepRegionsOrdered(t *testing.T) {
+	in := base()
+	var costs []float64
+	for c := 1.0; c <= 25; c += 0.5 {
+		costs = append(costs, c)
+	}
+	points, err := Sweep(in, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// As direct cost rises the outcome must progress
+	// efficient-bypass → market-failure → stay, monotonically.
+	stage := EfficientBypass
+	for _, p := range points {
+		switch p.Outcome {
+		case EfficientBypass:
+			if stage != EfficientBypass {
+				t.Fatalf("efficient bypass after %v at c=%v", stage, p.DirectCost)
+			}
+		case MarketFailure:
+			if stage == StayWithISP {
+				t.Fatalf("market failure after stay at c=%v", p.DirectCost)
+			}
+			stage = MarketFailure
+		case StayWithISP:
+			stage = StayWithISP
+		}
+	}
+	// All three regions must appear for these inputs.
+	seen := map[Outcome]bool{}
+	for _, p := range points {
+		seen[p.Outcome] = true
+	}
+	for _, o := range []Outcome{StayWithISP, MarketFailure, EfficientBypass} {
+		if !seen[o] {
+			t.Errorf("region %v missing from sweep", o)
+		}
+	}
+}
+
+func TestSweepLosses(t *testing.T) {
+	in := base()
+	points, err := Sweep(in, []float64{25, 10, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].ISPRevenueLoss != 0 || points[0].WelfareLoss != 0 {
+		t.Errorf("stay point has losses: %+v", points[0])
+	}
+	if points[1].ISPRevenueLoss != 20 {
+		t.Errorf("failure point revenue loss = %v", points[1].ISPRevenueLoss)
+	}
+	if points[1].WelfareLoss != 10-7.5 {
+		t.Errorf("failure point welfare loss = %v", points[1].WelfareLoss)
+	}
+	if points[2].WelfareLoss != 0 || points[2].ISPRevenueLoss != 20 {
+		t.Errorf("efficient bypass point = %+v", points[2])
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	if _, err := Sweep(base(), nil); err == nil {
+		t.Error("expected error for empty sweep")
+	}
+}

@@ -1,0 +1,151 @@
+// Package products encodes the paper's §2.1 taxonomy of wholesale
+// transit offerings as bundling rules, so the product structures ISPs
+// actually sell — blended transit, paid peering, backplane peering,
+// regional pricing — can be evaluated with the same counterfactual
+// machinery as the paper's algorithmic strategies. The paper speculates
+// that "the bundling strategies described above arose primarily from
+// operational and cost considerations"; this package quantifies what
+// profit each leaves on the table.
+package products
+
+import (
+	"errors"
+	"fmt"
+
+	"tieredpricing/internal/econ"
+)
+
+// Offering is one §2.1 product structure: a rule mapping a fitted flow
+// set to the fixed tier partition the product sells. Unlike
+// bundling.Strategy, an Offering has no free bundle-count parameter —
+// the product defines its own tiers.
+type Offering interface {
+	// Name is the taxonomy name used in §2.1.
+	Name() string
+	// Tiers partitions the flows as the product would.
+	Tiers(flows []econ.Flow) ([][]int, error)
+}
+
+// BlendedTransit is conventional transit: one blended rate for all
+// destinations.
+type BlendedTransit struct{}
+
+// Name implements Offering.
+func (BlendedTransit) Name() string { return "blended transit" }
+
+// Tiers implements Offering.
+func (BlendedTransit) Tiers(flows []econ.Flow) ([][]int, error) {
+	if len(flows) == 0 {
+		return nil, errors.New("products: no flows")
+	}
+	return [][]int{all(len(flows))}, nil
+}
+
+// PaidPeering sells on-net routes (destinations inside the ISP's own
+// customer base) at one rate and off-net transit at another — the
+// product that spawned the §2.2 controversies.
+type PaidPeering struct{}
+
+// Name implements Offering.
+func (PaidPeering) Name() string { return "paid peering" }
+
+// Tiers implements Offering.
+func (PaidPeering) Tiers(flows []econ.Flow) ([][]int, error) {
+	return splitBy(flows, func(f econ.Flow) int {
+		if f.OnNet {
+			return 0
+		}
+		return 1
+	}, "paid peering needs both on-net and off-net flows")
+}
+
+// BackplanePeering sells a discount rate for traffic the ISP can offload
+// to its peers at the local exchange, and a backbone rate for the rest.
+// Offloadable traffic is the set of destinations within OffloadRadius
+// miles — the reach of the exchange's peering fabric.
+type BackplanePeering struct {
+	// OffloadRadius is the distance (miles) within which destinations
+	// are reachable via exchange peers; zero selects 100 miles.
+	OffloadRadius float64
+}
+
+// Name implements Offering.
+func (BackplanePeering) Name() string { return "backplane peering" }
+
+// Tiers implements Offering.
+func (o BackplanePeering) Tiers(flows []econ.Flow) ([][]int, error) {
+	radius := o.OffloadRadius
+	if radius == 0 {
+		radius = 100
+	}
+	if radius < 0 {
+		return nil, errors.New("products: negative offload radius")
+	}
+	return splitBy(flows, func(f econ.Flow) int {
+		if f.Distance < radius {
+			return 0
+		}
+		return 1
+	}, "backplane peering needs flows on both sides of the offload radius")
+}
+
+// RegionalPricing sells one rate per destination region
+// (metro/national/international) — the §2.1 "regional pricing" product
+// at its coarsest common granularity.
+type RegionalPricing struct{}
+
+// Name implements Offering.
+func (RegionalPricing) Name() string { return "regional pricing" }
+
+// Tiers implements Offering.
+func (RegionalPricing) Tiers(flows []econ.Flow) ([][]int, error) {
+	return splitBy(flows, func(f econ.Flow) int {
+		return int(f.Region)
+	}, "regional pricing needs at least two regions")
+}
+
+// All returns the §2.1 taxonomy in presentation order.
+func All() []Offering {
+	return []Offering{
+		BlendedTransit{}, PaidPeering{}, BackplanePeering{}, RegionalPricing{},
+	}
+}
+
+// splitBy partitions flows by a class function, dropping empty classes
+// and rejecting degenerate single-class splits.
+func splitBy(flows []econ.Flow, classOf func(econ.Flow) int, degenerate string) ([][]int, error) {
+	if len(flows) == 0 {
+		return nil, errors.New("products: no flows")
+	}
+	groups := map[int][]int{}
+	maxClass := 0
+	for i, f := range flows {
+		c := classOf(f)
+		if c < 0 {
+			return nil, fmt.Errorf("products: negative class for flow %q", f.ID)
+		}
+		groups[c] = append(groups[c], i)
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	var out [][]int
+	for c := 0; c <= maxClass; c++ {
+		if len(groups[c]) > 0 {
+			out = append(out, groups[c])
+		}
+	}
+	if len(out) < 2 {
+		return nil, errors.New("products: " + degenerate)
+	}
+	return out, nil
+}
+
+// all returns [0..n).
+func all(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

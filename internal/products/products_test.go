@@ -1,0 +1,138 @@
+package products
+
+import (
+	"testing"
+
+	"tieredpricing/internal/econ"
+)
+
+func sampleFlows() []econ.Flow {
+	return []econ.Flow{
+		{ID: "a", Demand: 10, Distance: 5, Region: econ.RegionMetro, OnNet: true, Valuation: 1, Cost: 1},
+		{ID: "b", Demand: 5, Distance: 40, Region: econ.RegionNational, OnNet: true, Valuation: 1, Cost: 2},
+		{ID: "c", Demand: 3, Distance: 400, Region: econ.RegionNational, Valuation: 1, Cost: 3},
+		{ID: "d", Demand: 1, Distance: 4000, Region: econ.RegionInternational, Valuation: 1, Cost: 5},
+	}
+}
+
+func checkCover(t *testing.T, n int, parts [][]int) {
+	t.Helper()
+	seen := make([]bool, n)
+	for _, block := range parts {
+		if len(block) == 0 {
+			t.Fatalf("empty block in %v", parts)
+		}
+		for _, i := range block {
+			if seen[i] {
+				t.Fatalf("duplicate index %d in %v", i, parts)
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("flow %d uncovered in %v", i, parts)
+		}
+	}
+}
+
+func TestBlendedTransit(t *testing.T) {
+	parts, err := BlendedTransit{}.Tiers(sampleFlows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || len(parts[0]) != 4 {
+		t.Fatalf("parts = %v", parts)
+	}
+	if _, err := (BlendedTransit{}).Tiers(nil); err == nil {
+		t.Error("expected error for no flows")
+	}
+}
+
+func TestPaidPeeringSplitsByOnNet(t *testing.T) {
+	flows := sampleFlows()
+	parts, err := PaidPeering{}.Tiers(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, 4, parts)
+	if len(parts) != 2 {
+		t.Fatalf("parts = %v", parts)
+	}
+	for _, i := range parts[0] {
+		if !flows[i].OnNet {
+			t.Fatalf("tier 0 should be on-net: %v", parts)
+		}
+	}
+	for _, i := range parts[1] {
+		if flows[i].OnNet {
+			t.Fatalf("tier 1 should be off-net: %v", parts)
+		}
+	}
+	// Degenerate: all off-net.
+	uniform := sampleFlows()
+	for i := range uniform {
+		uniform[i].OnNet = false
+	}
+	if _, err := (PaidPeering{}).Tiers(uniform); err == nil {
+		t.Error("expected error for single-class market")
+	}
+}
+
+func TestBackplanePeeringSplitsByRadius(t *testing.T) {
+	flows := sampleFlows()
+	parts, err := BackplanePeering{}.Tiers(flows) // default 100-mile radius
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, 4, parts)
+	if len(parts[0]) != 2 {
+		t.Fatalf("offload tier = %v, want the two local flows", parts[0])
+	}
+	// Custom radius.
+	parts, err = BackplanePeering{OffloadRadius: 10}.Tiers(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts[0]) != 1 || parts[0][0] != 0 {
+		t.Fatalf("10-mile offload tier = %v", parts[0])
+	}
+	if _, err := (BackplanePeering{OffloadRadius: -1}).Tiers(flows); err == nil {
+		t.Error("expected error for negative radius")
+	}
+	if _, err := (BackplanePeering{OffloadRadius: 1e9}).Tiers(flows); err == nil {
+		t.Error("expected error when everything is offloadable")
+	}
+}
+
+func TestRegionalPricingThreeTiers(t *testing.T) {
+	flows := sampleFlows()
+	parts, err := RegionalPricing{}.Tiers(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCover(t, 4, parts)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %v, want 3 regions", parts)
+	}
+	// Tiers come out in region order: metro, national, international.
+	if parts[0][0] != 0 || len(parts[1]) != 2 || parts[2][0] != 3 {
+		t.Fatalf("region grouping wrong: %v", parts)
+	}
+}
+
+func TestAllOfferingsOnRealDatasetShape(t *testing.T) {
+	// Offerings must produce valid partitions on flows that carry all
+	// three attributes.
+	flows := sampleFlows()
+	for _, o := range All() {
+		parts, err := o.Tiers(flows)
+		if err != nil {
+			t.Fatalf("%s: %v", o.Name(), err)
+		}
+		checkCover(t, len(flows), parts)
+	}
+	if len(All()) != 4 {
+		t.Errorf("taxonomy has %d products", len(All()))
+	}
+}

@@ -1,0 +1,189 @@
+// Package routing implements the customer-side half of §5.1: once an
+// upstream tags its routes with pricing tiers, "the customer can then use
+// the tag to make routing decisions. For example, if a route is tagged as
+// an expensive long-distance route, the customer might choose to use its
+// own backbone to get closer to destination instead of performing the
+// default 'hot-potato' routing."
+//
+// A Planner owns the customer's backbone topology and, for every
+// destination, weighs the default hand-off at the origin PoP (hot potato)
+// against hauling the traffic across its own backbone to an egress PoP
+// where the upstream's tier price is lower (cold potato).
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/topology"
+)
+
+// Quote returns the upstream's price ($/Mbps/month) for delivering
+// traffic handed off at the given egress PoP to a destination at the
+// given coordinates.
+type Quote func(egress topology.City, dstLat, dstLon float64) (float64, error)
+
+// Planner chooses the cheapest egress per destination.
+type Planner struct {
+	// Backbone is the customer's own network.
+	Backbone *topology.Graph
+	// Origin is the PoP where traffic enters the backbone (hot-potato
+	// hand-off point).
+	Origin string
+	// InternalCostPerMbpsMile is the amortized cost of carrying 1 Mbps
+	// one mile on the customer's own backbone, in $/month.
+	InternalCostPerMbpsMile float64
+}
+
+// Decision is the plan for one destination flow.
+type Decision struct {
+	FlowID string
+	// Egress is the chosen hand-off PoP.
+	Egress string
+	// HotPotatoCost is the $/Mbps cost of handing off at the origin.
+	HotPotatoCost float64
+	// ChosenCost is the $/Mbps cost of the chosen egress (upstream price
+	// plus internal haul).
+	ChosenCost float64
+	// ColdPotato is true when the chosen egress differs from the origin.
+	ColdPotato bool
+}
+
+// Summary aggregates a plan over the demand distribution.
+type Summary struct {
+	// HotPotatoMonthly and PlannedMonthly are total $/month at observed
+	// demands.
+	HotPotatoMonthly float64
+	PlannedMonthly   float64
+	// SavingsFraction is 1 − Planned/HotPotato.
+	SavingsFraction float64
+	// ColdPotatoFlows counts destinations routed via a remote egress.
+	ColdPotatoFlows int
+}
+
+// Plan evaluates every flow. dstCoords returns the destination
+// coordinates for flow i (from GeoIP or the trace metadata).
+func (p *Planner) Plan(flows []econ.Flow, dstCoords func(i int) (lat, lon float64, err error),
+	quote Quote) ([]Decision, Summary, error) {
+	if p.Backbone == nil {
+		return nil, Summary{}, errors.New("routing: planner needs a backbone graph")
+	}
+	if p.InternalCostPerMbpsMile < 0 {
+		return nil, Summary{}, errors.New("routing: negative internal cost")
+	}
+	origin, ok := p.Backbone.City(p.Origin)
+	if !ok {
+		return nil, Summary{}, fmt.Errorf("routing: origin %q not in backbone", p.Origin)
+	}
+	if len(flows) == 0 {
+		return nil, Summary{}, errors.New("routing: no flows")
+	}
+
+	// Haul cost from the origin to every candidate egress.
+	type egress struct {
+		city topology.City
+		haul float64 // $/Mbps
+	}
+	var egresses []egress
+	for _, c := range p.Backbone.Cities() {
+		var miles float64
+		if c.Name != origin.Name {
+			path, err := p.Backbone.ShortestPath(origin.Name, c.Name)
+			if err != nil {
+				continue // unreachable PoPs are not candidates
+			}
+			miles = path.Miles
+		}
+		egresses = append(egresses, egress{city: c, haul: miles * p.InternalCostPerMbpsMile})
+	}
+
+	decisions := make([]Decision, len(flows))
+	var summary Summary
+	for i, f := range flows {
+		lat, lon, err := dstCoords(i)
+		if err != nil {
+			return nil, Summary{}, fmt.Errorf("routing: flow %q: %w", f.ID, err)
+		}
+		hot, err := quote(origin, lat, lon)
+		if err != nil {
+			return nil, Summary{}, fmt.Errorf("routing: quoting %q at origin: %w", f.ID, err)
+		}
+		best := Decision{FlowID: f.ID, Egress: origin.Name, HotPotatoCost: hot, ChosenCost: hot}
+		for _, e := range egresses {
+			price, err := quote(e.city, lat, lon)
+			if err != nil {
+				return nil, Summary{}, fmt.Errorf("routing: quoting %q at %s: %w", f.ID, e.city.Name, err)
+			}
+			if c := price + e.haul; c < best.ChosenCost {
+				best.ChosenCost = c
+				best.Egress = e.city.Name
+				best.ColdPotato = e.city.Name != origin.Name
+			}
+		}
+		decisions[i] = best
+		summary.HotPotatoMonthly += hot * f.Demand
+		summary.PlannedMonthly += best.ChosenCost * f.Demand
+		if best.ColdPotato {
+			summary.ColdPotatoFlows++
+		}
+	}
+	if summary.HotPotatoMonthly > 0 {
+		summary.SavingsFraction = 1 - summary.PlannedMonthly/summary.HotPotatoMonthly
+	}
+	return decisions, summary, nil
+}
+
+// BandQuote builds a Quote from a tier structure: each tier's distance
+// band is the [min, max] distance of its member flows, and a query is
+// priced at the tier whose band contains the egress→destination
+// distance (nearest band edge for gaps). This is exactly the information
+// the §5.1 tier tags expose to the customer.
+func BandQuote(flows []econ.Flow, partition [][]int, prices []float64) (Quote, error) {
+	if len(partition) == 0 || len(partition) != len(prices) {
+		return nil, errors.New("routing: partition/prices mismatch")
+	}
+	type band struct {
+		lo, hi, price float64
+	}
+	bands := make([]band, 0, len(partition))
+	for b, block := range partition {
+		if len(block) == 0 {
+			return nil, fmt.Errorf("routing: empty tier %d", b)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, i := range block {
+			if i < 0 || i >= len(flows) {
+				return nil, fmt.Errorf("routing: tier %d references flow %d", b, i)
+			}
+			lo = math.Min(lo, flows[i].Distance)
+			hi = math.Max(hi, flows[i].Distance)
+		}
+		bands = append(bands, band{lo: lo, hi: hi, price: prices[b]})
+	}
+	sort.Slice(bands, func(i, j int) bool { return bands[i].lo < bands[j].lo })
+
+	return func(egress topology.City, dstLat, dstLon float64) (float64, error) {
+		d := topology.HaversineMiles(egress.Lat, egress.Lon, dstLat, dstLon)
+		bestPrice, bestGap := 0.0, math.Inf(1)
+		for _, bd := range bands {
+			var gap float64
+			switch {
+			case d < bd.lo:
+				gap = bd.lo - d
+			case d > bd.hi:
+				gap = d - bd.hi
+			}
+			if gap < bestGap {
+				bestGap = gap
+				bestPrice = bd.price
+			}
+			if gap == 0 {
+				break
+			}
+		}
+		return bestPrice, nil
+	}, nil
+}

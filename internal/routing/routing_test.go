@@ -1,0 +1,204 @@
+package routing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/topology"
+)
+
+// testBackbone is a 3-PoP line: West(0,0) — Mid(0,10) — East(0,20).
+func testBackbone(t *testing.T) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph()
+	for _, c := range []topology.City{
+		{Name: "West", Lat: 0, Lon: 0},
+		{Name: "Mid", Lat: 0, Lon: 10},
+		{Name: "East", Lat: 0, Lon: 20},
+	} {
+		if err := g.AddCity(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"West", "Mid"}, {"Mid", "East"}} {
+		if err := g.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// distanceQuote prices purely by egress→destination distance.
+func distanceQuote(perMile float64) Quote {
+	return func(egress topology.City, lat, lon float64) (float64, error) {
+		return perMile * topology.HaversineMiles(egress.Lat, egress.Lon, lat, lon), nil
+	}
+}
+
+func eastFlows() []econ.Flow {
+	return []econ.Flow{{ID: "east-dst", Demand: 100, Valuation: 1, Cost: 1}}
+}
+
+// eastCoords puts the destination right at the East PoP.
+func eastCoords(int) (float64, float64, error) { return 0, 20, nil }
+
+func TestPlanColdPotatoWhenBackboneCheap(t *testing.T) {
+	p := &Planner{Backbone: testBackbone(t), Origin: "West", InternalCostPerMbpsMile: 0.0001}
+	decisions, sum, err := p.Plan(eastFlows(), eastCoords, distanceQuote(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decisions[0].ColdPotato || decisions[0].Egress != "East" {
+		t.Fatalf("decision = %+v, want cold potato via East", decisions[0])
+	}
+	if !(sum.SavingsFraction > 0.5) {
+		t.Fatalf("savings = %v, want large", sum.SavingsFraction)
+	}
+	if sum.ColdPotatoFlows != 1 {
+		t.Fatalf("cold potato count = %d", sum.ColdPotatoFlows)
+	}
+}
+
+func TestPlanHotPotatoWhenBackboneExpensive(t *testing.T) {
+	p := &Planner{Backbone: testBackbone(t), Origin: "West", InternalCostPerMbpsMile: 100}
+	decisions, sum, err := p.Plan(eastFlows(), eastCoords, distanceQuote(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decisions[0].ColdPotato {
+		t.Fatalf("decision = %+v, want hot potato", decisions[0])
+	}
+	if sum.SavingsFraction != 0 {
+		t.Fatalf("savings = %v, want 0", sum.SavingsFraction)
+	}
+	if decisions[0].ChosenCost != decisions[0].HotPotatoCost {
+		t.Fatal("hot potato cost mismatch")
+	}
+}
+
+func TestPlanZeroInternalCostPicksGlobalCheapest(t *testing.T) {
+	// With a free backbone the planner must always quote from the PoP
+	// nearest the destination.
+	p := &Planner{Backbone: testBackbone(t), Origin: "West", InternalCostPerMbpsMile: 0}
+	decisions, _, err := p.Plan(eastFlows(), eastCoords, distanceQuote(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decisions[0].Egress != "East" || decisions[0].ChosenCost > 1e-6 {
+		t.Fatalf("decision = %+v, want free delivery via East", decisions[0])
+	}
+}
+
+func TestPlanNeverWorseThanHotPotato(t *testing.T) {
+	p := &Planner{Backbone: testBackbone(t), Origin: "Mid", InternalCostPerMbpsMile: 0.003}
+	flows := []econ.Flow{
+		{ID: "a", Demand: 10, Valuation: 1, Cost: 1},
+		{ID: "b", Demand: 20, Valuation: 1, Cost: 1},
+		{ID: "c", Demand: 5, Valuation: 1, Cost: 1},
+	}
+	coords := func(i int) (float64, float64, error) {
+		return float64(i * 3), float64(i * 7), nil
+	}
+	decisions, sum, err := p.Plan(flows, coords, distanceQuote(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decisions {
+		if d.ChosenCost > d.HotPotatoCost+1e-12 {
+			t.Fatalf("plan worse than hot potato: %+v", d)
+		}
+	}
+	if sum.PlannedMonthly > sum.HotPotatoMonthly+1e-9 {
+		t.Fatal("planned total exceeds hot potato total")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	g := testBackbone(t)
+	quote := distanceQuote(1)
+	if _, _, err := (&Planner{Origin: "West"}).Plan(eastFlows(), eastCoords, quote); err == nil {
+		t.Error("expected error for nil backbone")
+	}
+	if _, _, err := (&Planner{Backbone: g, Origin: "Nowhere"}).Plan(eastFlows(), eastCoords, quote); err == nil {
+		t.Error("expected error for unknown origin")
+	}
+	if _, _, err := (&Planner{Backbone: g, Origin: "West", InternalCostPerMbpsMile: -1}).Plan(eastFlows(), eastCoords, quote); err == nil {
+		t.Error("expected error for negative internal cost")
+	}
+	if _, _, err := (&Planner{Backbone: g, Origin: "West"}).Plan(nil, eastCoords, quote); err == nil {
+		t.Error("expected error for no flows")
+	}
+	badCoords := func(int) (float64, float64, error) { return 0, 0, errors.New("boom") }
+	if _, _, err := (&Planner{Backbone: g, Origin: "West"}).Plan(eastFlows(), badCoords, quote); err == nil {
+		t.Error("expected coordinate error to propagate")
+	}
+	badQuote := func(topology.City, float64, float64) (float64, error) { return 0, errors.New("no quote") }
+	if _, _, err := (&Planner{Backbone: g, Origin: "West"}).Plan(eastFlows(), eastCoords, badQuote); err == nil {
+		t.Error("expected quote error to propagate")
+	}
+}
+
+func TestBandQuote(t *testing.T) {
+	flows := []econ.Flow{
+		{ID: "m1", Distance: 5}, {ID: "m2", Distance: 20},
+		{ID: "f1", Distance: 800}, {ID: "f2", Distance: 2000},
+	}
+	partition := [][]int{{0, 1}, {2, 3}}
+	prices := []float64{10, 30}
+	quote, err := BandQuote(flows, partition, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(d float64) float64 {
+		// Egress at (0,0); destination due north at d miles.
+		lat := d / 69.055 // ≈ miles per degree latitude
+		p, err := quote(topology.City{Lat: 0, Lon: 0}, lat, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if got := at(10); got != 10 {
+		t.Errorf("price(10mi) = %v, want 10 (inside local band)", got)
+	}
+	if got := at(1500); got != 30 {
+		t.Errorf("price(1500mi) = %v, want 30 (inside far band)", got)
+	}
+	// Gap between bands: nearest edge wins.
+	if got := at(100); got != 10 {
+		t.Errorf("price(100mi) = %v, want 10 (closer to local band)", got)
+	}
+	if got := at(700); got != 30 {
+		t.Errorf("price(700mi) = %v, want 30 (closer to far band)", got)
+	}
+	// Outside all bands: clamps to the nearest.
+	if got := at(5000); got != 30 {
+		t.Errorf("price(5000mi) = %v, want 30", got)
+	}
+}
+
+func TestBandQuoteErrors(t *testing.T) {
+	flows := []econ.Flow{{Distance: 1}}
+	if _, err := BandQuote(flows, nil, nil); err == nil {
+		t.Error("expected error for empty partition")
+	}
+	if _, err := BandQuote(flows, [][]int{{0}}, []float64{1, 2}); err == nil {
+		t.Error("expected error for mismatched prices")
+	}
+	if _, err := BandQuote(flows, [][]int{{}}, []float64{1}); err == nil {
+		t.Error("expected error for empty tier")
+	}
+	if _, err := BandQuote(flows, [][]int{{5}}, []float64{1}); err == nil {
+		t.Error("expected error for out-of-range index")
+	}
+}
+
+func TestBandQuoteDegreeMath(t *testing.T) {
+	// Sanity: one degree of latitude ≈ 69 miles in the haversine model.
+	d := topology.HaversineMiles(0, 0, 1, 0)
+	if math.Abs(d-69.05) > 0.5 {
+		t.Fatalf("1° latitude = %v miles", d)
+	}
+}

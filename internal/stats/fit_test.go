@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, 2, 1e-12) || !almostEq(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := r.Float64() * 10
+		xs = append(xs, x)
+		ys = append(ys, -1.5*x+4+r.NormFloat64()*0.01)
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.Slope, -1.5, 0.01) || !almostEq(fit.Intercept, 4, 0.01) {
+		t.Fatalf("fit = %+v, want slope -1.5 intercept 4", fit)
+	}
+	if fit.R2 < 0.999 {
+		t.Fatalf("R2 = %v, want near 1", fit.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{1, 2}); err != ErrMismatch {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if _, err := FitLinear([]float64{1}, []float64{1}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("expected error for degenerate x")
+	}
+}
+
+func TestFitConcaveRecoversPaperCurve(t *testing.T) {
+	// Ground truth from the paper's ITU fit: y = 0.43·log_9.43(x) + 0.99
+	// on normalized distance x ∈ (0,1]. The identified slope is
+	// A = 0.43/ln(9.43).
+	a, b, c := 0.43, 9.43, 0.99
+	wantA := a / math.Log(b)
+	var xs, ys []float64
+	for x := 0.01; x <= 1.0; x += 0.01 {
+		xs = append(xs, x)
+		ys = append(ys, a*math.Log(x)/math.Log(b)+c)
+	}
+	fit, err := FitConcave(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fit.A, wantA, 1e-9) || !almostEq(fit.C, c, 1e-9) {
+		t.Fatalf("fit = %+v, want A=%v C=%v", fit, wantA, c)
+	}
+	// Re-expressed in the paper's base the coefficient must round-trip.
+	gotA, gotC, err := fit.InBase(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(gotA, a, 1e-9) || !almostEq(gotC, c, 1e-9) {
+		t.Fatalf("InBase = (%v, %v), want (%v, %v)", gotA, gotC, a, c)
+	}
+}
+
+func TestFitConcaveEval(t *testing.T) {
+	fit := ConcaveFit{A: 2, C: 1}
+	if !almostEq(fit.Eval(1), 1, 1e-12) {
+		t.Fatalf("Eval(1) = %v, want C", fit.Eval(1))
+	}
+	if !almostEq(fit.Eval(math.E), 3, 1e-12) {
+		t.Fatalf("Eval(e) = %v, want 3", fit.Eval(math.E))
+	}
+}
+
+func TestFitConcaveRejectsNonPositiveX(t *testing.T) {
+	if _, err := FitConcave([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for x = 0")
+	}
+	if _, err := FitConcave([]float64{-1, 1}, []float64{1, 2}); err == nil {
+		t.Error("expected error for x < 0")
+	}
+}
+
+func TestInBaseErrors(t *testing.T) {
+	fit := ConcaveFit{A: 1, C: 0}
+	if _, _, err := fit.InBase(1); err == nil {
+		t.Error("expected error for base 1")
+	}
+	if _, _, err := fit.InBase(-2); err == nil {
+		t.Error("expected error for negative base")
+	}
+}

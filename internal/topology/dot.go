@@ -1,0 +1,50 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT form, with link lengths as
+// edge labels (miles) — handy for eyeballing the preset topologies:
+//
+//	go run ./cmd/tiersim ... or
+//	dot -Tsvg <(program output) > topo.svg
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", title)
+	b.WriteString("  layout=neato;\n  node [shape=ellipse, fontsize=10];\n  edge [fontsize=8];\n")
+	for _, c := range g.Cities() {
+		// Longitude/latitude as layout hints (scaled for readability).
+		fmt.Fprintf(&b, "  %q [pos=\"%.2f,%.2f!\"];\n", c.Name, c.Lon/3, c.Lat/3)
+	}
+	// Emit each undirected link once, in deterministic order.
+	type link struct {
+		a, b  string
+		miles float64
+	}
+	var links []link
+	for i, adj := range g.adj {
+		from := g.cities[i].Name
+		for _, e := range adj {
+			to := g.cities[e.to].Name
+			if from < to {
+				links = append(links, link{a: from, b: to, miles: e.length})
+			}
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].a != links[j].a {
+			return links[i].a < links[j].a
+		}
+		return links[i].b < links[j].b
+	})
+	for _, l := range links {
+		fmt.Fprintf(&b, "  %q -- %q [label=\"%.0f mi\"];\n", l.a, l.b, l.miles)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

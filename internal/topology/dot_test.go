@@ -1,0 +1,36 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := Internet2()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "internet2"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, `graph "internet2" {`) {
+		t.Fatalf("bad prefix: %q", out[:30])
+	}
+	for _, want := range []string{`"Seattle"`, `"New York"`, `-- "Sunnyvale"`, "mi\"];"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Each undirected link appears exactly once.
+	if n := strings.Count(out, `"Seattle" -- "Sunnyvale"`) + strings.Count(out, `"Sunnyvale" -- "Seattle"`); n != 1 {
+		t.Errorf("Seattle-Sunnyvale emitted %d times", n)
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := g.WriteDOT(&buf2, "internet2"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("DOT output not deterministic")
+	}
+}

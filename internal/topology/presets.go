@@ -1,0 +1,163 @@
+package topology
+
+// Preset topologies. Coordinates are approximate city centers; link sets
+// are representative backbone meshes, chosen so that routed path lengths
+// resemble the respective real networks.
+
+// mustGraph builds a graph from cities and links, panicking on programmer
+// error (the presets are compile-time data).
+func mustGraph(cities []City, links [][2]string) *Graph {
+	g := NewGraph()
+	for _, c := range cities {
+		if err := g.AddCity(c); err != nil {
+			panic(err)
+		}
+	}
+	for _, l := range links {
+		if err := g.AddLink(l[0], l[1]); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+// EuropeanISP returns a PoP graph of a pan-European transit provider: a
+// dense national footprint (the paper's EU ISP serves thousands of
+// business customers and carries mostly short-haul traffic — its
+// demand-weighted mean flow distance is just 54 miles) plus continental
+// PoPs for international routes.
+func EuropeanISP() *Graph {
+	cities := []City{
+		// Dense home-market footprint (Benelux/German region — many PoPs
+		// tens of miles apart, the source of the metro/national flows).
+		{Name: "Amsterdam", Country: "NL", Lat: 52.37, Lon: 4.90},
+		{Name: "Rotterdam", Country: "NL", Lat: 51.92, Lon: 4.48},
+		{Name: "The Hague", Country: "NL", Lat: 52.08, Lon: 4.31},
+		{Name: "Utrecht", Country: "NL", Lat: 52.09, Lon: 5.12},
+		{Name: "Eindhoven", Country: "NL", Lat: 51.44, Lon: 5.48},
+		{Name: "Antwerp", Country: "BE", Lat: 51.22, Lon: 4.40},
+		{Name: "Brussels", Country: "BE", Lat: 50.85, Lon: 4.35},
+		{Name: "Dusseldorf", Country: "DE", Lat: 51.23, Lon: 6.78},
+		{Name: "Cologne", Country: "DE", Lat: 50.94, Lon: 6.96},
+		// Continental PoPs.
+		{Name: "Frankfurt", Country: "DE", Lat: 50.11, Lon: 8.68},
+		{Name: "Paris", Country: "FR", Lat: 48.86, Lon: 2.35},
+		{Name: "London", Country: "UK", Lat: 51.51, Lon: -0.13},
+		{Name: "Zurich", Country: "CH", Lat: 47.38, Lon: 8.54},
+		{Name: "Milan", Country: "IT", Lat: 45.46, Lon: 9.19},
+		{Name: "Madrid", Country: "ES", Lat: 40.42, Lon: -3.70},
+		{Name: "Vienna", Country: "AT", Lat: 48.21, Lon: 16.37},
+		{Name: "Warsaw", Country: "PL", Lat: 52.23, Lon: 21.01},
+		{Name: "Stockholm", Country: "SE", Lat: 59.33, Lon: 18.07},
+	}
+	links := [][2]string{
+		{"Amsterdam", "Rotterdam"}, {"Amsterdam", "Utrecht"},
+		{"Amsterdam", "The Hague"}, {"Rotterdam", "The Hague"},
+		{"Utrecht", "Eindhoven"}, {"Rotterdam", "Antwerp"},
+		{"Antwerp", "Brussels"}, {"Eindhoven", "Dusseldorf"},
+		{"Dusseldorf", "Cologne"}, {"Cologne", "Frankfurt"},
+		{"Brussels", "Paris"}, {"Amsterdam", "London"},
+		{"Amsterdam", "Frankfurt"}, {"Frankfurt", "Zurich"},
+		{"Zurich", "Milan"}, {"Paris", "Madrid"},
+		{"Frankfurt", "Vienna"}, {"Vienna", "Warsaw"},
+		{"Amsterdam", "Stockholm"}, {"Paris", "London"},
+	}
+	return mustGraph(cities, links)
+}
+
+// Internet2 returns the Abilene-era Internet2 backbone: eleven US PoPs
+// with the historical link layout, over which the paper sums traversed
+// link lengths to get flow distances.
+func Internet2() *Graph {
+	cities := []City{
+		{Name: "Seattle", Country: "US", Lat: 47.61, Lon: -122.33},
+		{Name: "Sunnyvale", Country: "US", Lat: 37.37, Lon: -122.04},
+		{Name: "Los Angeles", Country: "US", Lat: 34.05, Lon: -118.24},
+		{Name: "Denver", Country: "US", Lat: 39.74, Lon: -104.99},
+		{Name: "Kansas City", Country: "US", Lat: 39.10, Lon: -94.58},
+		{Name: "Houston", Country: "US", Lat: 29.76, Lon: -95.37},
+		{Name: "Chicago", Country: "US", Lat: 41.88, Lon: -87.63},
+		{Name: "Indianapolis", Country: "US", Lat: 39.77, Lon: -86.16},
+		{Name: "Atlanta", Country: "US", Lat: 33.75, Lon: -84.39},
+		{Name: "Washington", Country: "US", Lat: 38.91, Lon: -77.04},
+		{Name: "New York", Country: "US", Lat: 40.71, Lon: -74.01},
+	}
+	links := [][2]string{
+		{"Seattle", "Sunnyvale"}, {"Seattle", "Denver"},
+		{"Sunnyvale", "Los Angeles"}, {"Sunnyvale", "Denver"},
+		{"Los Angeles", "Houston"}, {"Denver", "Kansas City"},
+		{"Kansas City", "Houston"}, {"Kansas City", "Indianapolis"},
+		{"Houston", "Atlanta"}, {"Chicago", "Indianapolis"},
+		{"Indianapolis", "Atlanta"}, {"Chicago", "New York"},
+		{"Atlanta", "Washington"}, {"New York", "Washington"},
+	}
+	return mustGraph(cities, links)
+}
+
+// CDNOrigins returns the origin PoP cities of the synthetic international
+// CDN (the paper's CDN has its own global infrastructure).
+func CDNOrigins() []City {
+	return []City{
+		{Name: "Ashburn", Country: "US", Lat: 39.04, Lon: -77.49},
+		{Name: "San Jose", Country: "US", Lat: 37.34, Lon: -121.89},
+		{Name: "Dallas", Country: "US", Lat: 32.78, Lon: -96.80},
+		{Name: "Chicago", Country: "US", Lat: 41.88, Lon: -87.63},
+		{Name: "London", Country: "UK", Lat: 51.51, Lon: -0.13},
+		{Name: "Frankfurt", Country: "DE", Lat: 50.11, Lon: 8.68},
+		{Name: "Tokyo", Country: "JP", Lat: 35.68, Lon: 139.69},
+		{Name: "Singapore", Country: "SG", Lat: 1.35, Lon: 103.82},
+	}
+}
+
+// WorldCities returns a spread of destination cities for the CDN's
+// GeoIP-resolved traffic, covering metro, national and intercontinental
+// distances from the CDN origins.
+func WorldCities() []City {
+	return []City{
+		// North America.
+		{Name: "New York", Country: "US", Lat: 40.71, Lon: -74.01},
+		{Name: "Boston", Country: "US", Lat: 42.36, Lon: -71.06},
+		{Name: "Philadelphia", Country: "US", Lat: 39.95, Lon: -75.17},
+		{Name: "Baltimore", Country: "US", Lat: 39.29, Lon: -76.61},
+		{Name: "Richmond", Country: "US", Lat: 37.54, Lon: -77.44},
+		{Name: "Atlanta", Country: "US", Lat: 33.75, Lon: -84.39},
+		{Name: "Miami", Country: "US", Lat: 25.76, Lon: -80.19},
+		{Name: "Seattle", Country: "US", Lat: 47.61, Lon: -122.33},
+		{Name: "Los Angeles", Country: "US", Lat: 34.05, Lon: -118.24},
+		{Name: "San Francisco", Country: "US", Lat: 37.77, Lon: -122.42},
+		{Name: "Sacramento", Country: "US", Lat: 38.58, Lon: -121.49},
+		{Name: "Denver", Country: "US", Lat: 39.74, Lon: -104.99},
+		{Name: "Houston", Country: "US", Lat: 29.76, Lon: -95.37},
+		{Name: "Austin", Country: "US", Lat: 30.27, Lon: -97.74},
+		{Name: "Minneapolis", Country: "US", Lat: 44.98, Lon: -93.27},
+		{Name: "Detroit", Country: "US", Lat: 42.33, Lon: -83.05},
+		{Name: "Toronto", Country: "CA", Lat: 43.65, Lon: -79.38},
+		{Name: "Montreal", Country: "CA", Lat: 45.50, Lon: -73.57},
+		{Name: "Vancouver", Country: "CA", Lat: 49.28, Lon: -123.12},
+		{Name: "Mexico City", Country: "MX", Lat: 19.43, Lon: -99.13},
+		// Europe.
+		{Name: "Paris", Country: "FR", Lat: 48.86, Lon: 2.35},
+		{Name: "Amsterdam", Country: "NL", Lat: 52.37, Lon: 4.90},
+		{Name: "Berlin", Country: "DE", Lat: 52.52, Lon: 13.41},
+		{Name: "Munich", Country: "DE", Lat: 48.14, Lon: 11.58},
+		{Name: "Madrid", Country: "ES", Lat: 40.42, Lon: -3.70},
+		{Name: "Milan", Country: "IT", Lat: 45.46, Lon: 9.19},
+		{Name: "Stockholm", Country: "SE", Lat: 59.33, Lon: 18.07},
+		{Name: "Warsaw", Country: "PL", Lat: 52.23, Lon: 21.01},
+		{Name: "Dublin", Country: "IE", Lat: 53.35, Lon: -6.26},
+		{Name: "Manchester", Country: "UK", Lat: 53.48, Lon: -2.24},
+		// Asia-Pacific.
+		{Name: "Osaka", Country: "JP", Lat: 34.69, Lon: 135.50},
+		{Name: "Seoul", Country: "KR", Lat: 37.57, Lon: 126.98},
+		{Name: "Hong Kong", Country: "HK", Lat: 22.32, Lon: 114.17},
+		{Name: "Taipei", Country: "TW", Lat: 25.03, Lon: 121.57},
+		{Name: "Kuala Lumpur", Country: "MY", Lat: 3.14, Lon: 101.69},
+		{Name: "Jakarta", Country: "ID", Lat: -6.21, Lon: 106.85},
+		{Name: "Sydney", Country: "AU", Lat: -33.87, Lon: 151.21},
+		{Name: "Mumbai", Country: "IN", Lat: 19.08, Lon: 72.88},
+		// South America & Africa.
+		{Name: "Sao Paulo", Country: "BR", Lat: -23.55, Lon: -46.63},
+		{Name: "Buenos Aires", Country: "AR", Lat: -34.60, Lon: -58.38},
+		{Name: "Johannesburg", Country: "ZA", Lat: -26.20, Lon: 28.05},
+	}
+}

@@ -1,0 +1,227 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	// New York to Los Angeles is about 2445 miles great-circle.
+	d := HaversineMiles(40.71, -74.01, 34.05, -118.24)
+	if math.Abs(d-2445) > 25 {
+		t.Fatalf("NYC-LA = %v miles, want ~2445", d)
+	}
+	// Amsterdam to Rotterdam is about 36 miles.
+	d = HaversineMiles(52.37, 4.90, 51.92, 4.48)
+	if math.Abs(d-36) > 4 {
+		t.Fatalf("AMS-RTM = %v miles, want ~36", d)
+	}
+	// Zero distance for identical points.
+	if d := HaversineMiles(10, 20, 10, 20); d != 0 {
+		t.Fatalf("same point distance = %v", d)
+	}
+}
+
+func TestHaversineSymmetry(t *testing.T) {
+	d1 := HaversineMiles(47.61, -122.33, 35.68, 139.69)
+	d2 := HaversineMiles(35.68, 139.69, 47.61, -122.33)
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Fatalf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddCity(City{Name: "A", Lat: 0, Lon: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddCity(City{Name: "B", Lat: 0, Lon: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddCity(City{Name: "A"}); err == nil {
+		t.Error("expected duplicate-city error")
+	}
+	if err := g.AddCity(City{}); err == nil {
+		t.Error("expected empty-name error")
+	}
+	if err := g.AddLink("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink("A", "Z"); err == nil {
+		t.Error("expected unknown-city error")
+	}
+	if err := g.AddLink("A", "A"); err == nil {
+		t.Error("expected self-link error")
+	}
+	if _, ok := g.City("A"); !ok {
+		t.Error("City(A) not found")
+	}
+	if _, ok := g.City("Z"); ok {
+		t.Error("City(Z) should not exist")
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	cities := g.Cities()
+	if len(cities) != 2 || cities[0].Name != "A" || cities[1].Name != "B" {
+		t.Errorf("Cities() = %v", cities)
+	}
+}
+
+func TestShortestPathDirectVsDetour(t *testing.T) {
+	// Line: A(0,0) - B(0,1) - C(0,2), plus a long detour A - D(5,1) - C.
+	g := NewGraph()
+	for _, c := range []City{
+		{Name: "A", Lat: 0, Lon: 0},
+		{Name: "B", Lat: 0, Lon: 1},
+		{Name: "C", Lat: 0, Lon: 2},
+		{Name: "D", Lat: 5, Lon: 1},
+	} {
+		if err := g.AddCity(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]string{{"A", "B"}, {"B", "C"}, {"A", "D"}, {"D", "C"}} {
+		if err := g.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := g.ShortestPath("A", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cities) != 3 || p.Cities[1] != "B" {
+		t.Fatalf("path = %v, want A-B-C", p.Cities)
+	}
+	direct := Distance(City{Lat: 0, Lon: 0}, City{Lat: 0, Lon: 2})
+	if p.Miles < direct-1e-9 {
+		t.Fatalf("path length %v below great-circle %v", p.Miles, direct)
+	}
+}
+
+func TestShortestPathSameCity(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddCity(City{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.ShortestPath("A", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Miles != 0 || len(p.Cities) != 1 {
+		t.Fatalf("self path = %+v", p)
+	}
+}
+
+func TestShortestPathErrors(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddCity(City{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddCity(City{Name: "B", Lat: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ShortestPath("A", "Z"); err == nil {
+		t.Error("expected unknown-city error")
+	}
+	if _, err := g.ShortestPath("Z", "A"); err == nil {
+		t.Error("expected unknown-city error")
+	}
+	// A and B are registered but unconnected.
+	if _, err := g.ShortestPath("A", "B"); err == nil {
+		t.Error("expected no-path error")
+	}
+}
+
+func TestPresetGraphsConnected(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *Graph
+	}{
+		{"EuropeanISP", EuropeanISP()},
+		{"Internet2", Internet2()},
+	} {
+		cities := tc.g.Cities()
+		src := cities[0].Name
+		for _, c := range cities[1:] {
+			if _, err := tc.g.ShortestPath(src, c.Name); err != nil {
+				t.Errorf("%s: %s unreachable from %s: %v", tc.name, c.Name, src, err)
+			}
+		}
+	}
+}
+
+func TestPathSatisfiesTriangleInequality(t *testing.T) {
+	// Routed distance is never below great-circle distance between the
+	// endpoints (path sums of haversine legs can only be longer).
+	g := Internet2()
+	pairs, err := g.PairDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pair, miles := range pairs {
+		a, _ := g.City(pair[0])
+		b, _ := g.City(pair[1])
+		if direct := Distance(a, b); miles < direct-1e-6 {
+			t.Errorf("%v: routed %v < direct %v", pair, miles, direct)
+		}
+	}
+	// Symmetric.
+	for pair, miles := range pairs {
+		if rev := pairs[[2]string{pair[1], pair[0]}]; math.Abs(rev-miles) > 1e-9 {
+			t.Errorf("asymmetric pair distance %v: %v vs %v", pair, miles, rev)
+		}
+	}
+}
+
+func TestInternet2PathShape(t *testing.T) {
+	// Seattle to New York must route through the midwest, with total
+	// length well above the ~2400-mile great circle.
+	g := Internet2()
+	p, err := g.ShortestPath("Seattle", "New York")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cities) < 3 {
+		t.Fatalf("path = %v, want multiple hops", p.Cities)
+	}
+	if p.Miles < 2400 || p.Miles > 3500 {
+		t.Fatalf("Seattle-NY routed = %v miles, want 2400..3500", p.Miles)
+	}
+}
+
+func TestEuropeanISPHasShortHaulCore(t *testing.T) {
+	// The home-market PoPs must offer plenty of sub-60-mile pairs — the
+	// source of the EU ISP's 54-mile demand-weighted mean distance.
+	g := EuropeanISP()
+	pairs, err := g.PairDistances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := 0
+	for _, miles := range pairs {
+		if miles < 60 {
+			short++
+		}
+	}
+	if short < 10 {
+		t.Fatalf("only %d short-haul pairs, want >= 10", short)
+	}
+}
+
+func TestCDNPresetsNonEmpty(t *testing.T) {
+	if len(CDNOrigins()) < 5 {
+		t.Error("too few CDN origins")
+	}
+	if len(WorldCities()) < 30 {
+		t.Error("too few world cities")
+	}
+	// No duplicate names within each set.
+	seen := map[string]bool{}
+	for _, c := range WorldCities() {
+		if seen[c.Name] {
+			t.Errorf("duplicate world city %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}

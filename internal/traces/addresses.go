@@ -1,0 +1,87 @@
+package traces
+
+import (
+	"fmt"
+	"net/netip"
+
+	"tieredpricing/internal/geoip"
+	"tieredpricing/internal/topology"
+)
+
+// Address plan: source PoPs get /20 loopback blocks from 172.16.0.0/12,
+// destination flows get /24 blocks from 10.0.0.0/8. Both kinds of prefix
+// are registered in the dataset's GeoIP database with their city's
+// coordinates, so the collection pipeline can resolve either endpoint of
+// a NetFlow record back to a location.
+var (
+	srcBase = netip.MustParsePrefix("172.16.0.0/12")
+	dstBase = netip.MustParsePrefix("10.0.0.0/8")
+)
+
+// assignAddresses gives every source city a loopback block and every flow
+// a destination /24, building the GeoIP database as it goes. It needs
+// the per-flow city coordinates, which it finds via the meta city names
+// against the dataset's coordinate index.
+func (ds *Dataset) assignAddresses() error {
+	ds.Geo = &geoip.DB{}
+	srcAlloc, err := geoip.NewPrefixAllocator(srcBase, 20)
+	if err != nil {
+		return err
+	}
+	dstAlloc, err := geoip.NewPrefixAllocator(dstBase, 24)
+	if err != nil {
+		return err
+	}
+	srcPrefix := map[string]netip.Prefix{}
+	for i := range ds.Meta {
+		m := &ds.Meta[i]
+		sp, ok := srcPrefix[m.SrcCity]
+		if !ok {
+			if sp, err = srcAlloc.Next(); err != nil {
+				return fmt.Errorf("traces: src allocation: %w", err)
+			}
+			srcPrefix[m.SrcCity] = sp
+			src, ok := ds.cityByName(m.SrcCity)
+			if !ok {
+				return fmt.Errorf("traces: unknown src city %q", m.SrcCity)
+			}
+			if err := ds.Geo.Insert(geoip.Record{
+				Prefix: sp, City: src.Name, Country: src.Country,
+				Lat: src.Lat, Lon: src.Lon,
+			}); err != nil {
+				return err
+			}
+		}
+		m.SrcIP = sp.Addr().Next() // first host inside the block
+		if m.DstPrefix, err = dstAlloc.Next(); err != nil {
+			return fmt.Errorf("traces: dst allocation: %w", err)
+		}
+		dst, ok := ds.cityByName(m.DstCity)
+		if !ok {
+			return fmt.Errorf("traces: unknown dst city %q", m.DstCity)
+		}
+		if err := ds.Geo.Insert(geoip.Record{
+			Prefix: m.DstPrefix, City: dst.Name, Country: dst.Country,
+			Lat: dst.Lat, Lon: dst.Lon,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cityByName resolves a city either from the dataset's graph or its
+// auxiliary city index (CDN destinations are not graph nodes).
+func (ds *Dataset) cityByName(name string) (topology.City, bool) {
+	if ds.Graph != nil {
+		if c, ok := ds.Graph.City(name); ok {
+			return c, true
+		}
+	}
+	if ds.cities != nil {
+		if c, ok := ds.cities[name]; ok {
+			return c, true
+		}
+	}
+	return topology.City{}, false
+}

@@ -1,0 +1,140 @@
+package traces
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"tieredpricing/internal/netflow"
+)
+
+// EmitConfig tunes NetFlow rendering.
+type EmitConfig struct {
+	// RecordsPerFlow is the minimum number of records each flow's volume
+	// is split into (default 20). Flows too large for that many records
+	// at the sampled 32-bit octet counter automatically get more.
+	RecordsPerFlow int
+	// Seed randomizes record timing.
+	Seed int64
+}
+
+// maxSampledOctets caps the per-record sampled octet counter safely below
+// the uint32 limit.
+const maxSampledOctets = 4_000_000_000
+
+// EmitNetFlow renders the dataset as NetFlow v5 export streams, one per
+// exporting router, mirroring how the paper's data was captured: every
+// record is exported by EVERY router on the flow's path (entry and exit
+// PoP for the EU ISP and CDN, the full routed path for Internet2), so the
+// collection pipeline must de-duplicate; volumes are 1-in-N sampled per
+// Dataset.SamplingInterval.
+func (ds *Dataset) EmitNetFlow(cfg EmitConfig) (map[string][]byte, error) {
+	if cfg.RecordsPerFlow <= 0 {
+		cfg.RecordsPerFlow = 20
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	sampling := uint64(ds.SamplingInterval)
+	if sampling == 0 {
+		sampling = 1
+	}
+
+	streams := map[string]*netflow.Writer{}
+	bufs := map[string]*bytes.Buffer{}
+	writer := func(router string) *netflow.Writer {
+		if w, ok := streams[router]; ok {
+			return w
+		}
+		buf := &bytes.Buffer{}
+		bufs[router] = buf
+		w := netflow.NewWriter(buf, netflow.Header{
+			UnixSecs:         1257985000,
+			SamplingInterval: uint16(sampling),
+		})
+		streams[router] = w
+		return w
+	}
+
+	for i, f := range ds.Flows {
+		m := ds.Meta[i]
+		totalOctets := uint64(f.Demand * 1e6 / 8 * ds.DurationSec)
+		sampledTotal := totalOctets / sampling
+		if sampledTotal == 0 {
+			sampledTotal = 1
+		}
+		records := cfg.RecordsPerFlow
+		if need := int(sampledTotal/maxSampledOctets) + 1; need > records {
+			records = need
+		}
+		perRecord := sampledTotal / uint64(records)
+		remainder := sampledTotal % uint64(records)
+
+		routers := m.Path
+		if len(routers) == 0 {
+			routers = []string{m.SrcCity, m.DstCity}
+			if m.SrcCity == m.DstCity {
+				routers = routers[:1]
+			}
+		}
+		dstIP := m.DstPrefix.Addr().Next()
+		for seq := 0; seq < records; seq++ {
+			octets := perRecord
+			if seq == records-1 {
+				octets += remainder
+			}
+			if octets == 0 {
+				continue
+			}
+			if octets > maxSampledOctets {
+				return nil, fmt.Errorf("traces: flow %q record overflows sampled counter", f.ID)
+			}
+			start := uint32(r.Intn(int(ds.DurationSec))) * 1000
+			rec := netflow.Record{
+				SrcAddr: m.SrcIP,
+				DstAddr: dstIP,
+				Packets: uint32(octets / 1000),
+				Octets:  uint32(octets),
+				First:   start,
+				Last:    start + uint32(1+r.Intn(60000)),
+				SrcPort: uint16(1024 + r.Intn(60000)),
+				DstPort: 443,
+				Proto:   6,
+				SrcAS:   uint16(seq), // per-flow record sequence (dedup stamp)
+				DstMask: uint8(m.DstPrefix.Bits()),
+			}
+			// The same record is exported by every router on the path.
+			for hop, router := range routers {
+				dup := rec
+				dup.Input = uint16(hop)
+				dup.Output = uint16(hop + 1)
+				if err := writer(router).Write(dup); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	out := make(map[string][]byte, len(bufs))
+	for router, w := range streams {
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		out[router] = bufs[router].Bytes()
+	}
+	return out, nil
+}
+
+// AggregateKey is the collection pipeline's bucketing rule for these
+// datasets: source PoP block plus destination /24, so each synthesized
+// flow maps to exactly one bucket.
+func AggregateKey(rec netflow.Record) string {
+	src := maskTo(rec.SrcAddr, 20)
+	dst := maskTo(rec.DstAddr, 24)
+	return src.String() + ">" + dst.String()
+}
+
+// maskTo zeroes host bits beyond the given prefix length.
+func maskTo(a netip.Addr, bits int) netip.Addr {
+	p := netip.PrefixFrom(a, bits).Masked()
+	return p.Addr()
+}

@@ -1,0 +1,120 @@
+package traces
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tieredpricing/internal/netflow"
+)
+
+func TestEmitNetFlowRoundTrip(t *testing.T) {
+	// The full §4.1.1 pipeline: dataset → NetFlow streams (duplicated
+	// across routers, sampled) → collector (dedup, restore) → per-flow
+	// demands matching the generated dataset.
+	for _, name := range Names() {
+		ds, err := ByName(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams, err := ds.EmitNetFlow(EmitConfig{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streams) < 2 {
+			t.Fatalf("%s: only %d router streams", name, len(streams))
+		}
+		c := netflow.NewCollector(AggregateKey)
+		for router, stream := range streams {
+			rd := netflow.NewReader(bytes.NewReader(stream))
+			for {
+				h, recs, err := rd.Next()
+				if err != nil {
+					break
+				}
+				c.Ingest(h, recs)
+				_ = router
+			}
+		}
+		records, dups, dropped := c.Stats()
+		if dups == 0 {
+			t.Errorf("%s: expected cross-router duplicates, got none", name)
+		}
+		if dropped != 0 {
+			t.Errorf("%s: %d records dropped", name, dropped)
+		}
+		aggs := c.Aggregates()
+		if len(aggs) != len(ds.Flows) {
+			t.Fatalf("%s: %d aggregates for %d flows (records %d)",
+				name, len(aggs), len(ds.Flows), records)
+		}
+		// Demands must match within sampling-rounding error.
+		byKey := map[string]float64{}
+		for _, a := range aggs {
+			byKey[a.Key] = netflow.DemandMbps(a.Octets, ds.DurationSec)
+		}
+		for i, f := range ds.Flows {
+			m := ds.Meta[i]
+			// Recompute the aggregation key the emitter produces.
+			rec := netflow.Record{SrcAddr: m.SrcIP, DstAddr: m.DstPrefix.Addr().Next()}
+			got, ok := byKey[AggregateKey(rec)]
+			if !ok {
+				t.Fatalf("%s: flow %d (%s) missing from aggregates", name, i, f.ID)
+			}
+			if math.Abs(got-f.Demand) > 0.01*f.Demand+0.01 {
+				t.Errorf("%s: flow %d demand %v, want %v", name, i, got, f.Demand)
+			}
+		}
+	}
+}
+
+func TestEmitNetFlowDeterministic(t *testing.T) {
+	ds, err := EUISP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := ds.EmitNetFlow(EmitConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ds.EmitNetFlow(EmitConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("stream counts differ")
+	}
+	for router := range s1 {
+		if !bytes.Equal(s1[router], s2[router]) {
+			t.Fatalf("router %s stream differs between same-seed runs", router)
+		}
+	}
+}
+
+func TestEmitNetFlowInternet2PathDuplication(t *testing.T) {
+	// Internet2 records must be exported by every router on the flow's
+	// path, so the number of router streams equals the number of
+	// distinct path cities.
+	ds, err := Internet2(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := ds.EmitNetFlow(EmitConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, m := range ds.Meta {
+		for _, city := range m.Path {
+			want[city] = true
+		}
+	}
+	if len(streams) != len(want) {
+		t.Fatalf("got %d streams, want %d", len(streams), len(want))
+	}
+	for city := range want {
+		if _, ok := streams[city]; !ok {
+			t.Errorf("no stream for path router %s", city)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package traces
+
+import (
+	"fmt"
+
+	"tieredpricing/internal/topology"
+)
+
+// Table 1 of the paper, as calibration targets.
+var (
+	// EUISPTargets: European transit ISP, captured 11/12/09.
+	EUISPTargets = Targets{WeightedMeanDistance: 54, DistanceCV: 0.70, AggregateGbps: 37, DemandCV: 1.71}
+	// CDNTargets: international content distribution network, 12/02/09.
+	CDNTargets = Targets{WeightedMeanDistance: 1988, DistanceCV: 0.59, AggregateGbps: 96, DemandCV: 2.28}
+	// Internet2Targets: US research backbone, 12/02/09.
+	Internet2Targets = Targets{WeightedMeanDistance: 660, DistanceCV: 0.54, AggregateGbps: 4, DemandCV: 4.53}
+)
+
+// DefaultFlows is the number of destination flows each preset generates.
+const DefaultFlows = 200
+
+// EUISP synthesizes the European transit ISP dataset: flows between
+// entry and exit PoPs of the EuropeanISP topology, with flow distance the
+// geographic distance between the two PoPs (§4.1.1).
+func EUISP(seed int64) (*Dataset, error) {
+	g := topology.EuropeanISP()
+	cities := g.Cities()
+	var pairs []endpointPair
+	for _, a := range cities {
+		for _, b := range cities {
+			pairs = append(pairs, endpointPair{
+				src: a, dst: b,
+				distance: topology.Distance(a, b),
+			})
+		}
+	}
+	return generate(Config{
+		Name:     "euisp",
+		Seed:     seed,
+		NumFlows: DefaultFlows,
+		Targets:  EUISPTargets,
+		P0:       20,
+	}, pairs, g, nil)
+}
+
+// CDN synthesizes the international CDN dataset: flows from CDN origin
+// PoPs to GeoIP-resolved destination cities, with flow distance the
+// great-circle distance between origin and destination (§4.1.1).
+func CDN(seed int64) (*Dataset, error) {
+	origins := topology.CDNOrigins()
+	dsts := topology.WorldCities()
+	cityIndex := make(map[string]topology.City, len(origins)+len(dsts))
+	var pairs []endpointPair
+	for _, o := range origins {
+		cityIndex[o.Name] = o
+		for _, d := range dsts {
+			pairs = append(pairs, endpointPair{
+				src: o, dst: d,
+				distance: topology.Distance(o, d),
+			})
+		}
+		// Metro traffic served out of the origin's own city (distance 0;
+		// the cost models floor it at one mile).
+		pairs = append(pairs, endpointPair{src: o, dst: o, distance: 0})
+	}
+	for _, d := range dsts {
+		cityIndex[d.Name] = d
+	}
+	return generate(Config{
+		Name:     "cdn",
+		Seed:     seed,
+		NumFlows: DefaultFlows,
+		Targets:  CDNTargets,
+		P0:       20,
+	}, pairs, nil, cityIndex)
+}
+
+// Internet2 synthesizes the research-network dataset: flows between
+// backbone routers with flow distance the sum of traversed link lengths
+// on the routed path (§4.1.1).
+func Internet2(seed int64) (*Dataset, error) {
+	g := topology.Internet2()
+	cities := g.Cities()
+	var pairs []endpointPair
+	for _, a := range cities {
+		for _, b := range cities {
+			if a.Name == b.Name {
+				continue
+			}
+			p, err := g.ShortestPath(a.Name, b.Name)
+			if err != nil {
+				return nil, fmt.Errorf("traces: internet2 routing: %w", err)
+			}
+			pairs = append(pairs, endpointPair{
+				src: a, dst: b,
+				distance: p.Miles,
+				path:     p.Cities,
+			})
+		}
+	}
+	return generate(Config{
+		Name:             "internet2",
+		Seed:             seed,
+		NumFlows:         DefaultFlows,
+		Targets:          Internet2Targets,
+		P0:               20,
+		ElephantFraction: 0.015,
+		ElephantFactor:   30,
+	}, pairs, g, nil)
+}
+
+// ByName returns the preset dataset with the given name.
+func ByName(name string, seed int64) (*Dataset, error) {
+	switch name {
+	case "euisp":
+		return EUISP(seed)
+	case "cdn":
+		return CDN(seed)
+	case "internet2":
+		return Internet2(seed)
+	default:
+		return nil, fmt.Errorf("traces: unknown dataset %q (want euisp, cdn or internet2)", name)
+	}
+}
+
+// Names lists the preset dataset names in presentation order.
+func Names() []string { return []string{"euisp", "internet2", "cdn"} }

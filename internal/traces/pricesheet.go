@@ -1,0 +1,59 @@
+package traces
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// PriceSheet is a synthetic leased-line price list: normalized link
+// distances with normalized prices, standing in for the proprietary ITU
+// and NTT price data the paper fits its concave distance-to-cost curve to
+// (Figure 6).
+type PriceSheet struct {
+	Name string
+	// A, B, C are the generating curve's constants: price =
+	// A·log_B(distance) + C on normalized axes.
+	A, B, C float64
+	// Distances and Prices are the sampled points, both normalized to a
+	// maximum of 1.
+	Distances []float64
+	Prices    []float64
+}
+
+// GeneratePriceSheet samples n points from y = a·log_b(x) + c on
+// x ∈ (0, 1] with multiplicative noise, clamping prices to stay positive.
+func GeneratePriceSheet(name string, a, b, c float64, n int, noise float64, seed int64) (PriceSheet, error) {
+	if n < 2 {
+		return PriceSheet{}, errors.New("traces: price sheet needs at least 2 points")
+	}
+	if b <= 0 || b == 1 {
+		return PriceSheet{}, errors.New("traces: invalid log base")
+	}
+	r := rand.New(rand.NewSource(seed))
+	sheet := PriceSheet{Name: name, A: a, B: b, C: c}
+	for i := 0; i < n; i++ {
+		// Log-uniform distances cover the short-haul end densely, like
+		// real tariff tables.
+		x := math.Exp(r.Float64() * math.Log(0.01)) // (0.01, 1]
+		y := (a*math.Log(x)/math.Log(b) + c) * math.Exp(r.NormFloat64()*noise)
+		if y < 0.01 {
+			y = 0.01
+		}
+		sheet.Distances = append(sheet.Distances, x)
+		sheet.Prices = append(sheet.Prices, y)
+	}
+	return sheet, nil
+}
+
+// ITUPriceSheet synthesizes a sheet following the paper's ITU fit
+// (a ≈ 0.43, b ≈ 9.43, c ≈ 0.99).
+func ITUPriceSheet(seed int64) (PriceSheet, error) {
+	return GeneratePriceSheet("ITU", 0.43, 9.43, 0.99, 120, 0.03, seed)
+}
+
+// NTTPriceSheet synthesizes a sheet following the paper's NTT fit
+// (a ≈ 0.03, b ≈ 1.12, c ≈ 1.01 — an almost flat tariff).
+func NTTPriceSheet(seed int64) (PriceSheet, error) {
+	return GeneratePriceSheet("NTT", 0.03, 1.12, 1.01, 120, 0.03, seed)
+}

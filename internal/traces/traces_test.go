@@ -1,0 +1,309 @@
+package traces
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tieredpricing/internal/econ"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return !math.IsNaN(a) && !math.IsNaN(b) && math.Abs(a-b) <= tol
+}
+
+// relWithin checks |got/want − 1| ≤ tol.
+func relWithin(got, want, tol float64) bool {
+	return math.Abs(got/want-1) <= tol
+}
+
+func TestCalibrateAnalytics(t *testing.T) {
+	cal, err := calibrate(EUISPTargets, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ from distance CV 0.70.
+	wantSigma := math.Sqrt(math.Log(1 + 0.49))
+	if !almostEq(cal.sigma, wantSigma, 1e-12) {
+		t.Errorf("sigma = %v, want %v", cal.sigma, wantSigma)
+	}
+	// η reproduces the demand CV: η²σ² + noise² = ln(1+cv²).
+	if got := cal.eta*cal.eta*cal.sigma*cal.sigma + 0.25*0.25; !almostEq(got, math.Log(1+1.71*1.71), 1e-9) {
+		t.Errorf("eta does not reproduce demand CV: %v", got)
+	}
+	// μ puts the tilted mean at the weighted distance target.
+	tilted := math.Exp(cal.mu - cal.eta*cal.sigma*cal.sigma + cal.sigma*cal.sigma/2)
+	if !almostEq(tilted, 54, 1e-9) {
+		t.Errorf("tilted mean = %v, want 54", tilted)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	if _, err := calibrate(Targets{}, 0.25); err == nil {
+		t.Error("expected error for zero targets")
+	}
+	// Noise exceeding the demand CV target is impossible to calibrate.
+	if _, err := calibrate(Targets{WeightedMeanDistance: 10, DistanceCV: 1, DemandCV: 0.1}, 3); err == nil {
+		t.Error("expected error for excessive noise")
+	}
+}
+
+func TestPresetsMatchTable1(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func(int64) (*Dataset, error)
+		targets Targets
+	}{
+		{"euisp", EUISP, EUISPTargets},
+		{"cdn", CDN, CDNTargets},
+		{"internet2", Internet2, Internet2Targets},
+	}
+	for _, c := range cases {
+		ds, err := c.build(1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		st, err := ds.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Snapping to a finite PoP-pair set distorts the analytic moments;
+		// require the headline statistics within 35% of the paper's.
+		if !relWithin(st.WeightedMeanDistance, c.targets.WeightedMeanDistance, 0.35) {
+			t.Errorf("%s: weighted mean distance %v, target %v",
+				c.name, st.WeightedMeanDistance, c.targets.WeightedMeanDistance)
+		}
+		if !relWithin(st.AggregateGbps, c.targets.AggregateGbps, 0.01) {
+			t.Errorf("%s: aggregate %v Gbps, target %v",
+				c.name, st.AggregateGbps, c.targets.AggregateGbps)
+		}
+		if !relWithin(st.DemandCV, c.targets.DemandCV, 0.5) {
+			t.Errorf("%s: demand CV %v, target %v", c.name, st.DemandCV, c.targets.DemandCV)
+		}
+		if st.Flows != DefaultFlows {
+			t.Errorf("%s: %d flows", c.name, st.Flows)
+		}
+	}
+}
+
+func TestPresetsDeterministic(t *testing.T) {
+	a, err := EUISP(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EUISP(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatalf("flow %d differs between same-seed runs", i)
+		}
+	}
+	c, err := EUISP(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Flows {
+		if a.Flows[i].Demand != c.Flows[i].Demand {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical demands")
+	}
+}
+
+func TestDatasetRegionsConsistent(t *testing.T) {
+	ds, err := CDN(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range ds.Flows {
+		m := ds.Meta[i]
+		switch f.Region {
+		case econ.RegionMetro:
+			if m.SrcCity != m.DstCity {
+				t.Errorf("flow %d: metro but %s->%s", i, m.SrcCity, m.DstCity)
+			}
+		case econ.RegionNational:
+			if m.SrcCountry != m.DstCountry || m.SrcCity == m.DstCity {
+				t.Errorf("flow %d: national but %s/%s->%s/%s", i,
+					m.SrcCity, m.SrcCountry, m.DstCity, m.DstCountry)
+			}
+		case econ.RegionInternational:
+			if m.SrcCountry == m.DstCountry {
+				t.Errorf("flow %d: international but both %s", i, m.SrcCountry)
+			}
+		}
+	}
+}
+
+func TestDatasetAddressing(t *testing.T) {
+	ds, err := Internet2(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seenDst := map[string]bool{}
+	for i, m := range ds.Meta {
+		if !m.SrcIP.IsValid() {
+			t.Fatalf("flow %d: no source IP", i)
+		}
+		if !m.DstPrefix.IsValid() || m.DstPrefix.Bits() != 24 {
+			t.Fatalf("flow %d: bad dst prefix %v", i, m.DstPrefix)
+		}
+		if seenDst[m.DstPrefix.String()] {
+			t.Fatalf("flow %d: duplicate dst prefix %v", i, m.DstPrefix)
+		}
+		seenDst[m.DstPrefix.String()] = true
+		// Both endpoints must resolve through the GeoIP DB.
+		if _, ok := ds.Geo.Lookup(m.SrcIP); !ok {
+			t.Fatalf("flow %d: src %v unresolved", i, m.SrcIP)
+		}
+		rec, ok := ds.Geo.Lookup(m.DstPrefix.Addr().Next())
+		if !ok {
+			t.Fatalf("flow %d: dst %v unresolved", i, m.DstPrefix)
+		}
+		if rec.City != m.DstCity {
+			t.Fatalf("flow %d: dst resolves to %q, want %q", i, rec.City, m.DstCity)
+		}
+	}
+}
+
+func TestInternet2FlowsHavePaths(t *testing.T) {
+	ds, err := Internet2(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range ds.Meta {
+		if len(m.Path) < 2 {
+			t.Fatalf("flow %d: path %v too short", i, m.Path)
+		}
+		if m.Path[0] != m.SrcCity || m.Path[len(m.Path)-1] != m.DstCity {
+			t.Fatalf("flow %d: path %v does not connect %s->%s",
+				i, m.Path, m.SrcCity, m.DstCity)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Name != name {
+			t.Errorf("ByName(%s).Name = %s", name, ds.Name)
+		}
+	}
+	if _, err := ByName("nonesuch", 1); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	pairs := []endpointPair{{distance: 10}}
+	if _, err := generate(Config{NumFlows: 0, P0: 20, Targets: EUISPTargets}, pairs, nil, nil); err == nil {
+		t.Error("expected error for zero flows")
+	}
+	if _, err := generate(Config{NumFlows: 5, P0: 20, Targets: EUISPTargets}, nil, nil, nil); err == nil {
+		t.Error("expected error for no pairs")
+	}
+	if _, err := generate(Config{NumFlows: 5, Targets: EUISPTargets}, pairs, nil, nil); err == nil {
+		t.Error("expected error for zero P0")
+	}
+}
+
+func TestSnapIndex(t *testing.T) {
+	// Deterministic cases where the ±20% window is empty.
+	sorted := []float64{10, 100, 1000}
+	rsrc := rand.New(rand.NewSource(1))
+	if got := snapIndex(sorted, 1, rsrc); got != 0 {
+		t.Errorf("snap(1) = %d, want 0", got)
+	}
+	if got := snapIndex(sorted, 1e6, rsrc); got != 2 {
+		t.Errorf("snap(1e6) = %d, want 2", got)
+	}
+	if got := snapIndex(sorted, 40, rsrc); got != 0 {
+		t.Errorf("snap(40) = %d, want 0 (nearer to 10)", got)
+	}
+	if got := snapIndex(sorted, 70, rsrc); got != 1 {
+		t.Errorf("snap(70) = %d, want 1 (nearer to 100)", got)
+	}
+	// Window hit: targets near an element pick within the window.
+	for trial := 0; trial < 50; trial++ {
+		if got := snapIndex(sorted, 100, rsrc); got != 1 {
+			t.Fatalf("snap(100) = %d, want 1", got)
+		}
+	}
+}
+
+func TestPriceSheets(t *testing.T) {
+	for _, build := range []func(int64) (PriceSheet, error){ITUPriceSheet, NTTPriceSheet} {
+		sheet, err := build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sheet.Distances) != len(sheet.Prices) || len(sheet.Prices) < 100 {
+			t.Fatalf("%s: bad sheet sizes", sheet.Name)
+		}
+		for i := range sheet.Distances {
+			if sheet.Distances[i] <= 0 || sheet.Distances[i] > 1 {
+				t.Fatalf("%s: distance %v out of (0,1]", sheet.Name, sheet.Distances[i])
+			}
+			if sheet.Prices[i] <= 0 {
+				t.Fatalf("%s: non-positive price", sheet.Name)
+			}
+		}
+	}
+	if _, err := GeneratePriceSheet("x", 1, 1, 1, 10, 0, 1); err == nil {
+		t.Error("expected error for base 1")
+	}
+	if _, err := GeneratePriceSheet("x", 1, 2, 1, 1, 0, 1); err == nil {
+		t.Error("expected error for n < 2")
+	}
+}
+
+// TestTiltingIdentityProperty validates the calibration math of
+// DESIGN.md §2 directly: sampling d ~ LN(μ, σ²) and weighting by
+// q ∝ d^{−η}, the demand-weighted distance distribution is the
+// exponentially tilted LN(μ − ησ², σ²), so its weighted mean and
+// weighted CV should land on the analytic targets.
+func TestTiltingIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		targets := Targets{
+			WeightedMeanDistance: 20 + r.Float64()*2000,
+			DistanceCV:           0.3 + r.Float64()*0.6,
+			AggregateGbps:        1,
+			DemandCV:             1 + r.Float64()*2,
+		}
+		cal, err := calibrate(targets, 0.2)
+		if err != nil {
+			return false
+		}
+		const n = 120000
+		ds := make([]float64, n)
+		qs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			d := math.Exp(cal.mu + cal.sigma*r.NormFloat64())
+			ds[i] = d
+			qs[i] = math.Pow(d, -cal.eta) * math.Exp(cal.noise*r.NormFloat64())
+		}
+		var num, den float64
+		for i := range ds {
+			num += qs[i] * ds[i]
+			den += qs[i]
+		}
+		wmean := num / den
+		// Heavy-tailed weights make the estimator noisy; 12% tolerance
+		// over 120k samples is a real statistical bound, not slack.
+		return math.Abs(wmean/targets.WeightedMeanDistance-1) < 0.12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package transit
+
+import (
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/products"
+	"tieredpricing/internal/routing"
+	"tieredpricing/internal/topology"
+)
+
+// This file exposes the market-structure extensions: the §2.1 product
+// taxonomy as bundling rules, and the §5.1 customer-side tag-aware
+// routing planner.
+
+// Offering is a §2.1 wholesale product structure (a fixed tier rule).
+type Offering = products.Offering
+
+// The §2.1 taxonomy.
+type (
+	// BlendedTransit is one rate for everything.
+	BlendedTransit = products.BlendedTransit
+	// PaidPeering splits on-net from off-net destinations.
+	PaidPeering = products.PaidPeering
+	// BackplanePeering splits IXP-offloadable local traffic from
+	// backbone transit.
+	BackplanePeering = products.BackplanePeering
+	// RegionalPricing sells one rate per destination region.
+	RegionalPricing = products.RegionalPricing
+)
+
+// Offerings returns the §2.1 taxonomy in presentation order.
+func Offerings() []Offering { return products.All() }
+
+// EvaluateOffering prices a product's fixed tiers on a fitted market and
+// returns the outcome (capture measured like any strategy's).
+func EvaluateOffering(m *Market, o Offering) (Outcome, error) {
+	parts, err := o.Tiers(m.Flows)
+	if err != nil {
+		return Outcome{}, err
+	}
+	prices, err := m.Demand.PriceBundles(m.Flows, parts)
+	if err != nil {
+		return Outcome{}, err
+	}
+	profit, err := m.Demand.Profit(m.Flows, parts, prices)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Strategy:  o.Name(),
+		Bundles:   len(parts),
+		Partition: parts,
+		Prices:    prices,
+		Profit:    profit,
+		Capture:   m.Capture(profit),
+	}, nil
+}
+
+// Tag-aware routing (§5.1 customer side).
+type (
+	// RoutePlanner trades internal backbone haul against tier prices.
+	RoutePlanner = routing.Planner
+	// RouteDecision is the per-destination egress choice.
+	RouteDecision = routing.Decision
+	// RouteSummary aggregates a plan.
+	RouteSummary = routing.Summary
+	// TransitQuote prices an (egress, destination) hand-off.
+	TransitQuote = routing.Quote
+	// City is a located PoP.
+	City = topology.City
+)
+
+// BandQuote derives a TransitQuote from a tier structure's distance
+// bands — the information the §5.1 tier tags expose.
+func BandQuote(flows []econ.Flow, partition [][]int, prices []float64) (TransitQuote, error) {
+	return routing.BandQuote(flows, partition, prices)
+}

@@ -1,0 +1,196 @@
+// Package transit is the public API of this repository: a library for
+// analyzing destination-based tiered pricing in the Internet transit
+// market, reproducing Valancius et al., "How Many Tiers? Pricing in the
+// Internet Transit Market" (SIGCOMM 2011).
+//
+// The core workflow mirrors the paper's Figure 7:
+//
+//  1. Obtain per-flow traffic demands — from your own measurements, from
+//     the built-in synthetic datasets (Dataset*, calibrated to the
+//     paper's Table 1), or by replaying NetFlow traces through the
+//     collection pipeline in internal/netflow + internal/demandfit.
+//  2. Pick a demand model (CED or Logit) and a cost model (Linear,
+//     Concave, Regional, DestType) and fit a Market with NewMarket: the
+//     library derives per-flow valuations and reconciles relative costs
+//     with the observed blended rate by assuming the ISP is already
+//     profit-maximizing.
+//  3. Run bundling strategies (Optimal, ProfitWeighted, ...) for a given
+//     tier count and read off profit-maximizing tier prices, profit, and
+//     the profit-capture metric.
+//
+// A minimal session:
+//
+//	flows := []transit.Flow{
+//		{ID: "local", Demand: 800, Distance: 30},
+//		{ID: "continental", Demand: 300, Distance: 400},
+//		{ID: "transatlantic", Demand: 150, Distance: 3600},
+//	}
+//	m, err := transit.NewMarket(flows, transit.CED{Alpha: 1.1},
+//		transit.Linear{Theta: 0.2}, 20 /* $/Mbps blended */)
+//	if err != nil { ... }
+//	out, err := m.Run(transit.Optimal{}, 3)
+//	fmt.Println(out.Prices, out.Capture)
+//
+// Everything in internal/ is implemented from scratch on the standard
+// library, including the substrates: NetFlow v5 codec and deduplicating
+// collector, GeoIP longest-prefix-match database, PoP topologies with
+// shortest-path routing, a BGP subset with tier-tagging extended
+// communities, and both accounting architectures of the paper's §5.
+package transit
+
+import (
+	"fmt"
+	"io"
+
+	"tieredpricing/internal/bundling"
+	"tieredpricing/internal/core"
+	"tieredpricing/internal/cost"
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/experiments"
+	"tieredpricing/internal/traces"
+)
+
+// Flow is one priced traffic aggregate; see econ.Flow.
+type Flow = econ.Flow
+
+// Region classifies a flow's destination (metro/national/international).
+type Region = econ.Region
+
+// Region values.
+const (
+	RegionMetro         = econ.RegionMetro
+	RegionNational      = econ.RegionNational
+	RegionInternational = econ.RegionInternational
+)
+
+// Model is a demand-model family (CED or Logit).
+type Model = econ.Model
+
+// CED is constant-elasticity demand (paper §3.2.1); Alpha > 1.
+type CED = econ.CED
+
+// Logit is discrete-choice demand (paper §3.2.2); Alpha > 0, S0 ∈ (0,1).
+type Logit = econ.Logit
+
+// CostModel maps flows to relative unit costs (paper §3.3).
+type CostModel = cost.Model
+
+// The four cost models of §3.3.
+type (
+	// Linear is cost proportional to distance plus a base fraction θ.
+	Linear = cost.Linear
+	// Concave is cost logarithmic in distance (the Figure 6 fit).
+	Concave = cost.Concave
+	// Regional prices metro/national/international classes as 1/2^θ/3^θ.
+	Regional = cost.Regional
+	// DestType prices off-net traffic at a multiple of on-net traffic.
+	DestType = cost.DestType
+)
+
+// Strategy groups flows into pricing tiers (paper §4.2.1).
+type Strategy = bundling.Strategy
+
+// The bundling strategies of §4.2.1 (and the §4.3.1 class-aware variant).
+type (
+	Optimal        = bundling.Optimal
+	DemandWeighted = bundling.DemandWeighted
+	CostWeighted   = bundling.CostWeighted
+	ProfitWeighted = bundling.ProfitWeighted
+	CostDivision   = bundling.CostDivision
+	IndexDivision  = bundling.IndexDivision
+	ClassAware     = bundling.ClassAware
+)
+
+// Strategies returns one instance of every bundling strategy, in the
+// paper's presentation order.
+func Strategies() []Strategy {
+	return []Strategy{
+		Optimal{}, CostWeighted{}, ProfitWeighted{}, DemandWeighted{},
+		CostDivision{}, IndexDivision{},
+	}
+}
+
+// StrategyByName resolves a strategy by its paper name (e.g.
+// "profit-weighted", "cost division", "optimal", "class-aware
+// profit-weighted").
+func StrategyByName(name string) (Strategy, error) {
+	for _, s := range Strategies() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	if s := (ClassAware{Inner: ProfitWeighted{}}); s.Name() == name {
+		return s, nil
+	}
+	return nil, fmt.Errorf("transit: unknown strategy %q", name)
+}
+
+// Market is a fitted transit market; see core.Market.
+type Market = core.Market
+
+// Outcome is the result of one bundling counterfactual; see core.Outcome.
+type Outcome = core.Outcome
+
+// NewMarket fits a market from observed flows per the paper's §4.1: it
+// derives valuations from demands at the blended rate p0 and scales the
+// cost model's relative costs so p0 is the single-bundle optimum.
+func NewMarket(flows []Flow, demand Model, costModel CostModel, p0 float64) (*Market, error) {
+	return core.NewMarket(flows, demand, costModel, p0)
+}
+
+// SplitByDestType splits every flow into on-net/off-net parts with the
+// given on-net demand fraction (the destination-type cost model's θ).
+func SplitByDestType(flows []Flow, theta float64) ([]Flow, error) {
+	return core.SplitByDestType(flows, theta)
+}
+
+// AggregateFlows coarsens a flow set to at most k aggregates by merging
+// cost-adjacent flows, preserving total demand and demand-weighted
+// distance — the market-granularity knob of the paper's §1 discussion.
+func AggregateFlows(flows []Flow, k int) ([]Flow, error) {
+	return core.AggregateFlows(flows, k)
+}
+
+// Dataset is a synthetic network trace calibrated to the paper's Table 1.
+type Dataset = traces.Dataset
+
+// DatasetEUISP synthesizes the European transit ISP dataset.
+func DatasetEUISP(seed int64) (*Dataset, error) { return traces.EUISP(seed) }
+
+// DatasetCDN synthesizes the international CDN dataset.
+func DatasetCDN(seed int64) (*Dataset, error) { return traces.CDN(seed) }
+
+// DatasetInternet2 synthesizes the research-backbone dataset.
+func DatasetInternet2(seed int64) (*Dataset, error) { return traces.Internet2(seed) }
+
+// DatasetByName resolves "euisp", "cdn" or "internet2".
+func DatasetByName(name string, seed int64) (*Dataset, error) {
+	return traces.ByName(name, seed)
+}
+
+// DatasetNames lists the built-in dataset names.
+func DatasetNames() []string { return traces.Names() }
+
+// RunExperiment regenerates one of the paper's tables or figures by ID
+// ("fig1".."fig17", "table1") and writes its tables to w. See
+// ExperimentIDs for the index.
+func RunExperiment(id string, seed int64, w io.Writer) error {
+	e, err := experiments.Get(id)
+	if err != nil {
+		return err
+	}
+	res, err := e.Run(experiments.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	return res.WriteASCII(w)
+}
+
+// ExperimentIDs lists every reproducible paper artifact with its title.
+func ExperimentIDs() map[string]string {
+	out := map[string]string{}
+	for _, e := range experiments.All() {
+		out[e.ID] = e.Title
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package transit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The façade tests exercise the public API exactly as a downstream user
+// would (the examples double as living documentation; these are the
+// executable checks).
+
+func quickstartFlows() []Flow {
+	return []Flow{
+		{ID: "metro", Demand: 800, Distance: 8},
+		{ID: "regional", Demand: 420, Distance: 60},
+		{ID: "national", Demand: 260, Distance: 300},
+		{ID: "continental", Demand: 115, Distance: 900},
+		{ID: "transatlantic", Demand: 40, Distance: 3600},
+	}
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	m, err := NewMarket(quickstartFlows(), CED{Alpha: 1.1}, Linear{Theta: 0.2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run(Optimal{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Capture < 0.8 {
+		t.Errorf("3-tier capture = %v, want ≥ 0.8", out.Capture)
+	}
+	if len(out.Prices) != 3 {
+		t.Errorf("got %d prices", len(out.Prices))
+	}
+	// Tier prices must be increasing with tier cost (cost-contiguous).
+	for b := 1; b < len(out.Prices); b++ {
+		if out.Prices[b] < out.Prices[b-1] {
+			t.Errorf("tier prices not increasing: %v", out.Prices)
+		}
+	}
+}
+
+func TestPublicAPILogitAndSplit(t *testing.T) {
+	split, err := SplitByDestType(quickstartFlows(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMarket(split, Logit{Alpha: 1.1, S0: 0.2}, DestType{}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run(ClassAware{Inner: ProfitWeighted{}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Capture < 0.95 {
+		t.Errorf("two-class capture at b=2 = %v, want ≈1", out.Capture)
+	}
+}
+
+func TestStrategiesAndLookup(t *testing.T) {
+	if len(Strategies()) != 6 {
+		t.Errorf("Strategies() = %d entries", len(Strategies()))
+	}
+	for _, s := range Strategies() {
+		got, err := StrategyByName(s.Name())
+		if err != nil {
+			t.Errorf("StrategyByName(%q): %v", s.Name(), err)
+		}
+		if got.Name() != s.Name() {
+			t.Errorf("lookup mismatch for %q", s.Name())
+		}
+	}
+	if _, err := StrategyByName("class-aware profit-weighted"); err != nil {
+		t.Errorf("class-aware lookup: %v", err)
+	}
+	if _, err := StrategyByName("nope"); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	for _, name := range DatasetNames() {
+		ds, err := DatasetByName(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ds.Flows) == 0 {
+			t.Errorf("%s: no flows", name)
+		}
+	}
+	if _, err := DatasetByName("nope", 1); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+	if _, err := DatasetEUISP(1); err != nil {
+		t.Error(err)
+	}
+	if _, err := DatasetCDN(1); err != nil {
+		t.Error(err)
+	}
+	if _, err := DatasetInternet2(1); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("fig4", 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig4") {
+		t.Error("output missing experiment id")
+	}
+	if err := RunExperiment("nope", 1, &buf); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	ids := ExperimentIDs()
+	if len(ids) != 28 {
+		t.Errorf("ExperimentIDs() = %d entries, want 28", len(ids))
+	}
+}
+
+func TestPeeringFacade(t *testing.T) {
+	in := PeeringInputs{BlendedRate: 20, ISPCost: 4, Margin: 0.3,
+		AccountingOverhead: 1, DirectCost: 10}
+	out, err := DecidePeering(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != MarketFailure {
+		t.Errorf("outcome = %v, want market failure", out)
+	}
+	points, err := SweepPeering(in, []float64{2, 10, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Outcome != EfficientBypass || points[2].Outcome != StayWithISP {
+		t.Errorf("sweep outcomes wrong: %+v", points)
+	}
+}
+
+func TestOfferingsFacade(t *testing.T) {
+	ds, err := DatasetEUISP(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMarket(ds.Flows, CED{Alpha: 1.1}, Linear{Theta: 0.2}, ds.P0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Offerings()) != 4 {
+		t.Fatalf("taxonomy size = %d", len(Offerings()))
+	}
+	out, err := EvaluateOffering(m, RegionalPricing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Strategy != "regional pricing" || out.Capture <= 0 || out.Capture > 1 {
+		t.Fatalf("regional pricing outcome = %+v", out)
+	}
+	// A product with an impossible split surfaces its error.
+	uniform := append([]Flow(nil), ds.Flows...)
+	for i := range uniform {
+		uniform[i].OnNet = false
+	}
+	m2, err := NewMarket(uniform, CED{Alpha: 1.1}, Linear{Theta: 0.2}, ds.P0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateOffering(m2, PaidPeering{}); err == nil {
+		t.Error("expected error for single-class paid peering")
+	}
+}
+
+func TestRoutingFacade(t *testing.T) {
+	ds, err := DatasetInternet2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMarket(ds.Flows, CED{Alpha: 1.1}, Linear{Theta: 0.2}, ds.P0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Run(Optimal{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quote, err := BandQuote(m.Flows, out.Partition, out.Prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &RoutePlanner{Backbone: ds.Graph, Origin: "New York", InternalCostPerMbpsMile: 0.001}
+	coords := func(i int) (float64, float64, error) {
+		c, ok := ds.Graph.City(ds.Meta[i].DstCity)
+		if !ok {
+			t.Fatalf("city %q missing", ds.Meta[i].DstCity)
+		}
+		return c.Lat, c.Lon, nil
+	}
+	_, sum, err := p.Plan(m.Flows, coords, quote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sum.PlannedMonthly <= sum.HotPotatoMonthly) {
+		t.Fatalf("plan worse than hot potato: %+v", sum)
+	}
+}
