@@ -11,6 +11,7 @@ package transit
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"tieredpricing/internal/bundling"
@@ -71,6 +72,32 @@ func BenchmarkFig16MarketShareSensitivity(b *testing.B) {
 	benchExperiment(b, "fig16")
 }
 func BenchmarkFig17AccountingPipeline(b *testing.B) { benchExperiment(b, "fig17") }
+
+// Full-evaluation sweep: every registered experiment, serial vs fanned
+// out. The pair tracks the parallel engine's speedup in the perf
+// trajectory (on an N-core runner the parallel run should approach N×
+// until the longest single experiment dominates).
+
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunAll(experiments.Options{Seed: 1, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkFullEvaluationSerial(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkFullEvaluationParallel(b *testing.B) {
+	benchRunAll(b, runtime.NumCPU())
+}
+func BenchmarkFullEvaluationParallel4(b *testing.B) { benchRunAll(b, 4) }
 
 // Micro-benchmarks for the hot paths.
 

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Tier-1 gate: everything a change must pass before it lands.
+#
+#   ./ci.sh
+#
+# Steps, in order (each must pass):
+#   1. go vet        — static analysis across every package
+#   2. go build      — the full module compiles, commands included
+#   3. go test -race — the whole test suite under the race detector,
+#                      covering the parallel experiment engine, the
+#                      concurrent NetFlow collector, and the registry
+#   4. benchmarks    — every benchmark compiles and runs one iteration
+#                      (catches bit-rotted benchmark code without paying
+#                      for a timed run; use `go test -bench=.` for real
+#                      numbers)
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go test -run='^$' -bench=. -benchtime=1x ./..."
+go test -run='^$' -bench=. -benchtime=1x ./...
+
+echo "==> ci: all gates passed"

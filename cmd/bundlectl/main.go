@@ -12,12 +12,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +31,7 @@ import (
 	"tieredpricing/internal/econ"
 	"tieredpricing/internal/geoip"
 	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/parallel"
 	"tieredpricing/internal/report"
 	"tieredpricing/internal/topology"
 	"tieredpricing/internal/traces"
@@ -44,19 +47,21 @@ func main() {
 	strategyName := flag.String("strategy", "profit-weighted",
 		"bundling strategy (optimal, profit-weighted, cost-weighted, demand-weighted, cost division, index division)")
 	truth := flag.String("truth", "", "optional ground-truth flows CSV (from tracegen) to verify the recovery against")
+	workers := flag.Int("parallel", runtime.NumCPU(),
+		"worker goroutines for ingesting router streams (the collector is concurrency-safe; 1 = serial)")
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "bundlectl: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *tiers, *model, *alpha, *s0, *theta, *strategyName, *truth); err != nil {
+	if err := run(*in, *tiers, *workers, *model, *alpha, *s0, *theta, *strategyName, *truth); err != nil {
 		fmt.Fprintln(os.Stderr, "bundlectl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, tiers int, model string, alpha, s0, theta float64, strategyName, truthPath string) error {
+func run(dir string, tiers, workers int, model string, alpha, s0, theta float64, strategyName, truthPath string) error {
 	meta, err := readMeta(filepath.Join(dir, "meta.txt"))
 	if err != nil {
 		return err
@@ -80,10 +85,15 @@ func run(dir string, tiers int, model string, alpha, s0, theta float64, strategy
 	if len(streams) == 0 {
 		return fmt.Errorf("no .nf5 streams in %s", dir)
 	}
-	for _, path := range streams {
-		if err := ingestFile(collector, path); err != nil {
-			return err
-		}
+	// Router streams are independent files and the collector is safe for
+	// concurrent ingest (core routers export independently); dedup and the
+	// accumulated aggregates are order-insensitive, so the fitted market is
+	// identical for any worker count.
+	if err := parallel.ForEach(context.Background(), len(streams), workers,
+		func(_ context.Context, i int) error {
+			return ingestFile(collector, streams[i])
+		}); err != nil {
+		return err
 	}
 	records, dups, dropped := collector.Stats()
 

@@ -146,18 +146,18 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	truth.Close()
 
-	if err := run(dir, 3, "ced", 1.1, 0.2, 0.2, "profit-weighted",
+	if err := run(dir, 3, 2, "ced", 1.1, 0.2, 0.2, "profit-weighted",
 		filepath.Join(dir, "truth.csv")); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// Bad inputs surface as errors, not panics.
-	if err := run(dir, 3, "nope", 1.1, 0.2, 0.2, "profit-weighted", ""); err == nil {
+	if err := run(dir, 3, 1, "nope", 1.1, 0.2, 0.2, "profit-weighted", ""); err == nil {
 		t.Error("expected error for unknown model")
 	}
-	if err := run(dir, 3, "ced", 1.1, 0.2, 0.2, "nope", ""); err == nil {
+	if err := run(dir, 3, 1, "ced", 1.1, 0.2, 0.2, "nope", ""); err == nil {
 		t.Error("expected error for unknown strategy")
 	}
-	if err := run(t.TempDir(), 3, "ced", 1.1, 0.2, 0.2, "profit-weighted", ""); err == nil {
+	if err := run(t.TempDir(), 3, 1, "ced", 1.1, 0.2, 0.2, "profit-weighted", ""); err == nil {
 		t.Error("expected error for empty directory")
 	}
 }

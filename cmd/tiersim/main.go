@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"tieredpricing/internal/experiments"
 )
@@ -22,6 +23,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for all synthetic data generation")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	markdown := flag.Bool("md", false, "print tables as GitHub-flavored markdown instead of ASCII")
+	workers := flag.Int("parallel", runtime.NumCPU(),
+		"worker goroutines for fanning out experiments, seeds and repricings (output is identical for any value; 1 = serial)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -37,7 +40,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tiersim: run needs experiment IDs (or 'all')")
 			os.Exit(2)
 		}
-		if err := run(args[1:], *seed, *csvDir, *markdown); err != nil {
+		if err := run(args[1:], *seed, *workers, *csvDir, *markdown); err != nil {
 			fmt.Fprintln(os.Stderr, "tiersim:", err)
 			os.Exit(1)
 		}
@@ -52,7 +55,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `tiersim — regenerate the SIGCOMM'11 tiered-pricing evaluation
 
 usage:
-  tiersim [-seed N] [-csv DIR] [-md] run <id>... | all
+  tiersim [-seed N] [-parallel N] [-csv DIR] [-md] run <id>... | all
   tiersim list
 `)
 }
@@ -65,7 +68,7 @@ func list() {
 	}
 }
 
-func run(ids []string, seed int64, csvDir string, markdown bool) error {
+func run(ids []string, seed int64, workers int, csvDir string, markdown bool) error {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = ids[:0]
 		for _, e := range experiments.All() {
@@ -77,15 +80,14 @@ func run(ids []string, seed int64, csvDir string, markdown bool) error {
 			return err
 		}
 	}
-	for _, id := range ids {
-		e, err := experiments.Get(id)
-		if err != nil {
-			return err
-		}
-		res, err := e.Run(experiments.Options{Seed: seed})
-		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
+	// Experiments fan out across workers; results come back in submission
+	// order, so the rendered output matches a serial run byte for byte.
+	results, err := experiments.RunAll(experiments.Options{Seed: seed, Workers: workers}, ids...)
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		id := ids[i]
 		if markdown {
 			fmt.Printf("### %s — %s\n\n", res.ID, res.Title)
 			for _, table := range res.Tables {

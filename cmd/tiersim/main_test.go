@@ -15,8 +15,8 @@ func TestRunSelectedExperimentWithCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	os.Stdout = devNull
-	runErr := run([]string{"fig4"}, 1, csvDir, false)
-	mdErr := run([]string{"fig4"}, 1, "", true)
+	runErr := run([]string{"fig4"}, 1, 2, csvDir, false)
+	mdErr := run([]string{"fig4"}, 1, 2, "", true)
 	os.Stdout = old
 	devNull.Close()
 	if runErr != nil {
@@ -31,7 +31,7 @@ func TestRunSelectedExperimentWithCSV(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"nonesuch"}, 1, "", false); err == nil {
+	if err := run([]string{"nonesuch"}, 1, 1, "", false); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
 }

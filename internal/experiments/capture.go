@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"tieredpricing/internal/bundling"
 	"tieredpricing/internal/cost"
+	"tieredpricing/internal/parallel"
 	"tieredpricing/internal/report"
 	"tieredpricing/internal/traces"
 )
@@ -37,30 +39,42 @@ func runCaptureFigure(id, model string, strategies []bundling.Strategy, opts Opt
 		return nil, err
 	}
 	res := &Result{ID: id, Title: fmt.Sprintf("profit capture, %s demand", model)}
-	for _, name := range traces.Names() {
-		m, err := datasetMarket(name, opts.Seed, dm, cost.Linear{Theta: defaultTheta})
-		if err != nil {
-			return nil, err
-		}
-		t := report.New(
-			fmt.Sprintf("Profit capture, %s demand, %s (α=%.1f, θ=%.1f, P0=$%.0f)",
-				model, name, defaultAlpha, defaultTheta, m.P0),
-			"strategy", "b=1", "b=2", "b=3", "b=4", "b=5", "b=6")
-		for _, s := range strategies {
-			row, err := captureRow(m, s)
+	// Each network's table is independent (own dataset, own market), as is
+	// every strategy × bundle-count repricing inside it; fan out per
+	// dataset here and per B inside captureRow, appending tables in
+	// presentation order.
+	names := traces.Names()
+	workers := opts.workerCount()
+	tables, err := parallel.Map(context.Background(), len(names), workers,
+		func(_ context.Context, di int) (*report.Table, error) {
+			name := names[di]
+			m, err := datasetMarket(name, opts.Seed, dm, cost.Linear{Theta: defaultTheta})
 			if err != nil {
 				return nil, err
 			}
-			cells := []string{s.Name()}
-			for _, v := range row {
-				cells = append(cells, report.F(v))
+			t := report.New(
+				fmt.Sprintf("Profit capture, %s demand, %s (α=%.1f, θ=%.1f, P0=$%.0f)",
+					model, name, defaultAlpha, defaultTheta, m.P0),
+				"strategy", "b=1", "b=2", "b=3", "b=4", "b=5", "b=6")
+			for _, s := range strategies {
+				row, err := captureRow(m, s, workers)
+				if err != nil {
+					return nil, err
+				}
+				cells := []string{s.Name()}
+				for _, v := range row {
+					cells = append(cells, report.F(v))
+				}
+				if err := t.AddRow(cells...); err != nil {
+					return nil, err
+				}
 			}
-			if err := t.AddRow(cells...); err != nil {
-				return nil, err
-			}
-		}
-		t.AddNote("capture = (π_new − π_blended)/(π_perflow − π_blended); 1.0 is per-flow pricing")
-		res.Tables = append(res.Tables, t)
+			t.AddNote("capture = (π_new − π_blended)/(π_perflow − π_blended); 1.0 is per-flow pricing")
+			return t, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	res.Tables = append(res.Tables, tables...)
 	return res, nil
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -12,6 +13,7 @@ import (
 	"tieredpricing/internal/demandfit"
 	"tieredpricing/internal/econ"
 	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/parallel"
 	"tieredpricing/internal/traces"
 )
 
@@ -154,29 +156,30 @@ func datasetMarket(name string, seed int64, dm econ.Model, cm cost.Model) (*core
 }
 
 // captureRow runs one strategy over b = 1..maxBundles and returns the
-// capture series.
-func captureRow(m *core.Market, s bundling.Strategy) ([]float64, error) {
-	out := make([]float64, maxBundles)
-	for b := 1; b <= maxBundles; b++ {
-		res, err := m.Run(s, b)
-		if err != nil {
-			return nil, err
-		}
-		out[b-1] = res.Capture
-	}
-	return out, nil
+// capture series. The repricings at different bundle counts are
+// independent, so they fan out across workers goroutines; slot b-1 of
+// the row holds bundle count b whichever finishes first.
+func captureRow(m *core.Market, s bundling.Strategy, workers int) ([]float64, error) {
+	return parallel.Map(context.Background(), maxBundles, workers,
+		func(_ context.Context, i int) (float64, error) {
+			res, err := m.Run(s, i+1)
+			if err != nil {
+				return 0, err
+			}
+			return res.Capture, nil
+		})
 }
 
 // profitRow runs one strategy over b = 1..maxBundles and returns raw
-// profits (for the figure-normalized sensitivity plots).
-func profitRow(m *core.Market, s bundling.Strategy) ([]float64, error) {
-	out := make([]float64, maxBundles)
-	for b := 1; b <= maxBundles; b++ {
-		res, err := m.Run(s, b)
-		if err != nil {
-			return nil, err
-		}
-		out[b-1] = res.Profit
-	}
-	return out, nil
+// profits (for the figure-normalized sensitivity plots), fanning out per
+// bundle count like captureRow.
+func profitRow(m *core.Market, s bundling.Strategy, workers int) ([]float64, error) {
+	return parallel.Map(context.Background(), maxBundles, workers,
+		func(_ context.Context, i int) (float64, error) {
+			res, err := m.Run(s, i+1)
+			if err != nil {
+				return 0, err
+			}
+			return res.Profit, nil
+		})
 }

@@ -5,10 +5,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
+	"tieredpricing/internal/parallel"
 	"tieredpricing/internal/report"
 )
 
@@ -16,6 +19,23 @@ import (
 type Options struct {
 	// Seed drives all randomness; a fixed seed reproduces a run exactly.
 	Seed int64
+	// Workers bounds the goroutines used to fan out independent work —
+	// whole experiments in RunAll, and the per-seed, per-parameter and
+	// per-bundle-count loops inside experiments. Zero or one runs
+	// serially. Any value produces byte-identical output: tasks derive
+	// their seeds and parameters from their index, and results merge in
+	// submission order.
+	Workers int
+}
+
+// workerCount resolves the Workers option; the zero value stays serial
+// so existing callers and the per-artifact benchmarks keep their exact
+// serial behavior (cmd/tiersim passes runtime.NumCPU() explicitly).
+func (o Options) workerCount() int {
+	if o.Workers <= 0 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Result is an experiment's output: one or more tables mirroring the
@@ -53,19 +73,29 @@ type Experiment struct {
 	Run Runner
 }
 
-var registry = map[string]Experiment{}
+// The registry is guarded for concurrent Get/All against (test-only)
+// late registration; after init it is effectively read-only and the
+// RWMutex costs nothing contended.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Experiment{}
+)
 
 // register adds an experiment at init time.
 func register(e Experiment) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
 	if _, dup := registry[e.ID]; dup {
 		panic("experiments: duplicate id " + e.ID)
 	}
 	registry[e.ID] = e
 }
 
-// Get looks an experiment up by ID.
+// Get looks an experiment up by ID. It is safe for concurrent use.
 func Get(id string) (Experiment, error) {
+	registryMu.RLock()
 	e, ok := registry[id]
+	registryMu.RUnlock()
 	if !ok {
 		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (run `tiersim list`)", id)
 	}
@@ -73,14 +103,45 @@ func Get(id string) (Experiment, error) {
 }
 
 // All returns every experiment sorted by ID (figures first, then tables,
-// in numeric order).
+// in numeric order). It is safe for concurrent use.
 func All() []Experiment {
+	registryMu.RLock()
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {
 		out = append(out, e)
 	}
+	registryMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return lessID(out[i].ID, out[j].ID) })
 	return out
+}
+
+// RunAll resolves ids — every registered experiment when ids is empty —
+// and runs them, fanning the independent experiments across
+// opts.Workers goroutines. Results come back in submission order
+// regardless of completion order, so output rendered from them is
+// byte-identical to running each experiment serially.
+func RunAll(opts Options, ids ...string) ([]*Result, error) {
+	var exps []Experiment
+	if len(ids) == 0 {
+		exps = All()
+	} else {
+		exps = make([]Experiment, len(ids))
+		for i, id := range ids {
+			e, err := Get(id)
+			if err != nil {
+				return nil, err
+			}
+			exps[i] = e
+		}
+	}
+	return parallel.Map(context.Background(), len(exps), opts.workerCount(),
+		func(_ context.Context, i int) (*Result, error) {
+			res, err := exps[i].Run(opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+			}
+			return res, nil
+		})
 }
 
 // lessID orders fig1 < fig2 < ... < fig17 < table1.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"tieredpricing/internal/core"
 	"tieredpricing/internal/cost"
 	"tieredpricing/internal/econ"
+	"tieredpricing/internal/parallel"
 	"tieredpricing/internal/report"
 	"tieredpricing/internal/traces"
 )
@@ -76,19 +78,23 @@ func init() {
 func runCostSensitivity(id string, opts Options, thetas []float64,
 	build func(theta float64) cost.Model) (*Result, error) {
 	res := &Result{ID: id, Title: "cost-model sensitivity, EU ISP"}
+	workers := opts.workerCount()
 	for _, model := range []string{"ced", "logit"} {
 		dm, err := demandModel(model)
 		if err != nil {
 			return nil, err
 		}
-		markets := make([]*core.Market, len(thetas))
+		// Each θ refits the market from scratch; the fits are independent,
+		// so fan out per θ and take the figure-wide normalizer afterwards.
+		markets, err := parallel.Map(context.Background(), len(thetas), workers,
+			func(_ context.Context, i int) (*core.Market, error) {
+				return datasetMarket("euisp", opts.Seed, dm, build(thetas[i]))
+			})
+		if err != nil {
+			return nil, err
+		}
 		figureMax := math.Inf(-1)
-		for i, theta := range thetas {
-			m, err := datasetMarket("euisp", opts.Seed, dm, build(theta))
-			if err != nil {
-				return nil, err
-			}
-			markets[i] = m
+		for _, m := range markets {
 			if m.MaxProfit > figureMax {
 				figureMax = m.MaxProfit
 			}
@@ -97,7 +103,7 @@ func runCostSensitivity(id string, opts Options, thetas []float64,
 			fmt.Sprintf("Profit increase, euisp, %s demand (profit-weighted, figure-normalized)", model),
 			"theta", "b=1", "b=2", "b=3", "b=4", "b=5", "b=6")
 		for i, theta := range thetas {
-			profits, err := profitRow(markets[i], bundling.ProfitWeighted{})
+			profits, err := profitRow(markets[i], bundling.ProfitWeighted{}, workers)
 			if err != nil {
 				return nil, err
 			}
@@ -127,24 +133,26 @@ func runFig13(opts Options) (*Result, error) {
 	}
 	res := &Result{ID: "fig13", Title: "destination-type sensitivity, EU ISP"}
 	strategy := bundling.ClassAware{Inner: bundling.ProfitWeighted{}}
+	workers := opts.workerCount()
 	for _, model := range []string{"ced", "logit"} {
 		dm, err := demandModel(model)
 		if err != nil {
 			return nil, err
 		}
 		thetas := []float64{0.05, 0.10, 0.15}
-		markets := make([]*core.Market, len(thetas))
+		markets, err := parallel.Map(context.Background(), len(thetas), workers,
+			func(_ context.Context, i int) (*core.Market, error) {
+				split, err := core.SplitByDestType(ds.Flows, thetas[i])
+				if err != nil {
+					return nil, err
+				}
+				return core.NewMarket(split, dm, cost.DestType{}, ds.P0)
+			})
+		if err != nil {
+			return nil, err
+		}
 		figureMax := math.Inf(-1)
-		for i, theta := range thetas {
-			split, err := core.SplitByDestType(ds.Flows, theta)
-			if err != nil {
-				return nil, err
-			}
-			m, err := core.NewMarket(split, dm, cost.DestType{}, ds.P0)
-			if err != nil {
-				return nil, err
-			}
-			markets[i] = m
+		for _, m := range markets {
 			if m.MaxProfit > figureMax {
 				figureMax = m.MaxProfit
 			}
@@ -153,7 +161,7 @@ func runFig13(opts Options) (*Result, error) {
 			fmt.Sprintf("Profit increase, euisp, %s demand (class-aware profit-weighted)", model),
 			"theta (on-net fraction)", "b=1", "b=2", "b=3", "b=4", "b=5", "b=6")
 		for i, theta := range thetas {
-			profits, err := profitRow(markets[i], strategy)
+			profits, err := profitRow(markets[i], strategy, workers)
 			if err != nil {
 				return nil, err
 			}
@@ -174,46 +182,61 @@ func runFig13(opts Options) (*Result, error) {
 
 // extremalCapture computes, per dataset and bundle count, the extremal
 // (min or max) profit-weighted capture over a family of markets, one
-// table per demand model.
-func extremalCapture(res *Result, title string, useMax bool, models []string,
+// table per demand model. The family's markets are replications over a
+// swept parameter; their capture rows fan out across workers and the
+// extremum is folded in parameter order (min/max are order-independent,
+// but the fold stays deterministic regardless).
+func extremalCapture(res *Result, title string, useMax bool, models []string, workers int,
 	family func(model, dataset string) ([]*core.Market, error)) error {
 	for _, model := range models {
 		t := report.New(fmt.Sprintf("%s, %s demand", title, model),
 			"network", "b=1", "b=2", "b=3", "b=4", "b=5", "b=6")
-		for _, name := range traces.Names() {
-			extremal := make([]float64, maxBundles)
-			for b := range extremal {
-				if useMax {
-					extremal[b] = math.Inf(-1)
-				} else {
-					extremal[b] = math.Inf(1)
+		names := traces.Names()
+		rows, err := parallel.Map(context.Background(), len(names), workers,
+			func(_ context.Context, di int) ([]string, error) {
+				name := names[di]
+				extremal := make([]float64, maxBundles)
+				for b := range extremal {
+					if useMax {
+						extremal[b] = math.Inf(-1)
+					} else {
+						extremal[b] = math.Inf(1)
+					}
 				}
-			}
-			markets, err := family(model, name)
-			if err != nil {
-				return err
-			}
-			for _, m := range markets {
-				row, err := captureRow(m, bundling.ProfitWeighted{})
+				markets, err := family(model, name)
 				if err != nil {
-					return err
+					return nil, err
 				}
-				for b, v := range row {
-					if math.IsNaN(v) {
-						continue
+				captures, err := parallel.Map(context.Background(), len(markets), workers,
+					func(_ context.Context, mi int) ([]float64, error) {
+						return captureRow(markets[mi], bundling.ProfitWeighted{}, workers)
+					})
+				if err != nil {
+					return nil, err
+				}
+				for _, row := range captures {
+					for b, v := range row {
+						if math.IsNaN(v) {
+							continue
+						}
+						if useMax == (v > extremal[b]) {
+							extremal[b] = v
+						}
 					}
-					if useMax == (v > extremal[b]) {
-						extremal[b] = v
+				}
+				cells := []string{name}
+				for _, v := range extremal {
+					if math.IsInf(v, 0) {
+						v = math.NaN()
 					}
+					cells = append(cells, report.F(v))
 				}
-			}
-			cells := []string{name}
-			for _, v := range extremal {
-				if math.IsInf(v, 0) {
-					v = math.NaN()
-				}
-				cells = append(cells, report.F(v))
-			}
+				return cells, nil
+			})
+		if err != nil {
+			return err
+		}
+		for _, cells := range rows {
 			if err := t.AddRow(cells...); err != nil {
 				return err
 			}
@@ -225,25 +248,22 @@ func extremalCapture(res *Result, title string, useMax bool, models []string,
 
 func runFig14(opts Options) (*Result, error) {
 	res := &Result{ID: "fig14", Title: "sensitivity to price elasticity α"}
+	workers := opts.workerCount()
 	family := func(model, dataset string) ([]*core.Market, error) {
-		var out []*core.Market
-		for _, alpha := range []float64{1.1, 1.5, 2, 3, 5, 7, 10} {
-			var dm econ.Model
-			if model == "ced" {
-				dm = econ.CED{Alpha: alpha}
-			} else {
-				dm = econ.Logit{Alpha: alpha, S0: defaultS0}
-			}
-			m, err := datasetMarket(dataset, opts.Seed, dm, cost.Linear{Theta: defaultTheta})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, m)
-		}
-		return out, nil
+		alphas := []float64{1.1, 1.5, 2, 3, 5, 7, 10}
+		return parallel.Map(context.Background(), len(alphas), workers,
+			func(_ context.Context, i int) (*core.Market, error) {
+				var dm econ.Model
+				if model == "ced" {
+					dm = econ.CED{Alpha: alphas[i]}
+				} else {
+					dm = econ.Logit{Alpha: alphas[i], S0: defaultS0}
+				}
+				return datasetMarket(dataset, opts.Seed, dm, cost.Linear{Theta: defaultTheta})
+			})
 	}
 	if err := extremalCapture(res, "Minimum capture over α ∈ [1.1, 10] (profit-weighted)",
-		false, []string{"ced", "logit"}, family); err != nil {
+		false, []string{"ced", "logit"}, workers, family); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -251,6 +271,7 @@ func runFig14(opts Options) (*Result, error) {
 
 func runFig15(opts Options) (*Result, error) {
 	res := &Result{ID: "fig15", Title: "sensitivity to blended rate P0"}
+	workers := opts.workerCount()
 	family := func(model, dataset string) ([]*core.Market, error) {
 		dm, err := demandModel(model)
 		if err != nil {
@@ -260,18 +281,14 @@ func runFig15(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		var out []*core.Market
-		for _, p0 := range []float64{5, 10, 15, 20, 25, 30} {
-			m, err := core.NewMarket(ds.Flows, dm, cost.Linear{Theta: defaultTheta}, p0)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, m)
-		}
-		return out, nil
+		p0s := []float64{5, 10, 15, 20, 25, 30}
+		return parallel.Map(context.Background(), len(p0s), workers,
+			func(_ context.Context, i int) (*core.Market, error) {
+				return core.NewMarket(ds.Flows, dm, cost.Linear{Theta: defaultTheta}, p0s[i])
+			})
 	}
 	if err := extremalCapture(res, "Minimum capture over P0 ∈ [5, 30] (profit-weighted)",
-		false, []string{"ced", "logit"}, family); err != nil {
+		false, []string{"ced", "logit"}, workers, family); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -279,20 +296,17 @@ func runFig15(opts Options) (*Result, error) {
 
 func runFig16(opts Options) (*Result, error) {
 	res := &Result{ID: "fig16", Title: "sensitivity to no-purchase share s0 (logit)"}
+	workers := opts.workerCount()
 	family := func(model, dataset string) ([]*core.Market, error) {
-		var out []*core.Market
-		for _, s0 := range []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9} {
-			m, err := datasetMarket(dataset, opts.Seed,
-				econ.Logit{Alpha: defaultAlpha, S0: s0}, cost.Linear{Theta: defaultTheta})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, m)
-		}
-		return out, nil
+		s0s := []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+		return parallel.Map(context.Background(), len(s0s), workers,
+			func(_ context.Context, i int) (*core.Market, error) {
+				return datasetMarket(dataset, opts.Seed,
+					econ.Logit{Alpha: defaultAlpha, S0: s0s[i]}, cost.Linear{Theta: defaultTheta})
+			})
 	}
 	if err := extremalCapture(res, "Maximum capture over s0 ∈ [0.1, 0.9] (profit-weighted)",
-		true, []string{"logit"}, family); err != nil {
+		true, []string{"logit"}, workers, family); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -57,6 +57,93 @@ func FuzzDecodePacket(f *testing.F) {
 	})
 }
 
+// FuzzUDPDatagramPath fuzzes the exact per-datagram path the UDP
+// CollectorServer runs: DecodePacket on a raw datagram, then (on
+// success) Collector.Ingest. Malformed headers and truncated records
+// must error — never panic — and whatever does decode must leave the
+// collector's accounting consistent.
+func FuzzUDPDatagramPath(f *testing.F) {
+	recs := []Record{
+		{
+			SrcAddr: netip.MustParseAddr("10.0.0.1"),
+			DstAddr: netip.MustParseAddr("10.1.0.1"),
+			Octets:  4096, Packets: 3, First: 1, Last: 9,
+			SrcPort: 443, DstPort: 51000, Proto: 6,
+		},
+		{
+			SrcAddr: netip.MustParseAddr("10.0.0.2"),
+			DstAddr: netip.MustParseAddr("10.1.0.1"),
+			Octets:  512, Packets: 1, First: 2, Last: 2, Proto: 17,
+		},
+	}
+	valid, err := EncodePacket(Header{UnixSecs: 1000, SamplingInterval: 100}, recs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:HeaderSize-1])              // truncated header
+	f.Add(valid[:HeaderSize])                // header only, no records
+	f.Add(valid[:HeaderSize+RecordSize-7])   // truncated record
+	f.Add(valid[:len(valid)-1])              // last record short one byte
+	badVersion := append([]byte(nil), valid...)
+	badVersion[1] = 9 // version 9 header on a v5 body
+	f.Add(badVersion)
+	zeroCount := append([]byte(nil), valid...)
+	zeroCount[2], zeroCount[3] = 0, 0
+	f.Add(zeroCount)
+	hugeCount := append([]byte(nil), valid...)
+	hugeCount[2], hugeCount[3] = 0xFF, 0xFF
+	f.Add(hugeCount)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, datagram []byte) {
+		h, got, err := DecodePacket(datagram)
+		if err != nil {
+			return // the server counts this datagram as bad and moves on
+		}
+		if len(got) == 0 || len(got) > MaxRecordsPerPacket {
+			t.Fatalf("decode accepted %d records", len(got))
+		}
+		c := NewCollector(func(r Record) string {
+			if r.Proto == 0 {
+				return "" // exercise the dropped path
+			}
+			return r.DstAddr.String()
+		})
+		c.Ingest(h, got)
+		records, duplicates, dropped := c.Stats()
+		if records != len(got) {
+			t.Fatalf("collector counted %d records, ingested %d", records, len(got))
+		}
+		kept := records - duplicates - dropped
+		var bucketed int
+		sampling := uint64(h.SamplingInterval)
+		if sampling == 0 {
+			sampling = 1
+		}
+		var wantOctets, gotOctets uint64
+		seen := make(map[FlowKey]bool)
+		for _, r := range got {
+			if key := KeyOf(r); !seen[key] && r.Proto != 0 {
+				wantOctets += uint64(r.Octets) * sampling
+			}
+			seen[KeyOf(r)] = true
+		}
+		for _, a := range c.Aggregates() {
+			bucketed += a.Records
+			gotOctets += a.Octets
+		}
+		if bucketed != kept {
+			t.Fatalf("aggregates hold %d records, want %d (= %d - %d dup - %d dropped)",
+				bucketed, kept, records, duplicates, dropped)
+		}
+		if gotOctets != wantOctets {
+			t.Fatalf("aggregated octets %d, want %d (sampling ×%d restored once per distinct record)",
+				gotOctets, wantOctets, sampling)
+		}
+	})
+}
+
 // FuzzReader exercises the stream reader on arbitrary byte streams.
 func FuzzReader(f *testing.F) {
 	recs := []Record{{

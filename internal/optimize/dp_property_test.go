@@ -1,0 +1,202 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// These property tests cross-check ContiguousDP against the exact
+// set-partition enumerator on small random instances with the objective
+// family both demand models reduce to (DESIGN.md §4):
+//
+//	value(block) = W(block) · g(weighted mean cost of block)
+//
+// with g strictly convex. For such objectives an optimal partition is
+// contiguous in cost order, so the DP over the sorted order must attain
+// the exhaustive optimum over ALL set partitions — not just the best
+// contiguous one.
+
+// partitionObjective evaluates one instance: weights w > 0, costs c, and
+// a convex transform g. It exposes the block value on arbitrary index
+// sets (for the enumerator) and on contiguous ranges of a sorted order
+// (for the DP).
+type partitionObjective struct {
+	w, c []float64
+	g    func(float64) float64
+}
+
+func (o partitionObjective) setValue(block []int) float64 {
+	var wSum, cwSum float64
+	for _, i := range block {
+		wSum += o.w[i]
+		cwSum += o.c[i] * o.w[i]
+	}
+	return wSum * o.g(cwSum/wSum)
+}
+
+// costOrder returns indices sorted ascending by cost (ties by index, as
+// the bundling package sorts).
+func (o partitionObjective) costOrder() []int {
+	order := make([]int, len(o.c))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return o.c[order[a]] < o.c[order[b]] })
+	return order
+}
+
+// dpBest solves the instance with ContiguousDP over cost order.
+func (o partitionObjective) dpBest(t *testing.T, maxBlocks int) float64 {
+	t.Helper()
+	order := o.costOrder()
+	val := func(lo, hi int) float64 {
+		return o.setValue(order[lo:hi])
+	}
+	blocks, total, err := ContiguousDP(len(o.w), maxBlocks, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reported total must equal the sum of the reconstructed blocks.
+	var check float64
+	for _, b := range blocks {
+		check += o.setValue(order[b[0]:b[1]])
+	}
+	if math.Abs(check-total) > 1e-9*(1+math.Abs(total)) {
+		t.Fatalf("DP total %v does not match reconstructed blocks' value %v", total, check)
+	}
+	return total
+}
+
+// exhaustiveBest enumerates every set partition into at most maxBlocks
+// blocks and returns the best objective value.
+func (o partitionObjective) exhaustiveBest(t *testing.T, maxBlocks int) float64 {
+	t.Helper()
+	best := math.Inf(-1)
+	err := EnumeratePartitions(len(o.w), maxBlocks, func(p [][]int) bool {
+		var total float64
+		for _, block := range p {
+			total += o.setValue(block)
+		}
+		if total > best {
+			best = total
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return best
+}
+
+// convexTransforms mirrors the two demand models' g: CED's C^{1−α}
+// (α > 1) and logit's e^{−αC}, plus a plain quadratic.
+var convexTransforms = []struct {
+	name string
+	g    func(float64) float64
+}{
+	{"ced-like pow", func(x float64) float64 { return math.Pow(x, -0.5) }},
+	{"logit-like exp", func(x float64) float64 { return math.Exp(-1.1 * x) }},
+	{"quadratic", func(x float64) float64 { return x * x }},
+}
+
+func checkDPMatchesExhaustive(t *testing.T, o partitionObjective, maxBlocks int) {
+	t.Helper()
+	dp := o.dpBest(t, maxBlocks)
+	ex := o.exhaustiveBest(t, maxBlocks)
+	// The DP searches a subset of the enumerator's space, so it can never
+	// exceed the exhaustive optimum; convexity says it must reach it.
+	tol := 1e-9 * (1 + math.Abs(ex))
+	if dp > ex+tol {
+		t.Fatalf("DP total %v exceeds exhaustive optimum %v (enumerator broken)", dp, ex)
+	}
+	if dp < ex-tol {
+		t.Fatalf("DP total %v below exhaustive optimum %v (contiguity violated)", dp, ex)
+	}
+}
+
+// TestContiguousDPMatchesExhaustiveRandom: randomized instances, n ≤ 9,
+// every convex transform, several block budgets.
+func TestContiguousDPMatchesExhaustiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(8) // 2..9
+		o := partitionObjective{
+			w: make([]float64, n),
+			c: make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			o.w[i] = 0.1 + r.Float64()*5
+			o.c[i] = 0.05 + r.Float64()*10
+		}
+		if trial%5 == 0 {
+			// Duplicate a cost to exercise tie-breaking.
+			o.c[r.Intn(n)] = o.c[0]
+		}
+		tr := convexTransforms[trial%len(convexTransforms)]
+		o.g = tr.g
+		for _, maxBlocks := range []int{1, 2, 3, n, n + 3} {
+			checkDPMatchesExhaustive(t, o, maxBlocks)
+		}
+	}
+}
+
+// TestContiguousDPDegenerateAllEqualCosts: with all costs equal, every
+// partition has the same objective W_total·g(c), so the DP must agree
+// with the enumerator trivially — a regression guard for tie handling.
+func TestContiguousDPDegenerateAllEqualCosts(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, tr := range convexTransforms {
+		n := 6
+		o := partitionObjective{w: make([]float64, n), c: make([]float64, n), g: tr.g}
+		for i := 0; i < n; i++ {
+			o.w[i] = 0.5 + r.Float64()
+			o.c[i] = 2.5
+		}
+		checkDPMatchesExhaustive(t, o, 3)
+		// And the value is what the closed form says.
+		var wSum float64
+		for _, w := range o.w {
+			wSum += w
+		}
+		want := wSum * tr.g(2.5)
+		got := o.dpBest(t, 3)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("%s: all-equal-cost total %v, want %v", tr.name, got, want)
+		}
+	}
+}
+
+// TestContiguousDPDegenerateMaxBlocksExceedsN: maxBlocks far above n
+// must behave exactly like maxBlocks = n for both searchers.
+func TestContiguousDPDegenerateMaxBlocksExceedsN(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := 5
+	o := partitionObjective{w: make([]float64, n), c: make([]float64, n),
+		g: func(x float64) float64 { return x * x }}
+	for i := 0; i < n; i++ {
+		o.w[i] = 0.2 + r.Float64()
+		o.c[i] = r.Float64() * 4
+	}
+	capped := o.dpBest(t, n)
+	uncapped := o.dpBest(t, 100)
+	if capped != uncapped {
+		t.Errorf("maxBlocks=n gives %v, maxBlocks>n gives %v", capped, uncapped)
+	}
+	checkDPMatchesExhaustive(t, o, 100)
+}
+
+// TestContiguousDPDegenerateSingleFlow: one flow, any budget — one block,
+// value g(c)·w.
+func TestContiguousDPDegenerateSingleFlow(t *testing.T) {
+	o := partitionObjective{w: []float64{3}, c: []float64{1.5},
+		g: func(x float64) float64 { return math.Exp(-x) }}
+	for _, maxBlocks := range []int{1, 2, 6} {
+		checkDPMatchesExhaustive(t, o, maxBlocks)
+		want := 3 * math.Exp(-1.5)
+		if got := o.dpBest(t, maxBlocks); math.Abs(got-want) > 1e-12 {
+			t.Errorf("maxBlocks=%d: total %v, want %v", maxBlocks, got, want)
+		}
+	}
+}

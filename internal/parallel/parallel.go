@@ -1,0 +1,129 @@
+// Package parallel provides the bounded fan-out primitive behind the
+// evaluation stack's concurrency: a fixed-size worker pool that runs n
+// independent index-addressed tasks, cancels outstanding work on the
+// first failure, and collects results in submission (index) order
+// regardless of completion order. Determinism is the design constraint:
+// every task receives its identity (and hence its seed or parameter)
+// from its index alone, and results are merged by index, so output
+// assembled from a Map is byte-identical whatever the worker count or
+// scheduling.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a requested worker count: zero or negative selects
+// runtime.NumCPU(), and the pool never holds more workers than tasks
+// (nor fewer than one).
+func Workers(requested, tasks int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (after Workers normalization). The first task error cancels
+// the context passed to in-flight and queued tasks and is returned;
+// tasks skipped because of the cancellation are not treated as failures.
+// With workers <= 1 the calls happen serially on the calling goroutine,
+// exactly like the plain loop.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, n, workers, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines and returns the n results in index order, however the tasks
+// interleaved. On failure it returns the error of the lowest-indexed
+// task observed to fail (deterministic when a single task is at fault)
+// after cancelling the context seen by the remaining tasks. A cancelled
+// parent context surfaces as its ctx.Err() once in-flight tasks drain.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]T, n)
+	if Workers(workers, n) == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu      sync.Mutex
+		taskErr error
+		errIdx  int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if taskErr == nil || i < errIdx {
+			taskErr, errIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := Workers(workers, n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if ctx.Err() != nil {
+					continue // drained after cancellation, not a failure
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	if taskErr != nil {
+		return nil, taskErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	cases := []struct {
+		requested, tasks, want int
+	}{
+		{0, 100, runtime.NumCPU()},
+		{-3, 100, runtime.NumCPU()},
+		{4, 100, 4},
+		{4, 2, 2},
+		{8, 0, 1},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.requested, c.tasks); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.tasks, got, c.want)
+		}
+	}
+	// The NumCPU default still caps at the task count.
+	if got := Workers(0, 1); got != 1 {
+		t.Errorf("Workers(0, 1) = %d, want 1", got)
+	}
+}
+
+func TestMapCollectsInIndexOrder(t *testing.T) {
+	n := 64
+	out, err := Map(context.Background(), n, 8, func(_ context.Context, i int) (int, error) {
+		if i%7 == 0 {
+			time.Sleep(time.Millisecond) // shuffle completion order
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n {
+		t.Fatalf("got %d results, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	out, err := Map(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for n = 0")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("Map(0 tasks) = %v, %v; want nil, nil", out, err)
+	}
+}
+
+// TestPoolSaturation asserts the pool actually bounds concurrency at the
+// worker count — and reaches it — by tracking the high-water mark of
+// simultaneously running tasks through a rendezvous barrier.
+func TestPoolSaturation(t *testing.T) {
+	const workers, n = 4, 32
+	var running, peak atomic.Int64
+	var reached sync.WaitGroup
+	reached.Add(workers)
+	var once sync.Once
+	release := make(chan struct{})
+	err := ForEach(context.Background(), n, workers, func(_ context.Context, i int) error {
+		cur := running.Add(1)
+		defer running.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		if i < workers {
+			// The first `workers` indices rendezvous: they all must be in
+			// flight at once, proving the pool saturates. (Index feeding is
+			// ordered, so indices 0..workers-1 land on distinct workers.)
+			reached.Done()
+			once.Do(func() {
+				go func() {
+					reached.Wait()
+					close(release)
+				}()
+			})
+			<-release
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	} else if p < workers {
+		t.Errorf("peak concurrency %d never saturated %d workers", p, workers)
+	}
+	if r := running.Load(); r != 0 {
+		t.Errorf("%d tasks still marked running after return", r)
+	}
+}
+
+// TestErrorShortCircuit asserts the first failure cancels the context
+// seen by in-flight tasks and prevents queued tasks from starting.
+func TestErrorShortCircuit(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	var cancelled atomic.Int64
+	const n = 1000
+	_, err := Map(context.Background(), n, 4, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		// Tasks already in flight observe the cancellation instead of
+		// running to their (slow) completion.
+		select {
+		case <-ctx.Done():
+			cancelled.Add(1)
+			return 0, nil
+		case <-time.After(5 * time.Second):
+			return i, nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if s := started.Load(); s == n {
+		t.Error("every task started despite the short-circuit")
+	}
+	if cancelled.Load() == 0 && started.Load() > 1 {
+		t.Error("no in-flight task observed the cancellation")
+	}
+}
+
+// TestLowestIndexErrorWins: when several tasks fail, the reported error
+// is the lowest-indexed failure observed, deterministically for the
+// common one-bad-input case.
+func TestLowestIndexErrorWins(t *testing.T) {
+	var gate sync.WaitGroup
+	gate.Add(2)
+	_, err := Map(context.Background(), 8, 2, func(_ context.Context, i int) (int, error) {
+		if i < 2 {
+			// Both failing tasks are in flight before either reports, so
+			// index 0 must win however the scheduler orders them.
+			gate.Done()
+			gate.Wait()
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "task 0 failed" {
+		t.Fatalf("err = %v, want task 0's error", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	const n = 1000
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ForEach(ctx, n, 4, func(ctx context.Context, i int) error {
+			started.Add(1)
+			<-ctx.Done()
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach did not return after cancellation")
+	}
+	if s := started.Load(); s == n {
+		t.Error("cancellation did not stop the index feed")
+	}
+}
+
+func TestSerialPathRespectsPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 10, 1, func(_ context.Context, i int) (int, error) {
+		t.Error("fn ran under a cancelled context")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSerialAndParallelAgree(t *testing.T) {
+	fn := func(_ context.Context, i int) (float64, error) {
+		// A float fold stand-in: value depends only on the index.
+		return float64(i*i) / 3.0, nil
+	}
+	serial, err := Map(context.Background(), 100, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 4, runtime.NumCPU()} {
+		par, err := Map(context.Background(), 100, w, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v", w, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestForEachNilContext(t *testing.T) {
+	var count atomic.Int64
+	if err := ForEach(nil, 5, 3, func(ctx context.Context, i int) error { //nolint:staticcheck
+		if ctx == nil {
+			return errors.New("nil ctx passed to task")
+		}
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 5 {
+		t.Errorf("ran %d tasks, want 5", count.Load())
+	}
+}
