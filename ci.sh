@@ -1,21 +1,57 @@
 #!/bin/sh
-# Tier-1 gate: everything a change must pass before it lands.
+# Tier-1 gate and perf tracking.
 #
-#   ./ci.sh
+#   ./ci.sh         — the gate: everything a change must pass before it
+#                     lands.
+#   ./ci.sh bench   — timed benchmark run; writes BENCH_<date>.json
+#                     (name, ns/op, allocs/op, custom metrics) via
+#                     cmd/benchjson so the perf trajectory is
+#                     machine-readable.
 #
-# Steps, in order (each must pass):
+# Gate steps, in order (each must pass):
 #   1. go vet        — static analysis across every package
 #   2. go build      — the full module compiles, commands included
 #   3. go test -race — the whole test suite under the race detector,
 #                      covering the parallel experiment engine, the
-#                      concurrent NetFlow collector, and the registry
+#                      concurrent NetFlow collector, the sliding-window
+#                      repricer, and the registry
 #   4. benchmarks    — every benchmark compiles and runs one iteration
 #                      (catches bit-rotted benchmark code without paying
-#                      for a timed run; use `go test -bench=.` for real
+#                      for a timed run; use `./ci.sh bench` for real
 #                      numbers)
+#   5. fuzz smoke    — every netflow/bgp fuzz target actually fuzzes for
+#                      a short budget (FUZZTIME, default 10s each), not
+#                      just replays its seed corpus
 set -eu
 
 cd "$(dirname "$0")"
+
+bench() {
+    date_tag=$(date +%F)
+    out="BENCH_${date_tag}.json"
+    echo "==> go test -bench=. -benchmem ./... > ${out}"
+    go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchjson > "$out"
+    echo "==> wrote $out"
+}
+
+fuzz_smoke() {
+    # `go test -fuzz` accepts only one target per run, so iterate.
+    for target in FuzzDecodePacket FuzzUDPDatagramPath FuzzReader; do
+        echo "==> fuzz ${target} (internal/netflow, ${FUZZTIME})"
+        go test -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME" ./internal/netflow
+    done
+    for target in FuzzDecodeUpdate FuzzDecodeBody FuzzDecodeOpen; do
+        echo "==> fuzz ${target} (internal/bgp, ${FUZZTIME})"
+        go test -run='^$' -fuzz="^${target}\$" -fuzztime="$FUZZTIME" ./internal/bgp
+    done
+}
+
+if [ "${1:-}" = "bench" ]; then
+    bench
+    exit 0
+fi
+
+FUZZTIME="${FUZZTIME:-10s}"
 
 echo "==> go vet ./..."
 go vet ./...
@@ -28,5 +64,7 @@ go test -race ./...
 
 echo "==> go test -run='^$' -bench=. -benchtime=1x ./..."
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+fuzz_smoke
 
 echo "==> ci: all gates passed"

@@ -1,0 +1,46 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON array on stdout, one object per benchmark result, so the
+// performance trajectory of the repo is machine-readable:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson > BENCH_$(date +%F).json
+//
+// Each object carries the package (from the preceding "pkg:" line), the
+// benchmark name (GOMAXPROCS suffix stripped), iterations, ns/op, and —
+// when present — B/op, allocs/op, and any custom metrics reported via
+// b.ReportMetric (e.g. p99-ns), under "metrics".
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	results, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one benchmark line, normalized.
+type Result struct {
+	Pkg         string             `json:"pkg,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads `go test -bench` output and extracts every benchmark
+// result line. Non-benchmark lines (goos/goarch/cpu headers, PASS/ok
+// trailers, test log output) are skipped; "pkg:" headers set the package
+// attributed to subsequent results.
+func Parse(r io.Reader) ([]Result, error) {
+	var (
+		results []Result
+		pkg     string
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", line, err)
+		}
+		if ok {
+			res.Pkg = pkg
+			results = append(results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// parseLine decodes one result line of the form
+//
+//	BenchmarkName-8  1234  56.7 ns/op  8 B/op  1 allocs/op  97 p99-ns
+//
+// ok is false for lines that start with "Benchmark" but are not results
+// (e.g. a bare name echoed when -v is on).
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false, nil
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil // not a result line
+	}
+	res := Result{Name: name, Iterations: iters}
+	seenNs := false
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	if !seenNs {
+		return Result{}, false, fmt.Errorf("no ns/op metric")
+	}
+	return res, true, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: tieredpricing/internal/stream
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkWindowIngest-8   	    5000	    245678 ns/op	   12345 B/op	      67 allocs/op
+PASS
+ok  	tieredpricing/internal/stream	1.5s
+goos: linux
+goarch: amd64
+pkg: tieredpricing/cmd/tierd
+BenchmarkQuoteLoad 	  100000	       149.0 ns/op	        97.00 p99-ns	       0 B/op	       0 allocs/op
+PASS
+ok  	tieredpricing/cmd/tierd	0.04s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+
+	w := results[0]
+	if w.Pkg != "tieredpricing/internal/stream" || w.Name != "BenchmarkWindowIngest" {
+		t.Errorf("result 0 identity: %+v", w)
+	}
+	if w.Iterations != 5000 || w.NsPerOp != 245678 {
+		t.Errorf("result 0 timing: %+v", w)
+	}
+	if w.BytesPerOp == nil || *w.BytesPerOp != 12345 || w.AllocsPerOp == nil || *w.AllocsPerOp != 67 {
+		t.Errorf("result 0 memory: %+v", w)
+	}
+
+	q := results[1]
+	if q.Pkg != "tieredpricing/cmd/tierd" || q.Name != "BenchmarkQuoteLoad" {
+		t.Errorf("result 1 identity: %+v", q)
+	}
+	if q.NsPerOp != 149.0 {
+		t.Errorf("result 1 ns/op = %v", q.NsPerOp)
+	}
+	if q.AllocsPerOp == nil || *q.AllocsPerOp != 0 {
+		t.Errorf("result 1 allocs: %+v", q.AllocsPerOp)
+	}
+	if q.Metrics["p99-ns"] != 97.0 {
+		t.Errorf("result 1 custom metric: %v", q.Metrics)
+	}
+}
+
+func TestParseStripsGOMAXPROCSSuffixOnly(t *testing.T) {
+	in := "pkg: p\nBenchmarkFit-b2-16   	 10	 100 ns/op\n"
+	results, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Name != "BenchmarkFit-b2" {
+		t.Errorf("name = %q, want BenchmarkFit-b2", results[0].Name)
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	in := strings.Join([]string{
+		"=== RUN   TestSomething",
+		"Benchmarks are fun", // starts with Benchmark, not a result
+		"BenchmarkEcho",      // -v echo with no fields
+		"--- PASS: TestSomething (0.00s)",
+		"BenchmarkReal-4  200  50 ns/op",
+	}, "\n")
+	results, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "BenchmarkReal" {
+		t.Fatalf("results = %+v, want just BenchmarkReal", results)
+	}
+}
+
+func TestParseRejectsMalformedMetric(t *testing.T) {
+	in := "BenchmarkBad-4  200  fifty ns/op"
+	if _, err := Parse(strings.NewReader(in)); err == nil {
+		t.Error("expected error for malformed metric value")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	results, err := Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("results = %+v, want none", results)
+	}
+}

@@ -1,28 +1,36 @@
-// Command bundlectl is the operator tool: it consumes a directory of raw
-// NetFlow export streams (as written by tracegen, or by real collection
-// infrastructure using the same format), rebuilds per-destination traffic
-// demands through the de-duplicating collector, fits the demand/cost
-// model at the configured blended rate, and prints the recommended
-// pricing tiers with their profit-maximizing prices.
+// Command bundlectl is the operator tool: it consumes NetFlow export
+// streams — a directory of raw capture files (as written by tracegen, or
+// by real collection infrastructure using the same format) and/or a live
+// UDP export feed — rebuilds per-destination traffic demands through the
+// de-duplicating collector, fits the demand/cost model at the configured
+// blended rate, and prints the recommended pricing tiers with their
+// profit-maximizing prices.
 //
 // Usage:
 //
 //	bundlectl -in /tmp/euisp -tiers 3 -model ced -strategy profit-weighted
+//	bundlectl -in /tmp/euisp -udp 127.0.0.1:2055 -for 5m
+//
+// With -udp, SIGINT/SIGTERM stops the capture gracefully: the listener
+// is drained and the tiers are computed from everything received so far
+// (partial results are flushed, not discarded).
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
-	"strconv"
-	"strings"
+	"syscall"
+	"time"
 
 	"tieredpricing/internal/bundling"
 	"tieredpricing/internal/core"
@@ -37,36 +45,67 @@ import (
 	"tieredpricing/internal/traces"
 )
 
+// runConfig collects bundlectl's knobs; the flag set in main fills one.
+type runConfig struct {
+	dir      string
+	tiers    int
+	workers  int
+	model    string
+	alpha    float64
+	s0       float64
+	theta    float64
+	strategy string
+	truth    string
+
+	udp       string        // UDP NetFlow listen address; empty disables
+	listenFor time.Duration // stop UDP capture after this long; 0 = until signal
+
+	// onListen, when set, is invoked with the live UDP listener once it
+	// is bound (test hook: learn the ephemeral port and drive traffic).
+	onListen func(*netflow.CollectorServer)
+	out      io.Writer // defaults to os.Stdout
+}
+
 func main() {
-	in := flag.String("in", "", "trace directory from tracegen (required)")
-	tiers := flag.Int("tiers", 3, "number of pricing tiers")
-	model := flag.String("model", "ced", "demand model: ced or logit")
-	alpha := flag.Float64("alpha", 1.1, "price sensitivity α")
-	s0 := flag.Float64("s0", 0.2, "logit no-purchase share")
-	theta := flag.Float64("theta", 0.2, "linear cost model base fraction θ")
-	strategyName := flag.String("strategy", "profit-weighted",
+	cfg := runConfig{out: os.Stdout}
+	flag.StringVar(&cfg.dir, "in", "", "trace directory from tracegen (required)")
+	flag.IntVar(&cfg.tiers, "tiers", 3, "number of pricing tiers")
+	flag.StringVar(&cfg.model, "model", "ced", "demand model: ced or logit")
+	flag.Float64Var(&cfg.alpha, "alpha", 1.1, "price sensitivity α")
+	flag.Float64Var(&cfg.s0, "s0", 0.2, "logit no-purchase share")
+	flag.Float64Var(&cfg.theta, "theta", 0.2, "linear cost model base fraction θ")
+	flag.StringVar(&cfg.strategy, "strategy", "profit-weighted",
 		"bundling strategy (optimal, profit-weighted, cost-weighted, demand-weighted, cost division, index division)")
-	truth := flag.String("truth", "", "optional ground-truth flows CSV (from tracegen) to verify the recovery against")
-	workers := flag.Int("parallel", runtime.NumCPU(),
+	flag.StringVar(&cfg.truth, "truth", "", "optional ground-truth flows CSV (from tracegen) to verify the recovery against")
+	flag.IntVar(&cfg.workers, "parallel", runtime.NumCPU(),
 		"worker goroutines for ingesting router streams (the collector is concurrency-safe; 1 = serial)")
+	flag.StringVar(&cfg.udp, "udp", "", "also capture live NetFlow over UDP at this address (e.g. 127.0.0.1:2055)")
+	flag.DurationVar(&cfg.listenFor, "for", 0, "stop the UDP capture after this duration (0 = until SIGINT/SIGTERM)")
 	flag.Parse()
-	if *in == "" {
+	if cfg.dir == "" {
 		fmt.Fprintln(os.Stderr, "bundlectl: -in is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *tiers, *workers, *model, *alpha, *s0, *theta, *strategyName, *truth); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bundlectl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, tiers, workers int, model string, alpha, s0, theta float64, strategyName, truthPath string) error {
-	meta, err := readMeta(filepath.Join(dir, "meta.txt"))
+func run(ctx context.Context, cfg runConfig) error {
+	out := cfg.out
+	if out == nil {
+		out = os.Stdout
+	}
+	meta, err := traces.ReadMetaFile(filepath.Join(cfg.dir, "meta.txt"))
 	if err != nil {
 		return err
 	}
-	geoFile, err := os.Open(filepath.Join(dir, "geoip.csv"))
+	geoFile, err := os.Open(filepath.Join(cfg.dir, "geoip.csv"))
 	if err != nil {
 		return err
 	}
@@ -78,80 +117,120 @@ func run(dir string, tiers, workers int, model string, alpha, s0, theta float64,
 
 	// Collect every router stream through the deduplicating collector.
 	collector := netflow.NewCollector(traces.AggregateKey)
-	streams, err := filepath.Glob(filepath.Join(dir, "*.nf5"))
+	streams, err := filepath.Glob(filepath.Join(cfg.dir, "*.nf5"))
 	if err != nil {
 		return err
 	}
-	if len(streams) == 0 {
-		return fmt.Errorf("no .nf5 streams in %s", dir)
+	if len(streams) == 0 && cfg.udp == "" {
+		return fmt.Errorf("no .nf5 streams in %s (and no -udp listener)", cfg.dir)
 	}
 	// Router streams are independent files and the collector is safe for
 	// concurrent ingest (core routers export independently); dedup and the
 	// accumulated aggregates are order-insensitive, so the fitted market is
 	// identical for any worker count.
-	if err := parallel.ForEach(context.Background(), len(streams), workers,
+	if err := parallel.ForEach(ctx, len(streams), cfg.workers,
 		func(_ context.Context, i int) error {
 			return ingestFile(collector, streams[i])
 		}); err != nil {
-		return err
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		// Interrupted mid-capture: flush what we have rather than dying.
+		fmt.Fprintln(out, "interrupted during file ingest — flushing partial results")
+	}
+	if cfg.udp != "" {
+		if err := captureUDP(ctx, cfg, collector, out); err != nil {
+			return err
+		}
 	}
 	records, dups, dropped := collector.Stats()
 
-	rv := &demandfit.Resolver{Geo: geo, DistanceRegions: meta.dataset == "euisp"}
-	if meta.dataset == "internet2" {
+	rv := &demandfit.Resolver{Geo: geo, DistanceRegions: meta.Dataset == "euisp"}
+	if meta.Dataset == "internet2" {
 		rv.Topo = topology.Internet2()
 	}
-	flows, skipped, err := demandfit.BuildFlows(collector.Aggregates(), rv, meta.duration)
+	flows, skipped, err := demandfit.BuildFlows(collector.Aggregates(), rv, meta.DurationSec)
 	if err != nil {
 		return err
 	}
 
 	var dm econ.Model
-	switch model {
+	switch cfg.model {
 	case "ced":
-		dm = econ.CED{Alpha: alpha}
+		dm = econ.CED{Alpha: cfg.alpha}
 	case "logit":
-		dm = econ.Logit{Alpha: alpha, S0: s0}
+		dm = econ.Logit{Alpha: cfg.alpha, S0: cfg.s0}
 	default:
-		return fmt.Errorf("unknown demand model %q", model)
+		return fmt.Errorf("unknown demand model %q", cfg.model)
 	}
-	strategy, err := lookupStrategy(strategyName)
+	strategy, err := bundling.ByName(cfg.strategy)
 	if err != nil {
 		return err
 	}
-	market, err := core.NewMarket(flows, dm, cost.Linear{Theta: theta}, meta.p0)
+	market, err := core.NewMarket(flows, dm, cost.Linear{Theta: cfg.theta}, meta.P0)
 	if err != nil {
 		return err
 	}
-	out, err := market.Run(strategy, tiers)
+	outcome, err := market.Run(strategy, cfg.tiers)
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("collected %d records (%d cross-router duplicates, %d unkeyed, %d unresolved) → %d flows\n",
+	fmt.Fprintf(out, "collected %d records (%d cross-router duplicates, %d unkeyed, %d unresolved) → %d flows\n",
 		records, dups, dropped, skipped, len(flows))
-	if truthPath != "" {
-		if err := verifyRecovery(flows, truthPath); err != nil {
+	if cfg.truth != "" {
+		if err := verifyRecovery(out, flows, cfg.truth); err != nil {
 			return err
 		}
 	}
-	fmt.Printf("market: model=%s blended=$%.2f γ=%.4g originalπ=%.0f maxπ=%.0f\n\n",
-		dm.Name(), meta.p0, market.Gamma, market.OriginalProfit, market.MaxProfit)
+	fmt.Fprintf(out, "market: model=%s blended=$%.2f γ=%.4g originalπ=%.0f maxπ=%.0f\n\n",
+		dm.Name(), meta.P0, market.Gamma, market.OriginalProfit, market.MaxProfit)
 
-	t := report.New(fmt.Sprintf("Recommended tiers (%s, %d bundles)", strategy.Name(), tiers),
+	t := report.New(fmt.Sprintf("Recommended tiers (%s, %d bundles)", strategy.Name(), cfg.tiers),
 		"tier", "price $/Mbps/mo", "flows", "demand Mbps", "mean distance mi")
-	for b, block := range out.Partition {
+	for b, block := range outcome.Partition {
 		var demand, wdist float64
 		for _, i := range block {
 			demand += flows[i].Demand
 			wdist += flows[i].Demand * flows[i].Distance
 		}
-		t.MustAddRow(report.I(b), report.F(out.Prices[b]), report.I(len(block)),
+		t.MustAddRow(report.I(b), report.F(outcome.Prices[b]), report.I(len(block)),
 			report.F1(demand), report.F1(wdist/demand))
 	}
 	t.AddNote("profit $%.0f — capture %.1f%% of the tiered-pricing headroom",
-		out.Profit, out.Capture*100)
-	return t.WriteASCII(os.Stdout)
+		outcome.Profit, outcome.Capture*100)
+	return t.WriteASCII(out)
+}
+
+// captureUDP listens for live NetFlow exports and feeds them into the
+// collector until ctx is cancelled (SIGINT/SIGTERM) or -for elapses,
+// then drains the listener so every received datagram is accounted
+// before pricing runs. This is the same stop-ingest-then-price drain
+// tierd performs on shutdown.
+func captureUDP(ctx context.Context, cfg runConfig, collector *netflow.Collector, out io.Writer) error {
+	srv, err := netflow.NewCollectorServer(cfg.udp, collector)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "listening for NetFlow on udp %s", srv.Addr())
+	if cfg.listenFor > 0 {
+		fmt.Fprintf(out, " for %v", cfg.listenFor)
+	}
+	fmt.Fprintln(out, " — SIGINT/SIGTERM stops the capture and prices what arrived")
+	if cfg.onListen != nil {
+		cfg.onListen(srv)
+	}
+	waitCtx := ctx
+	if cfg.listenFor > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(ctx, cfg.listenFor)
+		defer cancel()
+	}
+	<-waitCtx.Done()
+	srv.Close() // blocks until the receive loop has exited
+	packets, bad := srv.Stats()
+	fmt.Fprintf(out, "udp capture stopped: %d packets (%d bad)\n", packets, bad)
+	return nil
 }
 
 func ingestFile(c *netflow.Collector, path string) error {
@@ -173,67 +252,10 @@ func ingestFile(c *netflow.Collector, path string) error {
 	}
 }
 
-func lookupStrategy(name string) (bundling.Strategy, error) {
-	all := []bundling.Strategy{
-		bundling.Optimal{}, bundling.ProfitWeighted{}, bundling.CostWeighted{},
-		bundling.DemandWeighted{}, bundling.CostDivision{}, bundling.IndexDivision{},
-		bundling.ClassAware{Inner: bundling.ProfitWeighted{}},
-	}
-	for _, s := range all {
-		if s.Name() == name {
-			return s, nil
-		}
-	}
-	return nil, fmt.Errorf("unknown strategy %q", name)
-}
-
-// traceMeta is the subset of meta.txt bundlectl needs.
-type traceMeta struct {
-	dataset  string
-	p0       float64
-	duration float64
-}
-
-func readMeta(path string) (traceMeta, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return traceMeta{}, err
-	}
-	defer f.Close()
-	meta := traceMeta{}
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		key, value, ok := strings.Cut(line, "=")
-		if !ok {
-			continue
-		}
-		switch key {
-		case "dataset":
-			meta.dataset = value
-		case "blended_rate":
-			if meta.p0, err = strconv.ParseFloat(value, 64); err != nil {
-				return traceMeta{}, fmt.Errorf("meta: blended_rate: %w", err)
-			}
-		case "duration_sec":
-			if meta.duration, err = strconv.ParseFloat(value, 64); err != nil {
-				return traceMeta{}, fmt.Errorf("meta: duration_sec: %w", err)
-			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return traceMeta{}, err
-	}
-	if meta.dataset == "" || meta.p0 <= 0 || meta.duration <= 0 {
-		return traceMeta{}, fmt.Errorf("meta: incomplete metadata in %s", path)
-	}
-	return meta, nil
-}
-
 // verifyRecovery compares the pipeline-recovered flows against the
 // generator's ground truth by matching sorted (distance, demand)
 // signatures and reporting the worst relative demand error.
-func verifyRecovery(flows []econ.Flow, truthPath string) error {
+func verifyRecovery(out io.Writer, flows []econ.Flow, truthPath string) error {
 	f, err := os.Open(truthPath)
 	if err != nil {
 		return err
@@ -271,7 +293,7 @@ func verifyRecovery(flows []econ.Flow, truthPath string) error {
 			}
 		}
 	}
-	fmt.Printf("recovery check vs %s: %d/%d flows matched, worst demand error %.4f%%\n",
+	fmt.Fprintf(out, "recovery check vs %s: %d/%d flows matched, worst demand error %.4f%%\n",
 		truthPath, len(a), len(b), worst*100)
 	if worst > 0.02 {
 		return fmt.Errorf("recovery check: worst demand error %.2f%% exceeds 2%%", worst*100)

@@ -1,0 +1,322 @@
+// Command tierd is the online pricing daemon (§5's deployment sketch as
+// a serving system): it ingests NetFlow export streams continuously —
+// over UDP from core routers and/or from stdin — into a sliding window,
+// periodically re-fits the demand model and re-prices the tiers over the
+// live window, and serves the result over HTTP from atomically-swapped
+// immutable snapshots:
+//
+//	GET /v1/quote?src=IP&dst=IP   the current tier and price for a flow
+//	GET /v1/tiers                 the current bundling
+//	GET /healthz                  200 once the first snapshot is live
+//	GET /metrics                  Prometheus counters and latency histograms
+//
+// Quickstart (replay a synthetic capture through the daemon):
+//
+//	tracegen -dataset euisp -out /tmp/euisp -stdout | tierd -trace /tmp/euisp -stdin
+//	curl 'localhost:8080/v1/tiers'
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: ingest is stopped and
+// drained, one final re-price covers everything received, and in-flight
+// HTTP requests complete.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"tieredpricing/internal/bundling"
+	"tieredpricing/internal/cost"
+	"tieredpricing/internal/demandfit"
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/geoip"
+	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/server"
+	"tieredpricing/internal/stream"
+	"tieredpricing/internal/topology"
+	"tieredpricing/internal/traces"
+)
+
+type config struct {
+	listen string
+	udp    string
+	stdin  bool
+	trace  string
+
+	model    string
+	alpha    float64
+	s0       float64
+	theta    float64
+	strategy string
+	tiers    int
+	blended  float64 // override meta blended rate when > 0
+
+	window    time.Duration
+	slot      time.Duration
+	reprice   time.Duration
+	demandSec float64 // demand divisor override; 0 = capture duration from meta
+	workers   int
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8080", "HTTP listen address")
+	flag.StringVar(&cfg.udp, "udp", "", "UDP NetFlow listen address (e.g. 127.0.0.1:2055; empty disables)")
+	flag.BoolVar(&cfg.stdin, "stdin", false, "ingest a concatenated NetFlow stream from stdin (tracegen -stdout)")
+	flag.StringVar(&cfg.trace, "trace", "", "trace directory with geoip.csv and meta.txt (required)")
+	flag.StringVar(&cfg.model, "model", "ced", "demand model: ced or logit")
+	flag.Float64Var(&cfg.alpha, "alpha", 1.1, "price sensitivity α")
+	flag.Float64Var(&cfg.s0, "s0", 0.2, "logit no-purchase share")
+	flag.Float64Var(&cfg.theta, "theta", 0.2, "linear cost model base fraction θ")
+	flag.StringVar(&cfg.strategy, "strategy", "profit-weighted", "bundling strategy")
+	flag.IntVar(&cfg.tiers, "tiers", 3, "number of pricing tiers")
+	flag.Float64Var(&cfg.blended, "blended", 0, "blended rate override $/Mbps/month (default: meta.txt)")
+	flag.DurationVar(&cfg.window, "window", 10*time.Minute, "sliding window length")
+	flag.DurationVar(&cfg.slot, "slot", time.Minute, "window slot granularity")
+	flag.DurationVar(&cfg.reprice, "reprice", 30*time.Second, "re-price interval")
+	flag.Float64Var(&cfg.demandSec, "demand-sec", 0,
+		"seconds of traffic the window represents when converting octets to Mbps (0 = capture duration from meta.txt)")
+	flag.IntVar(&cfg.workers, "parallel", runtime.NumCPU(), "worker goroutines for the re-fit resolve fan-out")
+	flag.Parse()
+	if cfg.trace == "" {
+		fmt.Fprintln(os.Stderr, "tierd: -trace is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if !cfg.stdin && cfg.udp == "" {
+		fmt.Fprintln(os.Stderr, "tierd: need at least one ingest path (-udp and/or -stdin)")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	d, err := startDaemon(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tierd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tierd: serving http://%s", d.httpAddr())
+	if d.udp != nil {
+		fmt.Fprintf(os.Stderr, ", ingesting udp %s", d.udpAddr())
+	}
+	if cfg.stdin {
+		fmt.Fprint(os.Stderr, ", ingesting stdin")
+	}
+	fmt.Fprintln(os.Stderr)
+	if err := d.run(ctx, os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "tierd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "tierd: drained and stopped")
+}
+
+// daemon owns the wired-together subsystems of one tierd instance.
+type daemon struct {
+	cfg      config
+	window   *stream.Window
+	repricer *stream.Repricer
+	metrics  *server.Metrics
+	udp      *netflow.CollectorServer
+	httpSrv  *http.Server
+	ln       net.Listener
+}
+
+// startDaemon loads the trace metadata, builds the window → repricer →
+// server chain, and starts the UDP and HTTP listeners. It does not
+// block; call run to serve until cancelled.
+func startDaemon(cfg config) (*daemon, error) {
+	meta, err := traces.ReadMetaFile(filepath.Join(cfg.trace, "meta.txt"))
+	if err != nil {
+		return nil, err
+	}
+	geoFile, err := os.Open(filepath.Join(cfg.trace, "geoip.csv"))
+	if err != nil {
+		return nil, err
+	}
+	geo, err := geoip.ReadCSV(geoFile)
+	geoFile.Close()
+	if err != nil {
+		return nil, err
+	}
+	rv := &demandfit.Resolver{Geo: geo, DistanceRegions: meta.Dataset == "euisp"}
+	if meta.Dataset == "internet2" {
+		rv.Topo = topology.Internet2()
+	}
+
+	var dm econ.Model
+	switch cfg.model {
+	case "ced":
+		dm = econ.CED{Alpha: cfg.alpha}
+	case "logit":
+		dm = econ.Logit{Alpha: cfg.alpha, S0: cfg.s0}
+	default:
+		return nil, fmt.Errorf("unknown demand model %q", cfg.model)
+	}
+	strategy, err := bundling.ByName(cfg.strategy)
+	if err != nil {
+		return nil, err
+	}
+	p0 := meta.P0
+	if cfg.blended > 0 {
+		p0 = cfg.blended
+	}
+	durationSec := cfg.demandSec
+	if durationSec == 0 {
+		// Replaying a capture: the octets in the window represent the
+		// capture duration, not the window span.
+		durationSec = meta.DurationSec
+	}
+
+	if cfg.slot <= 0 || cfg.window < cfg.slot {
+		return nil, fmt.Errorf("window %v must be at least one slot %v", cfg.window, cfg.slot)
+	}
+	w, err := stream.NewWindow(traces.AggregateKey, cfg.slot, int(cfg.window/cfg.slot))
+	if err != nil {
+		return nil, err
+	}
+	rp, err := stream.NewRepricer(stream.Config{
+		Window:      w,
+		Resolver:    rv,
+		Demand:      dm,
+		Cost:        cost.Linear{Theta: cfg.theta},
+		P0:          p0,
+		Strategy:    strategy,
+		Tiers:       cfg.tiers,
+		DurationSec: durationSec,
+		Workers:     cfg.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	d := &daemon{cfg: cfg, window: w, repricer: rp, metrics: server.NewMetrics()}
+	srv, err := server.New(rp, d.metrics, d.ingestStats)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.udp != "" {
+		if d.udp, err = netflow.NewCollectorServer(cfg.udp, w); err != nil {
+			return nil, err
+		}
+	}
+	d.ln, err = net.Listen("tcp", cfg.listen)
+	if err != nil {
+		if d.udp != nil {
+			d.udp.Close()
+		}
+		return nil, fmt.Errorf("http listen: %w", err)
+	}
+	d.httpSrv = &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := d.httpSrv.Serve(d.ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "tierd: http:", err)
+		}
+	}()
+	return d, nil
+}
+
+func (d *daemon) httpAddr() string { return d.ln.Addr().String() }
+
+func (d *daemon) udpAddr() string { return d.udp.Addr() }
+
+// ingestStats merges the UDP server's and the window's counters for the
+// /metrics endpoint.
+func (d *daemon) ingestStats() server.IngestStats {
+	var packets, bad int
+	if d.udp != nil {
+		packets, bad = d.udp.Stats()
+	}
+	records, duplicates, dropped, _ := d.window.Stats()
+	return server.IngestStats{
+		Packets:    uint64(packets),
+		BadPackets: uint64(bad),
+		Records:    uint64(records),
+		Duplicates: uint64(duplicates),
+		Dropped:    uint64(dropped),
+	}
+}
+
+// onTick feeds re-price telemetry into the metrics. An empty window is
+// the normal warm-up state, not a failure.
+func (d *daemon) onTick(_ *stream.Snapshot, elapsed time.Duration, err error) {
+	if errors.Is(err, stream.ErrEmptyWindow) {
+		return
+	}
+	d.metrics.ObserveReprice(elapsed.Seconds(), err != nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tierd: reprice:", err)
+	}
+}
+
+// run serves until ctx is cancelled, then drains: ingest paths are
+// stopped first, the repricer performs its final pass over everything
+// received, and the HTTP server completes in-flight requests.
+func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
+	// The reprice loop outlives ctx on purpose: its final drain pass must
+	// run after ingest has stopped, so it gets its own cancellation.
+	repCtx, repCancel := context.WithCancel(context.Background())
+	repDone := make(chan struct{})
+	go func() {
+		defer close(repDone)
+		d.repricer.Run(repCtx, d.cfg.reprice, d.onTick)
+	}()
+
+	stdinDone := make(chan struct{})
+	if d.cfg.stdin {
+		go func() {
+			defer close(stdinDone)
+			d.ingestStdin(ctx, stdin)
+		}()
+	} else {
+		close(stdinDone)
+	}
+
+	<-ctx.Done()
+
+	// Drain order: stop ingest, then the final re-price, then HTTP.
+	if d.udp != nil {
+		d.udp.Close() // blocks until the receive loop exits
+	}
+	<-stdinDone
+	repCancel()
+	<-repDone
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return d.httpSrv.Shutdown(shutdownCtx)
+}
+
+// ingestStdin feeds a concatenated export stream (tracegen -stdout) into
+// the window and re-prices as soon as the stream ends, so piped replays
+// serve quotes without waiting for the next tick.
+func (d *daemon) ingestStdin(ctx context.Context, stdin io.Reader) {
+	rd := netflow.NewReader(bufio.NewReader(stdin))
+	for ctx.Err() == nil {
+		h, recs, err := rd.Next()
+		if err == io.EOF {
+			start := time.Now()
+			_, rerr := d.repricer.Reprice(ctx)
+			d.onTick(nil, time.Since(start), rerr)
+			if rerr == nil {
+				fmt.Fprintln(os.Stderr, "tierd: stdin stream complete, snapshot published")
+			}
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tierd: stdin:", err)
+			return
+		}
+		d.window.Ingest(h, recs)
+	}
+}

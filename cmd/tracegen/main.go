@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"tieredpricing/internal/traces"
@@ -28,19 +29,21 @@ func main() {
 	dataset := flag.String("dataset", "euisp", "dataset to synthesize (euisp, cdn, internet2)")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "output directory (required)")
+	toStdout := flag.Bool("stdout", false,
+		"additionally write the concatenated export streams to stdout (for piping into tierd -stdin)")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -out is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dataset, *seed, *out); err != nil {
+	if err := run(*dataset, *seed, *out, *toStdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataset string, seed int64, out string) error {
+func run(dataset string, seed int64, out string, toStdout bool) error {
 	ds, err := traces.ByName(dataset, seed)
 	if err != nil {
 		return err
@@ -53,12 +56,25 @@ func run(dataset string, seed int64, out string) error {
 		return err
 	}
 	var total int
-	for router, stream := range streams {
+	routers := make([]string, 0, len(streams))
+	for router := range streams {
+		routers = append(routers, router)
+	}
+	sort.Strings(routers)
+	for _, router := range routers {
+		stream := streams[router]
 		name := sanitize(router) + ".nf5"
 		if err := os.WriteFile(filepath.Join(out, name), stream, 0o644); err != nil {
 			return err
 		}
 		total += len(stream)
+		if toStdout {
+			// Export packets are self-framing, so router streams simply
+			// concatenate; the collector de-duplicates across routers.
+			if _, err := os.Stdout.Write(stream); err != nil {
+				return err
+			}
+		}
 	}
 	geo, err := os.Create(filepath.Join(out, "geoip.csv"))
 	if err != nil {
@@ -71,10 +87,15 @@ func run(dataset string, seed int64, out string) error {
 	if err := geo.Close(); err != nil {
 		return err
 	}
-	meta := fmt.Sprintf(
-		"dataset=%s\nseed=%d\nflows=%d\nblended_rate=%g\nduration_sec=%g\nsampling=%d\nrouters=%d\n",
-		ds.Name, seed, len(ds.Flows), ds.P0, ds.DurationSec, ds.SamplingInterval, len(streams))
-	if err := os.WriteFile(filepath.Join(out, "meta.txt"), []byte(meta), 0o644); err != nil {
+	var meta strings.Builder
+	if err := traces.WriteMeta(&meta, traces.Meta{
+		Dataset: ds.Name, Seed: seed, Flows: len(ds.Flows),
+		P0: ds.P0, DurationSec: ds.DurationSec,
+		Sampling: int(ds.SamplingInterval), Routers: len(streams),
+	}); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(out, "meta.txt"), []byte(meta.String()), 0o644); err != nil {
 		return err
 	}
 	truth, err := os.Create(filepath.Join(out, "truth.csv"))
@@ -92,8 +113,10 @@ func run(dataset string, seed int64, out string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d router streams (%d bytes) + geoip.csv to %s\n", len(streams), total, out)
-	fmt.Printf("dataset %s: %d flows, %.1f Gbps, w-avg distance %.0f mi, demand CV %.2f\n",
+	// The summary goes to stderr so that -stdout leaves stdout a pure
+	// binary export stream.
+	fmt.Fprintf(os.Stderr, "wrote %d router streams (%d bytes) + geoip.csv to %s\n", len(streams), total, out)
+	fmt.Fprintf(os.Stderr, "dataset %s: %d flows, %.1f Gbps, w-avg distance %.0f mi, demand CV %.2f\n",
 		ds.Name, st.Flows, st.AggregateGbps, st.WeightedMeanDistance, st.DemandCV)
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"tieredpricing/internal/traces"
 )
 
 func TestSanitize(t *testing.T) {
@@ -22,8 +24,15 @@ func TestSanitize(t *testing.T) {
 
 func TestRunWritesTraceDirectory(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "out")
-	if err := run("euisp", 7, dir); err != nil {
+	if err := run("euisp", 7, dir, false); err != nil {
 		t.Fatal(err)
+	}
+	meta, err := traces.ReadMetaFile(filepath.Join(dir, "meta.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Dataset != "euisp" || meta.Seed != 7 || meta.Routers < 2 {
+		t.Errorf("unexpected meta %+v", meta)
 	}
 	for _, want := range []string{"meta.txt", "geoip.csv", "truth.csv"} {
 		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
@@ -37,7 +46,7 @@ func TestRunWritesTraceDirectory(t *testing.T) {
 	if len(streams) < 2 {
 		t.Errorf("only %d router streams", len(streams))
 	}
-	if err := run("nonesuch", 1, dir); err == nil {
+	if err := run("nonesuch", 1, dir, false); err == nil {
 		t.Error("expected error for unknown dataset")
 	}
 }

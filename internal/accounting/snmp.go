@@ -46,6 +46,24 @@ func (a *Agent) Read(ifIndex uint16) uint32 {
 // unwrapping at most one 2³² wrap per polling interval — the standard
 // SNMP assumption, which holds as long as the interval is shorter than
 // the counter's minimum wrap time at line rate.
+//
+// Detection limit: a raw Counter32 reading carries no generation number,
+// so wraps are inferred only from raw < prev. Two failure modes are
+// therefore fundamentally undetectable from the samples alone:
+//
+//   - Counter stall. If the counter does not move between polls (idle
+//     link, or a wedged line card reporting a frozen MIB), the delta is
+//     legitimately zero — a stalled counter is indistinguishable from a
+//     quiet interval, and no wrap is recorded.
+//   - More than one wrap per interval. If the link moves ≥ 2·2³² octets
+//     between polls, the poller sees at most one apparent wrap and
+//     undercounts by exactly 2³² per extra wrap (and when the counter
+//     lands above its previous reading, by every wrap that interval).
+//
+// The operational remedy is not in software: poll faster than the
+// counter's minimum wrap time (~3.4 s at 10 Gbps) or use 64-bit
+// ifHCInOctets. TestPollerCounterStall and TestPollerMultiWrapInterval
+// pin this contract.
 type Poller struct {
 	mu     sync.Mutex
 	last   map[uint16]uint32

@@ -47,6 +47,79 @@ func TestPollerUnwrapsSingleWrap(t *testing.T) {
 	}
 }
 
+// TestPollerCounterStall pins the documented stall behavior: a counter
+// that does not move between polls yields zero deltas, accumulates
+// nothing, and records no wraps — a wedged line card is indistinguishable
+// from a quiet link at this layer.
+func TestPollerCounterStall(t *testing.T) {
+	p := NewPoller()
+	p.Observe(7, 123_456_789) // baseline
+	for i := 0; i < 5; i++ {
+		if d := p.Observe(7, 123_456_789); d != 0 {
+			t.Fatalf("stalled poll %d: delta = %d, want 0", i, d)
+		}
+	}
+	if got := p.Total(7); got != 0 {
+		t.Fatalf("total after stall = %d, want 0", got)
+	}
+	if got := p.Wraps(7); got != 0 {
+		t.Fatalf("wraps after stall = %d, want 0", got)
+	}
+	// The counter coming back to life resumes exact accounting.
+	if d := p.Observe(7, 123_456_889); d != 100 {
+		t.Fatalf("post-stall delta = %d, want 100", d)
+	}
+	// A stall at zero on a brand-new interface behaves the same: the
+	// first read is the baseline, repeats contribute nothing.
+	p.Observe(8, 0)
+	if d := p.Observe(8, 0); d != 0 || p.Total(8) != 0 {
+		t.Fatalf("zero-stall: delta=%d total=%d, want 0/0", d, p.Total(8))
+	}
+}
+
+// TestPollerMultiWrapInterval pins the documented detection limit: when
+// the link moves more than one full 2³² span between polls, the poller
+// undercounts by exactly 2³² per extra wrap, because a Counter32 sample
+// cannot reveal how many times it lapped.
+func TestPollerMultiWrapInterval(t *testing.T) {
+	const span = uint64(1) << 32
+
+	// Two wraps landing below the previous reading: one apparent wrap.
+	p := NewPoller()
+	p.Observe(1, 3_000_000_000)
+	pushed := 2*span - 1_000_000_000 // raw: 3e9 → 2e9, lapping twice
+	d := p.Observe(1, uint32(3_000_000_000+pushed))
+	if want := pushed - span; d != want {
+		t.Fatalf("double wrap: delta = %d, want %d (undercount by exactly 2³²)", d, want)
+	}
+	if p.Wraps(1) != 1 {
+		t.Fatalf("double wrap: wraps = %d, want 1 (only one is detectable)", p.Wraps(1))
+	}
+
+	// Two wraps landing above the previous reading: no apparent wrap at
+	// all — the interval looks like a small monotone step.
+	p2 := NewPoller()
+	p2.Observe(1, 1_000_000_000)
+	pushed2 := 2*span + 500 // raw: 1e9 → 1e9+500
+	d2 := p2.Observe(1, uint32(1_000_000_000+pushed2))
+	if want := pushed2 - 2*span; d2 != want {
+		t.Fatalf("hidden double wrap: delta = %d, want %d", d2, want)
+	}
+	if p2.Wraps(1) != 0 {
+		t.Fatalf("hidden double wrap: wraps = %d, want 0", p2.Wraps(1))
+	}
+
+	// The agent+poller pair reproduces the same undercount end to end
+	// when polling is too slow for the offered load.
+	a := NewAgent()
+	p3 := NewPoller()
+	p3.Observe(1, a.Read(1))
+	a.Count(1, 3*span+42) // three laps between polls
+	if got := p3.Observe(1, a.Read(1)); got != 42 {
+		t.Fatalf("slow poll recovered %d octets, want 42 (3·2³² lost)", got)
+	}
+}
+
 func TestAgentPollerEndToEnd(t *testing.T) {
 	// Drive > 2³² octets through a link in small increments while polling
 	// often enough; the poller must recover the exact total.

@@ -30,6 +30,27 @@ type Strategy interface {
 // ErrNeedBundles is returned when b < 1.
 var ErrNeedBundles = errors.New("bundling: need at least one bundle")
 
+// All returns one instance of every strategy, in the paper's order, with
+// the class-aware profit-weighted variant appended.
+func All() []Strategy {
+	return []Strategy{
+		Optimal{}, ProfitWeighted{}, CostWeighted{}, DemandWeighted{},
+		CostDivision{}, IndexDivision{},
+		ClassAware{Inner: ProfitWeighted{}},
+	}
+}
+
+// ByName resolves a strategy by its Name() identifier (the CLI and the
+// serving daemon both select strategies by flag).
+func ByName(name string) (Strategy, error) {
+	for _, s := range All() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("bundling: unknown strategy %q", name)
+}
+
 // validateInput performs the checks shared by all strategies.
 func validateInput(flows []econ.Flow, b int) error {
 	if b < 1 {

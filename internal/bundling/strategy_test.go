@@ -359,3 +359,19 @@ func TestOptimalUnsupportedModel(t *testing.T) {
 type fakeModel struct{ econ.CED }
 
 func (fakeModel) Name() string { return "fake" }
+
+func TestByName(t *testing.T) {
+	for _, s := range All() {
+		got, err := ByName(s.Name())
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+			continue
+		}
+		if got.Name() != s.Name() {
+			t.Errorf("ByName(%q) returned %q", s.Name(), got.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown strategy")
+	}
+}

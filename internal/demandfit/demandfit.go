@@ -6,6 +6,7 @@
 package demandfit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -14,6 +15,7 @@ import (
 	"tieredpricing/internal/econ"
 	"tieredpricing/internal/geoip"
 	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/parallel"
 	"tieredpricing/internal/topology"
 )
 
@@ -77,29 +79,53 @@ func (rv *Resolver) Resolve(src, dst netip.Addr) (float64, econ.Region, error) {
 // Aggregates that fail to resolve are reported in skipped rather than
 // aborting the build (real captures always contain unroutable junk).
 func BuildFlows(aggs []netflow.Aggregate, rv *Resolver, durationSec float64) (flows []econ.Flow, skipped int, err error) {
+	return BuildFlowsParallel(context.Background(), aggs, rv, durationSec, 1)
+}
+
+// BuildFlowsParallel is BuildFlows with the per-aggregate resolution
+// (GeoIP lookups and topology shortest paths, the expensive part of a
+// re-fit) fanned out across workers goroutines. Each aggregate resolves
+// independently and results are merged in index order, so the output is
+// byte-identical to the serial build at any worker count — the property
+// the online repricer's consistency test relies on.
+func BuildFlowsParallel(ctx context.Context, aggs []netflow.Aggregate, rv *Resolver, durationSec float64, workers int) (flows []econ.Flow, skipped int, err error) {
 	if durationSec <= 0 {
 		return nil, 0, errors.New("demandfit: capture duration must be positive")
 	}
 	if len(aggs) == 0 {
 		return nil, 0, errors.New("demandfit: no aggregates")
 	}
-	for _, a := range aggs {
-		distance, region, rerr := rv.Resolve(a.SrcAddr, a.DstAddr)
-		if rerr != nil {
-			skipped++
-			continue
-		}
-		demand := netflow.DemandMbps(a.Octets, durationSec)
-		if demand <= 0 {
-			skipped++
-			continue
-		}
-		flows = append(flows, econ.Flow{
-			ID:       a.Key,
-			Demand:   demand,
-			Distance: distance,
-			Region:   region,
+	// A failed resolution is a skip, not an error, so the task function
+	// never fails except on cancellation. An empty ID marks a skip: the
+	// collector never emits an aggregate with an empty key (unkeyed
+	// records are dropped at ingest).
+	resolved, err := parallel.Map(ctx, len(aggs), workers,
+		func(_ context.Context, i int) (econ.Flow, error) {
+			a := aggs[i]
+			distance, region, rerr := rv.Resolve(a.SrcAddr, a.DstAddr)
+			if rerr != nil {
+				return econ.Flow{}, nil // zero ID marks the skip
+			}
+			demand := netflow.DemandMbps(a.Octets, durationSec)
+			if demand <= 0 {
+				return econ.Flow{}, nil
+			}
+			return econ.Flow{
+				ID:       a.Key,
+				Demand:   demand,
+				Distance: distance,
+				Region:   region,
+			}, nil
 		})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, f := range resolved {
+		if f.ID == "" {
+			skipped++
+			continue
+		}
+		flows = append(flows, f)
 	}
 	if len(flows) == 0 {
 		return nil, skipped, errors.New("demandfit: no aggregate resolved to a usable flow")

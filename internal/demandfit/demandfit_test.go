@@ -2,9 +2,11 @@ package demandfit
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math"
 	"net/netip"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -234,6 +236,44 @@ func TestBuildFlowsSkipsUnresolved(t *testing.T) {
 	}
 	if len(flows) != 1 || skipped != 1 {
 		t.Fatalf("flows=%d skipped=%d, want 1/1", len(flows), skipped)
+	}
+}
+
+func TestBuildFlowsParallelMatchesSerial(t *testing.T) {
+	ds, err := traces.EUISP(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := collectDataset(t, ds)
+	rv := &Resolver{Geo: ds.Geo, DistanceRegions: true}
+	serial, skippedSerial, err := BuildFlows(aggs, rv, ds.DurationSec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par, skippedPar, err := BuildFlowsParallel(context.Background(), aggs, rv, ds.DurationSec, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if skippedPar != skippedSerial {
+			t.Errorf("workers=%d: skipped %d, serial skipped %d", workers, skippedPar, skippedSerial)
+		}
+		if !reflect.DeepEqual(par, serial) {
+			t.Errorf("workers=%d: parallel build diverges from serial", workers)
+		}
+	}
+}
+
+func TestBuildFlowsParallelCancellation(t *testing.T) {
+	ds, err := traces.EUISP(52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := collectDataset(t, ds)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := BuildFlowsParallel(ctx, aggs, &Resolver{Geo: ds.Geo}, ds.DurationSec, 4); err == nil {
+		t.Error("expected error from cancelled context")
 	}
 }
 

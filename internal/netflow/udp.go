@@ -12,7 +12,8 @@ import (
 // actually uses: NetFlow is exported over UDP from each core router to a
 // central collector (Figure 17b, "Flow Collector"). Exporter wraps a
 // Writer around a UDP socket with one datagram per export packet;
-// CollectorServer listens, decodes and feeds a Collector.
+// CollectorServer listens, decodes and feeds a Sink (the batch Collector
+// or the stream package's sliding window).
 
 // Exporter sends export packets to a collector over UDP, one datagram
 // per packet (as real routers do — NetFlow v5 has no fragmentation or
@@ -84,11 +85,18 @@ func (e *Exporter) Close() error {
 	return e.conn.Close()
 }
 
+// Sink consumes decoded export packets. Collector is the batch
+// implementation; the stream package's sliding window is the online one.
+// Implementations must be safe for concurrent Ingest calls.
+type Sink interface {
+	Ingest(h Header, recs []Record)
+}
+
 // CollectorServer receives export datagrams on a UDP socket and feeds
-// them to a Collector.
+// them to a Sink.
 type CollectorServer struct {
-	pc        net.PacketConn
-	collector *Collector
+	pc   net.PacketConn
+	sink Sink
 
 	mu      sync.Mutex
 	packets int
@@ -98,17 +106,17 @@ type CollectorServer struct {
 }
 
 // NewCollectorServer starts listening on addr (use "127.0.0.1:0" for an
-// ephemeral test port) and ingesting into collector in a background
+// ephemeral test port) and ingesting into sink in a background
 // goroutine. Callers must Close it.
-func NewCollectorServer(addr string, collector *Collector) (*CollectorServer, error) {
-	if collector == nil {
-		return nil, errors.New("netflow: nil collector")
+func NewCollectorServer(addr string, sink Sink) (*CollectorServer, error) {
+	if sink == nil {
+		return nil, errors.New("netflow: nil sink")
 	}
 	pc, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netflow: listen: %w", err)
 	}
-	s := &CollectorServer{pc: pc, collector: collector, done: make(chan struct{})}
+	s := &CollectorServer{pc: pc, sink: sink, done: make(chan struct{})}
 	go s.loop()
 	return s, nil
 }
@@ -181,6 +189,6 @@ func (s *CollectorServer) loop() {
 			continue
 		}
 		s.mu.Unlock()
-		s.collector.Ingest(h, recs)
+		s.sink.Ingest(h, recs)
 	}
 }

@@ -1,0 +1,150 @@
+// Package server is tierd's HTTP face: the quote/tiers API served from
+// the repricer's atomic snapshots, liveness, and a dependency-free
+// Prometheus text exposition of request, ingest and re-price telemetry.
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative style. Observations are lock-free.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, seconds
+	counts []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds. An implicit +Inf bucket is appended.
+func NewHistogram(bounds ...float64) (*Histogram, error) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("server: histogram bounds not ascending at %d", i)
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		newBits := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, newBits) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// write renders the histogram in Prometheus exposition format.
+func (h *Histogram) write(w io.Writer, name string) error {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, math.Float64frombits(h.sum.Load())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	return err
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// Metrics is tierd's telemetry: request counters per endpoint, quote
+// outcome counters, and the re-price cycle's count/error/latency.
+type Metrics struct {
+	QuoteRequests   Counter
+	QuoteMisses     Counter
+	TiersRequests   Counter
+	HealthRequests  Counter
+	MetricsRequests Counter
+
+	Reprices       Counter
+	RepriceErrors  Counter
+	RepriceSeconds *Histogram
+}
+
+// NewMetrics builds the metric set with re-price latency buckets from
+// 1 ms to 30 s.
+func NewMetrics() *Metrics {
+	h, err := NewHistogram(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30)
+	if err != nil {
+		panic(err) // static bounds; unreachable
+	}
+	return &Metrics{RepriceSeconds: h}
+}
+
+// ObserveReprice records one re-price attempt for the counters and the
+// latency histogram.
+func (m *Metrics) ObserveReprice(seconds float64, failed bool) {
+	m.Reprices.Inc()
+	if failed {
+		m.RepriceErrors.Inc()
+	}
+	m.RepriceSeconds.Observe(seconds)
+}
+
+// WritePrometheus renders every metric in Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	counters := []struct {
+		name, help string
+		c          *Counter
+	}{
+		{"tierd_quote_requests_total", "Quote requests served.", &m.QuoteRequests},
+		{"tierd_quote_misses_total", "Quote requests with no matching bucket or route.", &m.QuoteMisses},
+		{"tierd_tiers_requests_total", "Tier table requests served.", &m.TiersRequests},
+		{"tierd_health_requests_total", "Health checks served.", &m.HealthRequests},
+		{"tierd_metrics_requests_total", "Metric scrapes served.", &m.MetricsRequests},
+		{"tierd_reprices_total", "Re-price attempts.", &m.Reprices},
+		{"tierd_reprice_errors_total", "Re-price attempts that failed.", &m.RepriceErrors},
+	}
+	for _, c := range counters {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.c.Value()); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP tierd_reprice_seconds Re-price latency.\n# TYPE tierd_reprice_seconds histogram\n"); err != nil {
+		return err
+	}
+	return m.RepriceSeconds.write(w, "tierd_reprice_seconds")
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h, err := NewHistogram(0.01, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	var b strings.Builder
+	if err := h.write(&b, "x"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`x_bucket{le="0.01"} 1`,
+		`x_bucket{le="0.1"} 2`,
+		`x_bucket{le="1"} 3`,
+		`x_bucket{le="+Inf"} 4`,
+		`x_sum 5.555`,
+		`x_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	if _, err := NewHistogram(1, 0.5); err == nil {
+		t.Error("expected error for descending bounds")
+	}
+	if _, err := NewHistogram(1, 1); err == nil {
+		t.Error("expected error for duplicate bounds")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h, err := NewHistogram(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.QuoteRequests.Add(3)
+	m.QuoteMisses.Inc()
+	m.ObserveReprice(0.02, false)
+	m.ObserveReprice(0.5, true)
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"tierd_quote_requests_total 3",
+		"tierd_quote_misses_total 1",
+		"tierd_reprices_total 2",
+		"tierd_reprice_errors_total 1",
+		"tierd_reprice_seconds_count 2",
+		"# TYPE tierd_reprice_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"strings"
+	"time"
+
+	"tieredpricing/internal/stream"
+)
+
+// SnapshotSource supplies the current pricing snapshot (nil before the
+// first successful re-price). stream.Repricer implements it.
+type SnapshotSource interface {
+	Current() *stream.Snapshot
+}
+
+// IngestStats is a point-in-time view of the ingest pipeline for the
+// /metrics endpoint: UDP datagrams and their decode failures, plus the
+// window's record counters.
+type IngestStats struct {
+	Packets    uint64
+	BadPackets uint64
+	Records    uint64
+	Duplicates uint64
+	Dropped    uint64
+}
+
+// Server serves tier quotes out of immutable pricing snapshots.
+type Server struct {
+	snapshots SnapshotSource
+	metrics   *Metrics
+	ingest    func() IngestStats // optional
+}
+
+// New wires the API to its snapshot source. ingest may be nil when no
+// live ingest pipeline is attached.
+func New(snapshots SnapshotSource, metrics *Metrics, ingest func() IngestStats) (*Server, error) {
+	if snapshots == nil {
+		return nil, errors.New("server: nil snapshot source")
+	}
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	return &Server{snapshots: snapshots, metrics: metrics, ingest: ingest}, nil
+}
+
+// Handler builds the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/quote", s.handleQuote)
+	mux.HandleFunc("/v1/tiers", s.handleTiers)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// quoteResponse is the /v1/quote body.
+type quoteResponse struct {
+	Src    string  `json:"src"`
+	Dst    string  `json:"dst"`
+	Tier   int     `json:"tier"`
+	Price  float64 `json:"price_usd_per_mbps_month"`
+	Source string  `json:"source"`
+	Epoch  int64   `json:"epoch"`
+}
+
+// tiersResponse is the /v1/tiers body. Table carries the canonical
+// stream.TierTable bytes unmodified, so clients (and the end-to-end
+// consistency test) see exactly what the repricer published.
+type tiersResponse struct {
+	Epoch    int64           `json:"epoch"`
+	FittedAt time.Time       `json:"fitted_at"`
+	Skipped  int             `json:"skipped"`
+	Table    json.RawMessage `json:"table"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body) // the connection is the only failure mode here
+}
+
+// parseFlow extracts the queried endpoints: either flow=src>dst (the
+// aggregate-key shape) or separate src= and dst= parameters.
+func parseFlow(r *http.Request) (src, dst netip.Addr, err error) {
+	q := r.URL.Query()
+	srcStr, dstStr := q.Get("src"), q.Get("dst")
+	if flow := q.Get("flow"); flow != "" {
+		var ok bool
+		srcStr, dstStr, ok = strings.Cut(flow, ">")
+		if !ok {
+			return src, dst, fmt.Errorf("flow %q is not src>dst", flow)
+		}
+	}
+	if srcStr == "" || dstStr == "" {
+		return src, dst, errors.New("need flow=src>dst or src= and dst=")
+	}
+	if src, err = netip.ParseAddr(srcStr); err != nil {
+		return src, dst, fmt.Errorf("src: %w", err)
+	}
+	if dst, err = netip.ParseAddr(dstStr); err != nil {
+		return src, dst, fmt.Errorf("dst: %w", err)
+	}
+	return src, dst, nil
+}
+
+func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	s.metrics.QuoteRequests.Inc()
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	src, dst, err := parseFlow(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	snap := s.snapshots.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"no pricing snapshot yet"})
+		return
+	}
+	q, ok := snap.Quote(src, dst)
+	if !ok {
+		s.metrics.QuoteMisses.Inc()
+		writeJSON(w, http.StatusNotFound, errorResponse{"flow matches no tier"})
+		return
+	}
+	writeJSON(w, http.StatusOK, quoteResponse{
+		Src:    src.String(),
+		Dst:    dst.String(),
+		Tier:   q.Tier,
+		Price:  q.Price,
+		Source: q.Source.String(),
+		Epoch:  snap.Epoch,
+	})
+}
+
+func (s *Server) handleTiers(w http.ResponseWriter, r *http.Request) {
+	s.metrics.TiersRequests.Inc()
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	snap := s.snapshots.Current()
+	if snap == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"no pricing snapshot yet"})
+		return
+	}
+	table, err := snap.Table.Marshal()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, tiersResponse{
+		Epoch:    snap.Epoch,
+		FittedAt: snap.FittedAt,
+		Skipped:  snap.Skipped,
+		Table:    table,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.metrics.HealthRequests.Inc()
+	if s.snapshots.Current() == nil {
+		http.Error(w, "warming up: no pricing snapshot yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.MetricsRequests.Inc()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.WritePrometheus(w); err != nil {
+		return
+	}
+	if s.ingest != nil {
+		in := s.ingest()
+		fmt.Fprintf(w, "# HELP tierd_ingest_packets_total Export datagrams received.\n# TYPE tierd_ingest_packets_total counter\ntierd_ingest_packets_total %d\n", in.Packets)
+		fmt.Fprintf(w, "# HELP tierd_ingest_bad_packets_total Datagrams that failed to decode.\n# TYPE tierd_ingest_bad_packets_total counter\ntierd_ingest_bad_packets_total %d\n", in.BadPackets)
+		fmt.Fprintf(w, "# HELP tierd_ingest_records_total Flow records ingested into the window.\n# TYPE tierd_ingest_records_total counter\ntierd_ingest_records_total %d\n", in.Records)
+		fmt.Fprintf(w, "# HELP tierd_ingest_duplicates_total Cross-router duplicates suppressed.\n# TYPE tierd_ingest_duplicates_total counter\ntierd_ingest_duplicates_total %d\n", in.Duplicates)
+		fmt.Fprintf(w, "# HELP tierd_ingest_dropped_total Records with no aggregation bucket.\n# TYPE tierd_ingest_dropped_total counter\ntierd_ingest_dropped_total %d\n", in.Dropped)
+	}
+	if snap := s.snapshots.Current(); snap != nil {
+		fmt.Fprintf(w, "# HELP tierd_snapshot_epoch Epoch of the serving snapshot.\n# TYPE tierd_snapshot_epoch gauge\ntierd_snapshot_epoch %d\n", snap.Epoch)
+		fmt.Fprintf(w, "# HELP tierd_snapshot_flows Flows priced in the serving snapshot.\n# TYPE tierd_snapshot_flows gauge\ntierd_snapshot_flows %d\n", snap.Table.Flows)
+		fmt.Fprintf(w, "# HELP tierd_snapshot_tiers Tiers in the serving snapshot.\n# TYPE tierd_snapshot_tiers gauge\ntierd_snapshot_tiers %d\n", len(snap.Table.Tiers))
+	}
+}

@@ -1,0 +1,388 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"tieredpricing/internal/bgp"
+	"tieredpricing/internal/bundling"
+	"tieredpricing/internal/core"
+	"tieredpricing/internal/cost"
+	"tieredpricing/internal/demandfit"
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/netflow"
+)
+
+// ErrEmptyWindow is returned by Reprice when the window holds no
+// aggregates yet; the previous snapshot (if any) stays current.
+var ErrEmptyWindow = errors.New("stream: window holds no aggregates")
+
+// Config wires a Repricer to the window it reads and the models it fits.
+type Config struct {
+	// Window supplies the live aggregates.
+	Window *Window
+	// Resolver maps aggregate endpoints to distance and region.
+	Resolver *demandfit.Resolver
+	// Demand and Cost are the models to fit; P0 the blended rate anchor.
+	Demand econ.Model
+	Cost   cost.Model
+	P0     float64
+	// Strategy and Tiers select the bundling counterfactual to serve.
+	Strategy bundling.Strategy
+	Tiers    int
+	// DurationSec converts windowed octets to Mbps. Zero selects the
+	// window span — the steady-state choice; set it explicitly when
+	// replaying a capture whose duration differs from the window.
+	DurationSec float64
+	// SrcMaskBits and DstMaskBits define the quote key: a quote request's
+	// endpoints are masked to these widths before lookup. They must match
+	// the window's aggregation rule; zero selects the defaults of
+	// traces.AggregateKey (src /20, dst /24).
+	SrcMaskBits int
+	DstMaskBits int
+	// Workers bounds the parallel resolve fan-out (0 = NumCPU).
+	Workers int
+	// NextHop is stamped on the tier-tagged RIB routes (§5.1); zero
+	// selects the unspecified address.
+	NextHop netip.Addr
+}
+
+// TierQuote is one served tier: its index, price, and the window
+// traffic it covers.
+type TierQuote struct {
+	Tier       int     `json:"tier"`
+	Price      float64 `json:"price_usd_per_mbps_month"`
+	Flows      int     `json:"flows"`
+	DemandMbps float64 `json:"demand_mbps"`
+}
+
+// TierTable is the deterministic part of a pricing snapshot: everything
+// that depends only on the window's aggregates and the configuration,
+// nothing that depends on when the re-price ran. The offline consistency
+// test asserts the online table is byte-identical to the batch
+// pipeline's on the same window.
+type TierTable struct {
+	Model    string      `json:"model"`
+	Strategy string      `json:"strategy"`
+	P0       float64     `json:"blended_rate"`
+	Flows    int         `json:"flows"`
+	Profit   float64     `json:"profit"`
+	Capture  *float64    `json:"capture,omitempty"` // omitted when undefined (no headroom)
+	Tiers    []TierQuote `json:"tiers"`
+}
+
+// Marshal is the canonical byte encoding of a table (encoding/json with
+// a fixed field order), used by both the /v1/tiers handler and the
+// batch-parity tests.
+func (t TierTable) Marshal() ([]byte, error) { return json.Marshal(t) }
+
+// QuoteSource says which structure answered a quote.
+type QuoteSource uint8
+
+// Quote sources: an exact window-bucket match, or the tier-tagged BGP
+// RIB's longest-prefix match on the destination.
+const (
+	SourceWindow QuoteSource = iota
+	SourceRIB
+)
+
+// String returns the wire name of the source.
+func (s QuoteSource) String() string {
+	switch s {
+	case SourceWindow:
+		return "window"
+	case SourceRIB:
+		return "rib"
+	default:
+		return fmt.Sprintf("source(%d)", uint8(s))
+	}
+}
+
+// Quote is a priced answer for one flow.
+type Quote struct {
+	Tier   int
+	Price  float64
+	Source QuoteSource
+}
+
+// quoteKey is the masked endpoint pair quotes are looked up by.
+// netip.Addr is comparable, so the hot-path lookup allocates nothing.
+type quoteKey struct {
+	src netip.Addr
+	dst netip.Addr
+}
+
+// Snapshot is one immutable re-price result. The repricer publishes
+// snapshots through an atomic pointer swap: a snapshot is fully built
+// before it becomes visible, is never mutated afterwards, and every
+// quote served from it is consistent with every other quote and with
+// /v1/tiers at the same epoch.
+type Snapshot struct {
+	// Epoch increments with every published snapshot.
+	Epoch int64
+	// FittedAt is when the re-price ran.
+	FittedAt time.Time
+	// Table is the deterministic pricing result.
+	Table TierTable
+	// Skipped counts window aggregates that failed to resolve.
+	Skipped int
+
+	byKey   map[quoteKey]int
+	rib     *bgp.RIB
+	srcBits int
+	dstBits int
+}
+
+// Quote prices one flow: the endpoints are masked to the snapshot's key
+// widths and matched against the window buckets; a miss falls back to a
+// longest-prefix match of the destination in the tier-tagged RIB (the
+// §5.2 accounting path for traffic the window has not seen from this
+// source). The exact-match path performs no allocations.
+func (s *Snapshot) Quote(src, dst netip.Addr) (Quote, bool) {
+	key := quoteKey{
+		src: netip.PrefixFrom(src, s.srcBits).Masked().Addr(),
+		dst: netip.PrefixFrom(dst, s.dstBits).Masked().Addr(),
+	}
+	if tier, ok := s.byKey[key]; ok {
+		return Quote{Tier: tier, Price: s.Table.Tiers[tier].Price, Source: SourceWindow}, true
+	}
+	if route, ok := s.rib.Lookup(dst); ok && route.Tier != nil {
+		tier := int(route.Tier.Tier)
+		if tier < len(s.Table.Tiers) {
+			// The snapshot price is authoritative; the community's
+			// milli-dollar price is the wire approximation.
+			return Quote{Tier: tier, Price: s.Table.Tiers[tier].Price, Source: SourceRIB}, true
+		}
+	}
+	return Quote{}, false
+}
+
+// RIB exposes the snapshot's tier-tagged routing table (read-only use).
+func (s *Snapshot) RIB() *bgp.RIB { return s.rib }
+
+// Repricer periodically re-fits the demand model over the window and
+// publishes pricing snapshots. Reads (Current) and the periodic rebuild
+// never block each other: Current is a single atomic load.
+type Repricer struct {
+	cfg   Config
+	now   func() time.Time
+	epoch atomic.Int64
+	cur   atomic.Pointer[Snapshot]
+}
+
+// NewRepricer validates the configuration.
+func NewRepricer(cfg Config) (*Repricer, error) {
+	if cfg.Window == nil {
+		return nil, errors.New("stream: repricer needs a window")
+	}
+	if cfg.Resolver == nil {
+		return nil, errors.New("stream: repricer needs a resolver")
+	}
+	if cfg.Demand == nil || cfg.Cost == nil {
+		return nil, errors.New("stream: repricer needs demand and cost models")
+	}
+	if cfg.P0 <= 0 {
+		return nil, fmt.Errorf("stream: blended rate must be positive, got %v", cfg.P0)
+	}
+	if cfg.Strategy == nil {
+		return nil, errors.New("stream: repricer needs a bundling strategy")
+	}
+	if cfg.Tiers < 1 {
+		return nil, errors.New("stream: need at least one tier")
+	}
+	if cfg.DurationSec == 0 {
+		cfg.DurationSec = cfg.Window.Span().Seconds()
+	}
+	if cfg.DurationSec <= 0 {
+		return nil, fmt.Errorf("stream: demand duration must be positive, got %v", cfg.DurationSec)
+	}
+	if cfg.SrcMaskBits == 0 {
+		cfg.SrcMaskBits = 20
+	}
+	if cfg.DstMaskBits == 0 {
+		cfg.DstMaskBits = 24
+	}
+	if cfg.SrcMaskBits < 0 || cfg.SrcMaskBits > 32 || cfg.DstMaskBits < 0 || cfg.DstMaskBits > 32 {
+		return nil, fmt.Errorf("stream: mask bits out of range (%d, %d)", cfg.SrcMaskBits, cfg.DstMaskBits)
+	}
+	if !cfg.NextHop.IsValid() {
+		cfg.NextHop = netip.AddrFrom4([4]byte{0, 0, 0, 0})
+	}
+	return &Repricer{cfg: cfg, now: time.Now}, nil
+}
+
+// Current returns the latest published snapshot, or nil before the first
+// successful re-price.
+func (r *Repricer) Current() *Snapshot { return r.cur.Load() }
+
+// Reprice rebuilds pricing from the current window contents and, on
+// success, atomically publishes the new snapshot. The previous snapshot
+// stays current on any failure (including an empty window), so a
+// transient ingest gap never takes quoting down.
+func (r *Repricer) Reprice(ctx context.Context) (*Snapshot, error) {
+	aggs := r.cfg.Window.Aggregates()
+	if len(aggs) == 0 {
+		return nil, ErrEmptyWindow
+	}
+	flows, skipped, err := demandfit.BuildFlowsParallel(
+		ctx, aggs, r.cfg.Resolver, r.cfg.DurationSec, r.cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("stream: resolve: %w", err)
+	}
+	market, err := core.NewMarket(flows, r.cfg.Demand, r.cfg.Cost, r.cfg.P0)
+	if err != nil {
+		return nil, fmt.Errorf("stream: fit: %w", err)
+	}
+	out, err := market.Run(r.cfg.Strategy, r.cfg.Tiers)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reprice: %w", err)
+	}
+	snap, err := r.buildSnapshot(flows, skipped, out, aggs)
+	if err != nil {
+		return nil, err
+	}
+	r.cur.Store(snap)
+	return snap, nil
+}
+
+// buildSnapshot assembles the immutable serving structures from one
+// re-price outcome.
+func (r *Repricer) buildSnapshot(flows []econ.Flow, skipped int, out core.Outcome, aggs []netflow.Aggregate) (*Snapshot, error) {
+	table := tableFrom(out, flows, r.cfg.Demand.Name(), r.cfg.P0)
+
+	addrOf := make(map[string]netflow.Aggregate, len(aggs))
+	for _, a := range aggs {
+		addrOf[a.Key] = a
+	}
+	byKey := make(map[quoteKey]int, len(flows))
+	// tierOfPrefix resolves multi-bucket destinations deterministically:
+	// when two source PoPs reach the same destination prefix in different
+	// tiers, the route advertises the cheaper tier.
+	tierOfPrefix := make(map[netip.Prefix]int)
+	for tier, block := range out.Partition {
+		for _, i := range block {
+			a, ok := addrOf[flows[i].ID]
+			if !ok {
+				return nil, fmt.Errorf("stream: flow %q has no source aggregate", flows[i].ID)
+			}
+			key := quoteKey{
+				src: netip.PrefixFrom(a.SrcAddr, r.cfg.SrcMaskBits).Masked().Addr(),
+				dst: netip.PrefixFrom(a.DstAddr, r.cfg.DstMaskBits).Masked().Addr(),
+			}
+			byKey[key] = tier
+			pfx := netip.PrefixFrom(a.DstAddr, r.cfg.DstMaskBits).Masked()
+			if prev, ok := tierOfPrefix[pfx]; !ok || tier < prev {
+				tierOfPrefix[pfx] = tier
+			}
+		}
+	}
+
+	rib := bgp.NewRIB()
+	prefixes := make([]netip.Prefix, 0, len(tierOfPrefix))
+	for pfx := range tierOfPrefix {
+		prefixes = append(prefixes, pfx)
+	}
+	updates, err := bgp.AnnounceTiered(prefixes, r.cfg.NextHop,
+		func(p netip.Prefix) int { return tierOfPrefix[p] }, out.Prices)
+	if err != nil {
+		return nil, fmt.Errorf("stream: tier announcements: %w", err)
+	}
+	for i := range updates {
+		if err := rib.Apply(&updates[i]); err != nil {
+			return nil, fmt.Errorf("stream: installing tier routes: %w", err)
+		}
+	}
+
+	return &Snapshot{
+		Epoch:    r.epoch.Add(1),
+		FittedAt: r.now(),
+		Table:    table,
+		Skipped:  skipped,
+		byKey:    byKey,
+		rib:      rib,
+		srcBits:  r.cfg.SrcMaskBits,
+		dstBits:  r.cfg.DstMaskBits,
+	}, nil
+}
+
+// Run re-prices every interval until ctx is cancelled, then performs one
+// final drain re-price so the last snapshot covers everything ingested
+// before shutdown. onTick, when non-nil, observes every attempt (for
+// metrics): the published snapshot or nil, the re-price latency, and the
+// error if any.
+func (r *Repricer) Run(ctx context.Context, interval time.Duration,
+	onTick func(snap *Snapshot, elapsed time.Duration, err error)) {
+	tick := func(ctx context.Context) {
+		start := r.now()
+		snap, err := r.Reprice(ctx)
+		if onTick != nil {
+			onTick(snap, r.now().Sub(start), err)
+		}
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			// Final drain pass: price whatever arrived since the last tick.
+			tick(context.Background())
+			return
+		case <-ticker.C:
+			tick(ctx)
+		}
+	}
+}
+
+// tableFrom renders an outcome into the canonical tier table. It is the
+// single construction path for both the online snapshot and the batch
+// parity check, so the two cannot drift.
+func tableFrom(out core.Outcome, flows []econ.Flow, modelName string, p0 float64) TierTable {
+	tiers := make([]TierQuote, len(out.Partition))
+	for b, block := range out.Partition {
+		var demand float64
+		for _, i := range block {
+			demand += flows[i].Demand
+		}
+		tiers[b] = TierQuote{
+			Tier:       b,
+			Price:      out.Prices[b],
+			Flows:      len(block),
+			DemandMbps: demand,
+		}
+	}
+	table := TierTable{
+		Model:    modelName,
+		Strategy: out.Strategy,
+		P0:       p0,
+		Flows:    len(flows),
+		Profit:   out.Profit,
+		Tiers:    tiers,
+	}
+	if !math.IsNaN(out.Capture) {
+		c := out.Capture
+		table.Capture = &c
+	}
+	return table
+}
+
+// BatchTable runs the batch pipeline's market fit on an already-built
+// flow set and renders the same canonical table a snapshot would carry —
+// the reference side of the online/batch consistency check.
+func BatchTable(flows []econ.Flow, demand econ.Model, costModel cost.Model, p0 float64,
+	strategy bundling.Strategy, tiers int) (TierTable, error) {
+	market, err := core.NewMarket(flows, demand, costModel, p0)
+	if err != nil {
+		return TierTable{}, err
+	}
+	out, err := market.Run(strategy, tiers)
+	if err != nil {
+		return TierTable{}, err
+	}
+	return tableFrom(out, flows, demand.Name(), p0), nil
+}

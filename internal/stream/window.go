@@ -1,0 +1,195 @@
+// Package stream is the online half of the collection pipeline (§5's
+// deployment sketch): a sliding-window flow accumulator fed by the UDP
+// NetFlow collector, and a periodic repricer that re-fits the demand
+// model over the live window and publishes immutable pricing snapshots
+// for the serving layer. The batch pipeline (netflow.Collector →
+// demandfit → core) computes one answer from one capture; this package
+// computes the same answer continuously as the traffic mix shifts.
+package stream
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"tieredpricing/internal/netflow"
+)
+
+// Window is a sliding-window flow accumulator: the last Span() of
+// ingested records, de-duplicated across routers and aggregated into
+// demand buckets exactly like the batch netflow.Collector, with older
+// traffic aged out in slot-sized steps. It implements netflow.Sink and is
+// safe for concurrent ingest (core routers export independently).
+//
+// Time is bucketed into numSlots slots of slotDur each; a record lands in
+// the slot covering its arrival time, and slots older than the window are
+// dropped whole. Cross-router duplicate suppression spans all live slots,
+// so the window's aggregates over a fully-contained capture are identical
+// to the batch collector's.
+type Window struct {
+	keyFn    netflow.AggregateKeyFunc
+	slotDur  time.Duration
+	numSlots int
+	now      func() time.Time // injectable for tests
+
+	mu         sync.Mutex
+	slots      map[int64]*slot // keyed by absolute slot index
+	records    int
+	duplicates int
+	dropped    int
+}
+
+var _ netflow.Sink = (*Window)(nil)
+
+// slot holds one slot's dedup set and partial aggregates.
+type slot struct {
+	seen map[netflow.FlowKey]struct{}
+	aggs map[string]*netflow.Aggregate
+}
+
+// NewWindow creates a window of slots slots of slotDur each.
+func NewWindow(keyFn netflow.AggregateKeyFunc, slotDur time.Duration, slots int) (*Window, error) {
+	if keyFn == nil {
+		return nil, errors.New("stream: nil aggregate key function")
+	}
+	if slotDur <= 0 {
+		return nil, errors.New("stream: slot duration must be positive")
+	}
+	if slots < 1 {
+		return nil, errors.New("stream: need at least one slot")
+	}
+	return &Window{
+		keyFn:    keyFn,
+		slotDur:  slotDur,
+		numSlots: slots,
+		now:      time.Now,
+		slots:    make(map[int64]*slot),
+	}, nil
+}
+
+// Span is the window length: slot duration × slot count.
+func (w *Window) Span() time.Duration {
+	return w.slotDur * time.Duration(w.numSlots)
+}
+
+// slotIndex maps a wall-clock instant to its absolute slot number.
+func (w *Window) slotIndex(t time.Time) int64 {
+	return t.UnixNano() / int64(w.slotDur)
+}
+
+// evictLocked drops slots that have aged out of the window ending at the
+// current slot cur.
+func (w *Window) evictLocked(cur int64) {
+	for idx := range w.slots {
+		if idx <= cur-int64(w.numSlots) {
+			delete(w.slots, idx)
+		}
+	}
+}
+
+// Ingest processes one export packet (netflow.Sink). Dedup and sampling
+// restoration follow netflow.Collector exactly; the only difference is
+// that the accumulated state ages out slot by slot.
+func (w *Window) Ingest(h netflow.Header, recs []netflow.Record) {
+	sampling := uint64(h.SamplingInterval)
+	if sampling == 0 {
+		sampling = 1
+	}
+	cur := w.slotIndex(w.now())
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evictLocked(cur)
+	s, ok := w.slots[cur]
+	if !ok {
+		s = &slot{
+			seen: make(map[netflow.FlowKey]struct{}),
+			aggs: make(map[string]*netflow.Aggregate),
+		}
+		w.slots[cur] = s
+	}
+	for _, r := range recs {
+		w.records++
+		key := netflow.KeyOf(r)
+		if w.seenLocked(key) {
+			w.duplicates++
+			continue
+		}
+		s.seen[key] = struct{}{}
+		bucket := w.keyFn(r)
+		if bucket == "" {
+			w.dropped++
+			continue
+		}
+		agg, ok := s.aggs[bucket]
+		if !ok {
+			agg = &netflow.Aggregate{
+				Key:     bucket,
+				SrcAddr: r.SrcAddr,
+				DstAddr: r.DstAddr,
+				Input:   r.Input,
+				Output:  r.Output,
+			}
+			s.aggs[bucket] = agg
+		}
+		agg.Octets += uint64(r.Octets) * sampling
+		agg.Records++
+	}
+}
+
+// seenLocked checks the dedup sets of every live slot.
+func (w *Window) seenLocked(key netflow.FlowKey) bool {
+	for _, s := range w.slots {
+		if _, dup := s.seen[key]; dup {
+			return true
+		}
+	}
+	return false
+}
+
+// Aggregates merges the live slots into the batch collector's output
+// shape: per-bucket aggregates sorted by key, octets and record counts
+// summed across slots, endpoint samples taken from the oldest live slot
+// that saw the bucket (matching the collector's first-record sampling).
+func (w *Window) Aggregates() []netflow.Aggregate {
+	cur := w.slotIndex(w.now())
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evictLocked(cur)
+	idxs := make([]int64, 0, len(w.slots))
+	for idx := range w.slots {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	merged := make(map[string]*netflow.Aggregate)
+	for _, idx := range idxs {
+		for key, a := range w.slots[idx].aggs {
+			m, ok := merged[key]
+			if !ok {
+				cp := *a
+				merged[key] = &cp
+				continue
+			}
+			m.Octets += a.Octets
+			m.Records += a.Records
+		}
+	}
+	out := make([]netflow.Aggregate, 0, len(merged))
+	for _, a := range merged {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Stats reports lifetime ingest counters (records seen, cross-router
+// duplicates suppressed, unkeyed records dropped) and the number of live
+// slots. Counters are lifetime, not windowed, so they are monotonic and
+// exportable as Prometheus counters.
+func (w *Window) Stats() (records, duplicates, dropped, liveSlots int) {
+	cur := w.slotIndex(w.now())
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evictLocked(cur)
+	return w.records, w.duplicates, w.dropped, len(w.slots)
+}

@@ -1,0 +1,98 @@
+package traces
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Meta is the dataset metadata tracegen writes next to the export
+// streams (meta.txt). The collection pipeline needs it to undo the
+// capture: the window duration converts de-duplicated octets back to
+// Mbps, the blended rate anchors the demand fit, and the dataset name
+// selects the per-dataset resolution heuristic.
+type Meta struct {
+	Dataset     string
+	Seed        int64
+	Flows       int
+	P0          float64 // blended rate, $/Mbps/month
+	DurationSec float64
+	Sampling    int
+	Routers     int
+}
+
+// WriteMeta renders the key=value form consumed by ReadMeta.
+func WriteMeta(w io.Writer, m Meta) error {
+	_, err := fmt.Fprintf(w,
+		"dataset=%s\nseed=%d\nflows=%d\nblended_rate=%g\nduration_sec=%g\nsampling=%d\nrouters=%d\n",
+		m.Dataset, m.Seed, m.Flows, m.P0, m.DurationSec, m.Sampling, m.Routers)
+	return err
+}
+
+// ReadMeta parses meta.txt. Unknown keys are ignored so the format can
+// grow; the fields the pipeline cannot run without (dataset, a positive
+// blended rate and duration) are validated.
+func ReadMeta(r io.Reader) (Meta, error) {
+	meta := Meta{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			continue
+		}
+		var err error
+		switch key {
+		case "dataset":
+			meta.Dataset = value
+		case "seed":
+			if meta.Seed, err = strconv.ParseInt(value, 10, 64); err != nil {
+				return Meta{}, fmt.Errorf("meta: seed: %w", err)
+			}
+		case "flows":
+			if meta.Flows, err = strconv.Atoi(value); err != nil {
+				return Meta{}, fmt.Errorf("meta: flows: %w", err)
+			}
+		case "blended_rate":
+			if meta.P0, err = strconv.ParseFloat(value, 64); err != nil {
+				return Meta{}, fmt.Errorf("meta: blended_rate: %w", err)
+			}
+		case "duration_sec":
+			if meta.DurationSec, err = strconv.ParseFloat(value, 64); err != nil {
+				return Meta{}, fmt.Errorf("meta: duration_sec: %w", err)
+			}
+		case "sampling":
+			if meta.Sampling, err = strconv.Atoi(value); err != nil {
+				return Meta{}, fmt.Errorf("meta: sampling: %w", err)
+			}
+		case "routers":
+			if meta.Routers, err = strconv.Atoi(value); err != nil {
+				return Meta{}, fmt.Errorf("meta: routers: %w", err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Meta{}, err
+	}
+	if meta.Dataset == "" || meta.P0 <= 0 || meta.DurationSec <= 0 {
+		return Meta{}, fmt.Errorf("meta: incomplete metadata (need dataset, blended_rate, duration_sec)")
+	}
+	return meta, nil
+}
+
+// ReadMetaFile reads and parses a meta.txt on disk.
+func ReadMetaFile(path string) (Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Meta{}, err
+	}
+	defer f.Close()
+	m, err := ReadMeta(f)
+	if err != nil {
+		return Meta{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
