@@ -1,12 +1,17 @@
 #!/bin/sh
 # Tier-1 gate and perf tracking.
 #
-#   ./ci.sh         — the gate: everything a change must pass before it
-#                     lands.
-#   ./ci.sh bench   — timed benchmark run; writes BENCH_<date>.json
-#                     (name, ns/op, allocs/op, custom metrics) via
-#                     cmd/benchjson so the perf trajectory is
-#                     machine-readable.
+#   ./ci.sh            — the gate: everything a change must pass before
+#                        it lands.
+#   ./ci.sh bench      — timed benchmark run; writes BENCH_<date>.json
+#                        (name, ns/op, allocs/op, custom metrics) via
+#                        cmd/benchjson so the perf trajectory is
+#                        machine-readable.
+#   ./ci.sh bench-diff — regression gate: re-runs the benchmarks and
+#                        compares against the newest committed
+#                        BENCH_*.json via `benchjson diff`; fails when
+#                        any benchmark's ns/op regressed by more than
+#                        BENCH_THRESHOLD (default 0.15 = +15%).
 #
 # Gate steps, in order (each must pass):
 #   1. go vet        — static analysis across every package
@@ -34,6 +39,21 @@ bench() {
     echo "==> wrote $out"
 }
 
+bench_diff() {
+    base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1)
+    if [ -z "$base" ]; then
+        echo "bench-diff: no committed BENCH_*.json baseline" >&2
+        exit 1
+    fi
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp"' EXIT
+    echo "==> go test -bench=. -benchmem ./... (fresh run)"
+    go test -run='^$' -bench=. -benchmem ./... | go run ./cmd/benchjson > "$tmp"
+    echo "==> benchjson diff -threshold ${BENCH_THRESHOLD:-0.15} $base <fresh>"
+    go run ./cmd/benchjson diff -threshold "${BENCH_THRESHOLD:-0.15}" "$base" "$tmp"
+    echo "==> bench-diff passed"
+}
+
 fuzz_smoke() {
     # `go test -fuzz` accepts only one target per run, so iterate.
     for target in FuzzDecodePacket FuzzUDPDatagramPath FuzzReader; do
@@ -48,6 +68,11 @@ fuzz_smoke() {
 
 if [ "${1:-}" = "bench" ]; then
     bench
+    exit 0
+fi
+
+if [ "${1:-}" = "bench-diff" ]; then
+    bench_diff
     exit 0
 fi
 

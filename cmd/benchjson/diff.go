@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Diff compares two benchjson snapshots and reports per-benchmark deltas
+// for ns/op, B/op, and allocs/op. Benchmarks present in only one snapshot
+// are listed but never fail the diff (the suite is allowed to grow). A
+// benchmark whose ns/op regressed by more than threshold (a fraction:
+// 0.15 = +15%) is a failure.
+type diffRow struct {
+	Key        string
+	Old, New   *Result
+	NsDelta    float64 // fractional change, new/old - 1
+	Regression bool
+}
+
+// diffKey identifies a benchmark across snapshots.
+func diffKey(r Result) string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+func loadResults(path string) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var results []Result
+	if err := json.NewDecoder(f).Decode(&results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// Diff computes the comparison rows; regressed reports whether any common
+// benchmark exceeded the ns/op threshold.
+func Diff(old, new []Result, threshold float64) (rows []diffRow, regressed bool) {
+	oldBy := make(map[string]*Result, len(old))
+	for i := range old {
+		oldBy[diffKey(old[i])] = &old[i]
+	}
+	newBy := make(map[string]*Result, len(new))
+	for i := range new {
+		newBy[diffKey(new[i])] = &new[i]
+	}
+	keys := make([]string, 0, len(oldBy)+len(newBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, ok := oldBy[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		row := diffRow{Key: k, Old: oldBy[k], New: newBy[k]}
+		if row.Old != nil && row.New != nil && row.Old.NsPerOp > 0 {
+			row.NsDelta = row.New.NsPerOp/row.Old.NsPerOp - 1
+			row.Regression = row.NsDelta > threshold
+		}
+		if row.Regression {
+			regressed = true
+		}
+		rows = append(rows, row)
+	}
+	return rows, regressed
+}
+
+func fmtPtrDelta(old, new *float64) string {
+	if old == nil || new == nil {
+		return "-"
+	}
+	if *old == 0 {
+		if *new == 0 {
+			return "+0.0%"
+		}
+		return fmt.Sprintf("%+.0f", *new-*old)
+	}
+	return fmt.Sprintf("%+.1f%%", (*new / *old - 1)*100)
+}
+
+func writeDiff(w io.Writer, rows []diffRow, threshold float64) {
+	fmt.Fprintf(w, "%-70s  %12s  %12s  %8s  %8s  %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns/op", "ΔB/op", "Δallocs")
+	for _, r := range rows {
+		switch {
+		case r.Old == nil:
+			fmt.Fprintf(w, "%-70s  %12s  %12.0f  %8s  %8s  %8s\n", r.Key, "(added)", r.New.NsPerOp, "-", "-", "-")
+		case r.New == nil:
+			fmt.Fprintf(w, "%-70s  %12.0f  %12s  %8s  %8s  %8s\n", r.Key, r.Old.NsPerOp, "(gone)", "-", "-", "-")
+		default:
+			mark := ""
+			if r.Regression {
+				mark = "  << REGRESSION"
+			}
+			fmt.Fprintf(w, "%-70s  %12.0f  %12.0f  %+7.1f%%  %8s  %8s%s\n",
+				r.Key, r.Old.NsPerOp, r.New.NsPerOp, r.NsDelta*100,
+				fmtPtrDelta(r.Old.BytesPerOp, r.New.BytesPerOp),
+				fmtPtrDelta(r.Old.AllocsPerOp, r.New.AllocsPerOp), mark)
+		}
+	}
+	fmt.Fprintf(w, "threshold: ns/op regressions above +%.0f%% fail\n", threshold*100)
+}
+
+// runDiff is the `benchjson diff` entry point.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("benchjson diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.15,
+		"fractional ns/op regression that fails the diff (0.15 = +15%)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-threshold 0.15] <old.json> <new.json>")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	old, err := loadResults(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	new, err := loadResults(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	rows, regressed := Diff(old, new, *threshold)
+	writeDiff(os.Stdout, rows, *threshold)
+	if regressed {
+		fmt.Fprintln(os.Stderr, "benchjson: ns/op regression above threshold")
+		return 1
+	}
+	return 0
+}

@@ -8,6 +8,14 @@
 // benchmark name (GOMAXPROCS suffix stripped), iterations, ns/op, and —
 // when present — B/op, allocs/op, and any custom metrics reported via
 // b.ReportMetric (e.g. p99-ns), under "metrics".
+//
+// The diff subcommand compares two snapshots and fails on regressions:
+//
+//	benchjson diff [-threshold 0.15] BENCH_old.json BENCH_new.json
+//
+// exits non-zero when any benchmark present in both snapshots regressed
+// its ns/op by more than the threshold (default +15%). Added and removed
+// benchmarks are reported but never fail the diff.
 package main
 
 import (
@@ -17,6 +25,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(runDiff(os.Args[2:]))
+	}
 	results, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

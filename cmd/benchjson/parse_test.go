@@ -99,3 +99,54 @@ func TestParseEmptyInput(t *testing.T) {
 		t.Errorf("results = %+v, want none", results)
 	}
 }
+
+func TestDiff(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	old := []Result{
+		{Pkg: "p", Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: f(64), AllocsPerOp: f(2)},
+		{Pkg: "p", Name: "BenchmarkB", NsPerOp: 200},
+		{Pkg: "p", Name: "BenchmarkGone", NsPerOp: 10},
+	}
+	new := []Result{
+		{Pkg: "p", Name: "BenchmarkA", NsPerOp: 110, BytesPerOp: f(32), AllocsPerOp: f(1)}, // +10%: ok
+		{Pkg: "p", Name: "BenchmarkB", NsPerOp: 260},                                       // +30%: regression
+		{Pkg: "p", Name: "BenchmarkAdded", NsPerOp: 5},
+	}
+	rows, regressed := Diff(old, new, 0.15)
+	if !regressed {
+		t.Fatal("want regression for BenchmarkB (+30% > 15%)")
+	}
+	byKey := map[string]diffRow{}
+	for _, r := range rows {
+		byKey[r.Key] = r
+	}
+	if r := byKey["p.BenchmarkA"]; r.Regression {
+		t.Errorf("BenchmarkA (+10%%) flagged as regression")
+	}
+	if r := byKey["p.BenchmarkB"]; !r.Regression {
+		t.Errorf("BenchmarkB (+30%%) not flagged")
+	}
+	if r := byKey["p.BenchmarkGone"]; r.New != nil || r.Regression {
+		t.Errorf("removed benchmark mishandled: %+v", r)
+	}
+	if r := byKey["p.BenchmarkAdded"]; r.Old != nil || r.Regression {
+		t.Errorf("added benchmark mishandled: %+v", r)
+	}
+
+	// Under a looser threshold BenchmarkB passes too.
+	if _, regressed := Diff(old, new, 0.5); regressed {
+		t.Error("threshold 0.5 should tolerate +30%")
+	}
+}
+
+func TestDiffImprovementNeverFails(t *testing.T) {
+	old := []Result{{Name: "BenchmarkFast", NsPerOp: 1000}}
+	new := []Result{{Name: "BenchmarkFast", NsPerOp: 10}}
+	rows, regressed := Diff(old, new, 0.15)
+	if regressed {
+		t.Fatal("a 100x speedup is not a regression")
+	}
+	if rows[0].NsDelta > -0.98 {
+		t.Errorf("NsDelta = %v, want ~ -0.99", rows[0].NsDelta)
+	}
+}

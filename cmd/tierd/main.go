@@ -29,6 +29,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -49,10 +50,11 @@ import (
 )
 
 type config struct {
-	listen string
-	udp    string
-	stdin  bool
-	trace  string
+	listen    string
+	pprofAddr string
+	udp       string
+	stdin     bool
+	trace     string
 
 	model    string
 	alpha    float64
@@ -72,6 +74,8 @@ type config struct {
 func main() {
 	cfg := config{}
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:8080", "HTTP listen address")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "",
+		"net/http/pprof listen address on a listener separate from the quote API (e.g. 127.0.0.1:6060; empty disables)")
 	flag.StringVar(&cfg.udp, "udp", "", "UDP NetFlow listen address (e.g. 127.0.0.1:2055; empty disables)")
 	flag.BoolVar(&cfg.stdin, "stdin", false, "ingest a concatenated NetFlow stream from stdin (tracegen -stdout)")
 	flag.StringVar(&cfg.trace, "trace", "", "trace directory with geoip.csv and meta.txt (required)")
@@ -131,6 +135,8 @@ type daemon struct {
 	udp      *netflow.CollectorServer
 	httpSrv  *http.Server
 	ln       net.Listener
+	pprofSrv *http.Server
+	pprofLn  net.Listener
 }
 
 // startDaemon loads the trace metadata, builds the window → repricer →
@@ -224,7 +230,38 @@ func startDaemon(cfg config) (*daemon, error) {
 			fmt.Fprintln(os.Stderr, "tierd: http:", err)
 		}
 	}()
+	if cfg.pprofAddr != "" {
+		// Profiling gets its own listener so it can stay bound to loopback
+		// (and be firewalled independently) while the quote API is exposed.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		d.pprofLn, err = net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			d.close()
+			return nil, fmt.Errorf("pprof listen: %w", err)
+		}
+		d.pprofSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := d.pprofSrv.Serve(d.pprofLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "tierd: pprof:", err)
+			}
+		}()
+	}
 	return d, nil
+}
+
+// close tears down the listeners of a partially-started daemon.
+func (d *daemon) close() {
+	if d.udp != nil {
+		d.udp.Close()
+	}
+	if d.ln != nil {
+		d.ln.Close()
+	}
 }
 
 func (d *daemon) httpAddr() string { return d.ln.Addr().String() }
@@ -250,11 +287,14 @@ func (d *daemon) ingestStats() server.IngestStats {
 
 // onTick feeds re-price telemetry into the metrics. An empty window is
 // the normal warm-up state, not a failure.
-func (d *daemon) onTick(_ *stream.Snapshot, elapsed time.Duration, err error) {
+func (d *daemon) onTick(snap *stream.Snapshot, elapsed time.Duration, err error) {
 	if errors.Is(err, stream.ErrEmptyWindow) {
 		return
 	}
 	d.metrics.ObserveReprice(elapsed.Seconds(), err != nil)
+	if snap != nil {
+		d.metrics.RepriceFlows.Set(int64(snap.Table.Flows))
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tierd: reprice:", err)
 	}
@@ -294,6 +334,9 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 	<-repDone
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	if d.pprofSrv != nil {
+		_ = d.pprofSrv.Shutdown(shutdownCtx)
+	}
 	return d.httpSrv.Shutdown(shutdownCtx)
 }
 
@@ -306,8 +349,8 @@ func (d *daemon) ingestStdin(ctx context.Context, stdin io.Reader) {
 		h, recs, err := rd.Next()
 		if err == io.EOF {
 			start := time.Now()
-			_, rerr := d.repricer.Reprice(ctx)
-			d.onTick(nil, time.Since(start), rerr)
+			snap, rerr := d.repricer.Reprice(ctx)
+			d.onTick(snap, time.Since(start), rerr)
 			if rerr == nil {
 				fmt.Fprintln(os.Stderr, "tierd: stdin stream complete, snapshot published")
 			}

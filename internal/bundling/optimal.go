@@ -3,7 +3,7 @@ package bundling
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"tieredpricing/internal/econ"
 	"tieredpricing/internal/optimize"
@@ -25,14 +25,25 @@ import (
 //
 // For such objectives an optimal partition is contiguous in cost order
 // (cross-checked against exhaustive set-partition enumeration in the
-// optimize package tests), which the DP searches exactly.
-type Optimal struct{}
+// optimize package tests), which the DP searches exactly. Both block-value
+// families further satisfy the concave-Monge condition, so the default
+// solver is the O(n·b·log n) divide-and-conquer monotone DP
+// (optimize.ContiguousDPMonotone); set Quadratic to force the O(n²·b)
+// reference DP instead.
+type Optimal struct {
+	// Quadratic opts into the O(n²·b) reference DP instead of the
+	// divide-and-conquer monotone solver. The two return identical
+	// partitions on the supported objectives (property-tested); the knob
+	// exists for cross-checking and for debugging suspected
+	// monotonicity violations.
+	Quadratic bool
+}
 
 // Name implements Strategy.
 func (Optimal) Name() string { return "optimal" }
 
 // Bundle implements Strategy.
-func (Optimal) Bundle(flows []econ.Flow, model econ.Model, b int) ([][]int, error) {
+func (o Optimal) Bundle(flows []econ.Flow, model econ.Model, b int) ([][]int, error) {
 	if err := validateInput(flows, b); err != nil {
 		return nil, err
 	}
@@ -46,7 +57,11 @@ func (Optimal) Bundle(flows []econ.Flow, model econ.Model, b int) ([][]int, erro
 	default:
 		return nil, fmt.Errorf("bundling: optimal strategy does not support model %q", model.Name())
 	}
-	blocks, _, err := optimize.ContiguousDP(len(flows), b, val)
+	solve := optimize.ContiguousDPMonotone
+	if o.Quadratic {
+		solve = optimize.ContiguousDP
+	}
+	blocks, _, err := solve(len(flows), b, val)
 	if err != nil {
 		return nil, err
 	}
@@ -59,8 +74,14 @@ func costOrder(flows []econ.Flow) []int {
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return flows[order[a]].Cost < flows[order[b]].Cost
+	slices.SortStableFunc(order, func(a, b int) int {
+		switch ca, cb := flows[a].Cost, flows[b].Cost; {
+		case ca < cb:
+			return -1
+		case ca > cb:
+			return 1
+		}
+		return 0
 	})
 	return order
 }
@@ -82,11 +103,21 @@ func cedBlockValue(flows []econ.Flow, order []int, alpha float64) optimize.Block
 	// k(α) = (α/(α−1))^{−α} / (α−1): profit of a bundle at the Eq. 5
 	// price P = α·C/(α−1) is V·P^{−α}(P−C) = V·C^{1−α}·k(α).
 	kAlpha := math.Pow(alpha/(alpha-1), -alpha) / (alpha - 1)
+	// A zero-cost block makes C^{1−α} → +Inf for α > 1, and one +Inf block
+	// poisons every DP total it participates in (Inf−Inf → NaN during
+	// comparisons of candidate splits). Cap block values so a zero-cost
+	// block is maximally attractive but sums of n+1 of them stay finite and
+	// ordered.
+	maxBlockValue := math.MaxFloat64 / float64(n+1)
 	return func(lo, hi int) float64 {
 		v := prefV[hi] - prefV[lo]
 		cv := prefCV[hi] - prefCV[lo]
 		c := cv / v
-		return kAlpha * v * math.Pow(c, 1-alpha)
+		val := kAlpha * v * math.Pow(c, 1-alpha)
+		if val > maxBlockValue || math.IsNaN(val) {
+			return maxBlockValue
+		}
+		return val
 	}
 }
 

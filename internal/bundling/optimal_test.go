@@ -140,3 +140,138 @@ func TestCEDBlockValueMatchesRealProfit(t *testing.T) {
 		}
 	}
 }
+
+// TestOptimalSolversAgreeOnFittedFlows pins the default monotone solver to
+// the quadratic reference on realistic fitted flow sets across both demand
+// models: the selected partitions must coincide, not merely their profits.
+func TestOptimalSolversAgreeOnFittedFlows(t *testing.T) {
+	models := []econ.Model{
+		econ.CED{Alpha: 1.3},
+		econ.CED{Alpha: 3.0},
+		econ.Logit{Alpha: 0.8, S0: 0.2},
+		econ.Logit{Alpha: 1.5, S0: 0.35},
+	}
+	for _, m := range models {
+		for seed := int64(0); seed < 4; seed++ {
+			flows := fitFlows(t, m, 40, seed, 20)
+			for _, b := range []int{1, 2, 4, 7, 40} {
+				pMono, err := Optimal{}.Bundle(flows, m, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pQuad, err := Optimal{Quadratic: true}.Bundle(flows, m, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				piMono := profitOf(t, m, flows, pMono)
+				piQuad := profitOf(t, m, flows, pQuad)
+				if math.Abs(piMono-piQuad) > 1e-9*(1+math.Abs(piQuad)) {
+					t.Fatalf("%s seed %d b=%d: monotone profit %v != quadratic %v",
+						m.Name(), seed, b, piMono, piQuad)
+				}
+				if !partitionsEqual(pMono, pQuad) {
+					t.Fatalf("%s seed %d b=%d: monotone partition %v != quadratic %v",
+						m.Name(), seed, b, pMono, pQuad)
+				}
+			}
+		}
+	}
+}
+
+func partitionsEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if len(a[k]) != len(b[k]) {
+			return false
+		}
+		for i := range a[k] {
+			if a[k][i] != b[k][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestOptimalLogitExtremeValuationSpread drives the logit block weights
+// into underflow (e^{α(v−vmax)} → 0 for all but the top flows) and checks
+// that both solvers still produce valid partitions with equal profit.
+func TestOptimalLogitExtremeValuationSpread(t *testing.T) {
+	m := econ.Logit{Alpha: 1.5, S0: 0.2}
+	n := 20
+	flows := make([]econ.Flow, n)
+	for i := range flows {
+		flows[i] = econ.Flow{
+			Valuation: 1 + float64(i)*60, // spread 1 .. 1141: weights underflow below the top
+			Cost:      0.5 + float64((i*7)%n)*0.3,
+			Demand:    1,
+		}
+	}
+	for _, b := range []int{2, 3, 5} {
+		pMono, err := Optimal{}.Bundle(flows, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pQuad, err := Optimal{Quadratic: true}.Bundle(flows, m, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		piMono := profitOf(t, m, flows, pMono)
+		piQuad := profitOf(t, m, flows, pQuad)
+		if math.IsNaN(piMono) || math.IsInf(piMono, 0) {
+			t.Fatalf("b=%d: monotone profit is %v", b, piMono)
+		}
+		if math.Abs(piMono-piQuad) > 1e-9*(1+math.Abs(piQuad)) {
+			t.Fatalf("b=%d: monotone profit %v != quadratic %v", b, piMono, piQuad)
+		}
+	}
+}
+
+// TestCEDBlockValueZeroCost is the regression test for the zero-cost
+// guard: with α > 1, a block of zero-cost flows used to evaluate to
+// k(α)·V·0^{1−α} = +Inf, and a single infinite block silently poisons the
+// DP totals (Inf−Inf → NaN in split comparisons). Flow validation rejects
+// cost ≤ 0 at the API boundary, but fitted or streamed inputs reach the
+// block value through internal callers, so the value itself must stay
+// finite. The zero-cost block must still dominate any positive-cost block.
+func TestCEDBlockValueZeroCost(t *testing.T) {
+	flows := []econ.Flow{
+		{Valuation: 10, Cost: 0, Demand: 1},
+		{Valuation: 8, Cost: 0, Demand: 1},
+		{Valuation: 9, Cost: 2, Demand: 1},
+		{Valuation: 7, Cost: 5, Demand: 1},
+	}
+	order := costOrder(flows)
+	val := cedBlockValue(flows, order, 1.7)
+	for lo := 0; lo < len(flows); lo++ {
+		for hi := lo + 1; hi <= len(flows); hi++ {
+			v := val(lo, hi)
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("block [%d,%d): value %v is not finite", lo, hi, v)
+			}
+		}
+	}
+	if zero, pos := val(0, 2), val(2, 4); zero <= pos {
+		t.Fatalf("zero-cost block value %v should dominate positive-cost block value %v", zero, pos)
+	}
+	// The DP over this instance must stay finite and well-formed with both
+	// solvers despite the capped blocks.
+	for _, quadratic := range []bool{false, true} {
+		solve := optimize.ContiguousDPMonotone
+		if quadratic {
+			solve = optimize.ContiguousDP
+		}
+		blocks, total, err := solve(len(flows), 3, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(total) || math.IsInf(total, 0) {
+			t.Fatalf("quadratic=%v: DP total %v is not finite", quadratic, total)
+		}
+		if len(blocks) == 0 || blocks[0][0] != 0 || blocks[len(blocks)-1][1] != len(flows) {
+			t.Fatalf("quadratic=%v: malformed blocks %v", quadratic, blocks)
+		}
+	}
+}

@@ -10,7 +10,7 @@ package bundling
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"tieredpricing/internal/econ"
 )
@@ -66,8 +66,14 @@ func sortIndexesDesc(weights []float64) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		return weights[idx[a]] > weights[idx[b]]
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch wa, wb := weights[a], weights[b]; {
+		case wa > wb:
+			return -1
+		case wa < wb:
+			return 1
+		}
+		return 0
 	})
 	return idx
 }

@@ -89,17 +89,31 @@ func BuildFlows(aggs []netflow.Aggregate, rv *Resolver, durationSec float64) (fl
 // byte-identical to the serial build at any worker count — the property
 // the online repricer's consistency test relies on.
 func BuildFlowsParallel(ctx context.Context, aggs []netflow.Aggregate, rv *Resolver, durationSec float64, workers int) (flows []econ.Flow, skipped int, err error) {
+	return BuildFlowsParallelInto(ctx, nil, aggs, rv, durationSec, workers)
+}
+
+// BuildFlowsParallelInto is BuildFlowsParallel resolving into dst's
+// capacity, so a caller that re-fits the same window repeatedly (the
+// online repricer's ticks) can reuse one flow buffer instead of
+// reallocating it per tick. The returned slice aliases dst when dst has
+// capacity for len(aggs) flows; pass nil for the allocate-per-call
+// behavior. Output is byte-identical to the serial build either way.
+func BuildFlowsParallelInto(ctx context.Context, dst []econ.Flow, aggs []netflow.Aggregate, rv *Resolver, durationSec float64, workers int) (flows []econ.Flow, skipped int, err error) {
 	if durationSec <= 0 {
 		return nil, 0, errors.New("demandfit: capture duration must be positive")
 	}
 	if len(aggs) == 0 {
 		return nil, 0, errors.New("demandfit: no aggregates")
 	}
+	if cap(dst) < len(aggs) {
+		dst = make([]econ.Flow, len(aggs))
+	}
+	dst = dst[:len(aggs)]
 	// A failed resolution is a skip, not an error, so the task function
 	// never fails except on cancellation. An empty ID marks a skip: the
 	// collector never emits an aggregate with an empty key (unkeyed
 	// records are dropped at ingest).
-	resolved, err := parallel.Map(ctx, len(aggs), workers,
+	resolved, err := parallel.MapInto(ctx, dst, workers,
 		func(_ context.Context, i int) (econ.Flow, error) {
 			a := aggs[i]
 			distance, region, rerr := rv.Resolve(a.SrcAddr, a.DstAddr)
@@ -120,13 +134,17 @@ func BuildFlowsParallel(ctx context.Context, aggs []netflow.Aggregate, rv *Resol
 	if err != nil {
 		return nil, 0, err
 	}
-	for _, f := range resolved {
-		if f.ID == "" {
+	// Compact skips in place: the write index never passes the read index.
+	n := 0
+	for i := range resolved {
+		if resolved[i].ID == "" {
 			skipped++
 			continue
 		}
-		flows = append(flows, f)
+		resolved[n] = resolved[i]
+		n++
 	}
+	flows = resolved[:n]
 	if len(flows) == 0 {
 		return nil, skipped, errors.New("demandfit: no aggregate resolved to a usable flow")
 	}

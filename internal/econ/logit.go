@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"tieredpricing/internal/stats"
 )
@@ -48,6 +49,28 @@ func (m Logit) check() error {
 	}
 	return nil
 }
+
+// logitScratch holds the reusable buffers of the logit hot paths — the
+// equal-markup bisection (one softmax per iteration), per-bundle
+// aggregation, and profit evaluation — so that repeated pricing calls
+// (experiment fan-out, the repricer's ticks) stop churning the allocator.
+// The floating-point operation order through these buffers is identical to
+// the allocating formulations, so results are bit-for-bit unchanged.
+type logitScratch struct {
+	exps, w []float64 // utility exponents and softmax weights, n+1 wide
+	bv, bc  []float64 // one block's valuations and costs
+	fv, fp  []float64 // per-flow valuations and prices
+}
+
+// grown returns buf resized to n, reusing capacity when it suffices.
+func grown(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+var logitScratchPool = sync.Pool{New: func() any { return new(logitScratch) }}
 
 // Shares evaluates Eq. 6: the per-flow market shares at the given prices,
 // plus the no-purchase share s0. vals and prices must have equal length.
@@ -189,23 +212,40 @@ func (m Logit) CalibrateScale(valuations, relCosts []float64, p0 float64) (float
 }
 
 // bundleAggregates reduces a partition to per-bundle (valuation, cost)
-// pairs via Eqs. 10–11.
-func (m Logit) bundleAggregates(flows []Flow, partition [][]int) (vals, costs []float64, err error) {
+// pairs via Eqs. 10–11, computing through sc's buffers. vals and costs are
+// freshly allocated (callers may retain them); only working state is
+// pooled. The computation is operation-for-operation the same as calling
+// BundleValuation and BundleCost per block.
+func (m Logit) bundleAggregates(flows []Flow, partition [][]int, sc *logitScratch) (vals, costs []float64, err error) {
 	vals = make([]float64, len(partition))
 	costs = make([]float64, len(partition))
 	for b, block := range partition {
-		bv := make([]float64, len(block))
-		bc := make([]float64, len(block))
+		sc.bv = grown(sc.bv, len(block))
+		sc.bc = grown(sc.bc, len(block))
+		sc.exps = grown(sc.exps, len(block))
+		sc.w = grown(sc.w, len(block))
 		for j, i := range block {
-			bv[j] = flows[i].Valuation
-			bc[j] = flows[i].Cost
+			sc.bv[j] = flows[i].Valuation
+			sc.bc[j] = flows[i].Cost
 		}
-		if vals[b], err = m.BundleValuation(bv); err != nil {
+		// Eq. 10: v_b = ln(Σ e^{α·v_i}) / α.
+		for j, v := range sc.bv {
+			sc.exps[j] = m.Alpha * v
+		}
+		lse, err := stats.LogSumExp(sc.exps)
+		if err != nil {
 			return nil, nil, err
 		}
-		if costs[b], err = m.BundleCost(bc, bv); err != nil {
+		vals[b] = lse / m.Alpha
+		// Eq. 11: the e^{αv}-weighted mean cost.
+		if err := stats.SoftmaxInto(sc.w, sc.exps); err != nil {
 			return nil, nil, err
 		}
+		var c float64
+		for j := range sc.bc {
+			c += sc.w[j] * sc.bc[j]
+		}
+		costs[b] = c
 	}
 	return vals, costs, nil
 }
@@ -227,22 +267,29 @@ func (m Logit) PriceBundles(flows []Flow, partition [][]int) ([]float64, error) 
 	if err := checkPartition(len(flows), partition); err != nil {
 		return nil, err
 	}
-	vals, costs, err := m.bundleAggregates(flows, partition)
+	sc := logitScratchPool.Get().(*logitScratch)
+	defer logitScratchPool.Put(sc)
+	vals, costs, err := m.bundleAggregates(flows, partition, sc)
 	if err != nil {
 		return nil, err
 	}
 
 	// implied maps a candidate no-purchase share to the share the
-	// resulting equal-markup prices would actually produce.
+	// resulting equal-markup prices would actually produce. The bisection
+	// evaluates it a couple hundred times per call, so the exponent and
+	// weight buffers come from the pooled scratch rather than being
+	// reallocated per iteration.
+	sc.exps = grown(sc.exps, len(vals)+1)
+	sc.w = grown(sc.w, len(vals)+1)
 	implied := func(s0 float64) float64 {
 		markup := 1 / (m.Alpha * s0)
-		exps := make([]float64, len(vals)+1)
+		exps := sc.exps
 		for b := range vals {
 			exps[b] = m.Alpha * (vals[b] - costs[b] - markup)
 		}
 		exps[len(vals)] = 0
-		w, _ := stats.Softmax(exps)
-		return w[len(vals)]
+		_ = stats.SoftmaxInto(sc.w, exps)
+		return sc.w[len(vals)]
 	}
 
 	lo, hi := logitS0Floor, 1-logitS0Floor
@@ -291,22 +338,32 @@ func (m Logit) Profit(flows []Flow, partition [][]int, prices []float64) (float6
 	if len(prices) != len(partition) {
 		return 0, errors.New("econ: one price per bundle required")
 	}
-	vals := make([]float64, len(flows))
-	flowPrices := make([]float64, len(flows))
+	sc := logitScratchPool.Get().(*logitScratch)
+	defer logitScratchPool.Put(sc)
+	n := len(flows)
+	sc.fv = grown(sc.fv, n)
+	sc.fp = grown(sc.fp, n)
 	for b, block := range partition {
 		for _, i := range block {
-			vals[i] = flows[i].Valuation
-			flowPrices[i] = prices[b]
+			sc.fv[i] = flows[i].Valuation
+			sc.fp[i] = prices[b]
 		}
 	}
-	shares, _, err := m.Shares(vals, flowPrices)
-	if err != nil {
+	// Inline of Shares through the pooled buffers (same operation order):
+	// softmax over the utility exponents with the outside option appended.
+	sc.exps = grown(sc.exps, n+1)
+	sc.w = grown(sc.w, n+1)
+	for i := 0; i < n; i++ {
+		sc.exps[i] = m.Alpha * (sc.fv[i] - sc.fp[i])
+	}
+	sc.exps[n] = 0
+	if err := stats.SoftmaxInto(sc.w, sc.exps); err != nil {
 		return 0, err
 	}
 	k := m.MarketSize(flows)
 	var profit float64
 	for i, f := range flows {
-		profit += k * shares[i] * (flowPrices[i] - f.Cost)
+		profit += k * sc.w[i] * (sc.fp[i] - f.Cost)
 	}
 	return profit, nil
 }

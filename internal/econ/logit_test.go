@@ -182,7 +182,7 @@ func TestLogitPriceBundlesSatisfiesFOC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals, costs, err := m.bundleAggregates(flows, parts)
+	vals, costs, err := m.bundleAggregates(flows, parts, new(logitScratch))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestLogitProfitPerFlowMatchesBundleAggregation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals, costs, err := m.bundleAggregates(flows, parts)
+	vals, costs, err := m.bundleAggregates(flows, parts, new(logitScratch))
 	if err != nil {
 		t.Fatal(err)
 	}

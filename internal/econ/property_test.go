@@ -227,7 +227,7 @@ func TestPropertyLogitEqualMarkup(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		_, costs, err := m.bundleAggregates(flows, parts)
+		_, costs, err := m.bundleAggregates(flows, parts, new(logitScratch))
 		if err != nil {
 			return false
 		}

@@ -47,25 +47,57 @@ func (o partitionObjective) costOrder() []int {
 	return order
 }
 
-// dpBest solves the instance with ContiguousDP over cost order.
-func (o partitionObjective) dpBest(t *testing.T, maxBlocks int) float64 {
+// solver abstracts over the quadratic reference DP and the
+// divide-and-conquer monotone DP so every property test runs both.
+type solver struct {
+	name  string
+	solve func(n, maxBlocks int, val BlockValue) ([][2]int, float64, error)
+}
+
+func solvers() []solver {
+	return []solver{
+		{"quadratic", ContiguousDP},
+		{"monotone", ContiguousDPMonotone},
+	}
+}
+
+// dpSolve solves the instance with the given solver over cost order and
+// validates the reported total against the reconstructed blocks.
+func (o partitionObjective) dpSolve(t *testing.T, s solver, maxBlocks int) ([][2]int, float64) {
 	t.Helper()
 	order := o.costOrder()
 	val := func(lo, hi int) float64 {
 		return o.setValue(order[lo:hi])
 	}
-	blocks, total, err := ContiguousDP(len(o.w), maxBlocks, val)
+	blocks, total, err := s.solve(len(o.w), maxBlocks, val)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The reported total must equal the sum of the reconstructed blocks.
+	// The reported total must equal the sum of the reconstructed blocks,
+	// and the blocks must tile [0, n) in order.
 	var check float64
+	prev := 0
 	for _, b := range blocks {
+		if b[0] != prev || b[1] <= b[0] {
+			t.Fatalf("%s: blocks %v do not tile [0,%d)", s.name, blocks, len(o.w))
+		}
+		prev = b[1]
 		check += o.setValue(order[b[0]:b[1]])
 	}
-	if math.Abs(check-total) > 1e-9*(1+math.Abs(total)) {
-		t.Fatalf("DP total %v does not match reconstructed blocks' value %v", total, check)
+	if prev != len(o.w) {
+		t.Fatalf("%s: blocks %v do not cover [0,%d)", s.name, blocks, len(o.w))
 	}
+	if math.Abs(check-total) > 1e-9*(1+math.Abs(total)) {
+		t.Fatalf("%s: DP total %v does not match reconstructed blocks' value %v", s.name, total, check)
+	}
+	return blocks, total
+}
+
+// dpBest solves the instance with the quadratic reference DP over cost
+// order (the historical oracle the exhaustive checks compare against).
+func (o partitionObjective) dpBest(t *testing.T, maxBlocks int) float64 {
+	t.Helper()
+	_, total := o.dpSolve(t, solvers()[0], maxBlocks)
 	return total
 }
 
@@ -103,16 +135,65 @@ var convexTransforms = []struct {
 
 func checkDPMatchesExhaustive(t *testing.T, o partitionObjective, maxBlocks int) {
 	t.Helper()
-	dp := o.dpBest(t, maxBlocks)
 	ex := o.exhaustiveBest(t, maxBlocks)
-	// The DP searches a subset of the enumerator's space, so it can never
-	// exceed the exhaustive optimum; convexity says it must reach it.
 	tol := 1e-9 * (1 + math.Abs(ex))
-	if dp > ex+tol {
-		t.Fatalf("DP total %v exceeds exhaustive optimum %v (enumerator broken)", dp, ex)
+	for _, s := range solvers() {
+		_, dp := o.dpSolve(t, s, maxBlocks)
+		// The DP searches a subset of the enumerator's space, so it can
+		// never exceed the exhaustive optimum; convexity says it must
+		// reach it.
+		if dp > ex+tol {
+			t.Fatalf("%s: DP total %v exceeds exhaustive optimum %v (enumerator broken)", s.name, dp, ex)
+		}
+		if dp < ex-tol {
+			t.Fatalf("%s: DP total %v below exhaustive optimum %v (contiguity violated)", s.name, dp, ex)
+		}
 	}
-	if dp < ex-tol {
-		t.Fatalf("DP total %v below exhaustive optimum %v (contiguity violated)", dp, ex)
+	checkSolversAgree(t, o, maxBlocks)
+}
+
+// checkSolversAgree runs both solvers on the instance and asserts equal
+// totals; when the optimum is unique among all set partitions (determined
+// by enumeration), the two solvers must return the *identical* partition,
+// not merely equal values.
+func checkSolversAgree(t *testing.T, o partitionObjective, maxBlocks int) {
+	t.Helper()
+	quadBlocks, quadTotal := o.dpSolve(t, solvers()[0], maxBlocks)
+	monoBlocks, monoTotal := o.dpSolve(t, solvers()[1], maxBlocks)
+	tol := 1e-9 * (1 + math.Abs(quadTotal))
+	if math.Abs(quadTotal-monoTotal) > tol {
+		t.Fatalf("solver totals differ: quadratic %v, monotone %v", quadTotal, monoTotal)
+	}
+	if len(o.w) > 12 {
+		return // uniqueness check needs the enumerator
+	}
+	// Count optima within tolerance; only a unique optimum pins the blocks.
+	best := o.exhaustiveBest(t, maxBlocks)
+	optima := 0
+	if err := EnumeratePartitions(len(o.w), maxBlocks, func(p [][]int) bool {
+		var total float64
+		for _, block := range p {
+			total += o.setValue(block)
+		}
+		if total >= best-tol {
+			optima++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if optima != 1 {
+		return
+	}
+	if len(quadBlocks) != len(monoBlocks) {
+		t.Fatalf("unique optimum, but solvers return different partitions: quadratic %v, monotone %v",
+			quadBlocks, monoBlocks)
+	}
+	for k := range quadBlocks {
+		if quadBlocks[k] != monoBlocks[k] {
+			t.Fatalf("unique optimum, but solvers return different partitions: quadratic %v, monotone %v",
+				quadBlocks, monoBlocks)
+		}
 	}
 }
 
@@ -197,6 +278,131 @@ func TestContiguousDPDegenerateSingleFlow(t *testing.T) {
 		want := 3 * math.Exp(-1.5)
 		if got := o.dpBest(t, maxBlocks); math.Abs(got-want) > 1e-12 {
 			t.Errorf("maxBlocks=%d: total %v, want %v", maxBlocks, got, want)
+		}
+	}
+}
+
+// TestContiguousDPMonotoneMatchesQuadraticRandom cross-checks the
+// divide-and-conquer solver against the quadratic reference on instances
+// far larger than the enumerator can handle, across the full convex
+// transform family, with duplicated costs mixed in to exercise ties.
+func TestContiguousDPMonotoneMatchesQuadraticRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + r.Intn(70)
+		o := partitionObjective{
+			w: make([]float64, n),
+			c: make([]float64, n),
+		}
+		for i := 0; i < n; i++ {
+			o.w[i] = 0.1 + r.Float64()*5
+			o.c[i] = 0.05 + r.Float64()*10
+		}
+		if trial%4 == 0 {
+			// Duplicate a run of costs to exercise tie-breaking at scale.
+			dup := o.c[r.Intn(n)]
+			for k := 0; k < n/4; k++ {
+				o.c[r.Intn(n)] = dup
+			}
+		}
+		o.g = convexTransforms[trial%len(convexTransforms)].g
+		for _, maxBlocks := range []int{2, 3, 5, 8, n, n + 2} {
+			checkSolversAgree(t, o, maxBlocks)
+		}
+	}
+}
+
+// TestContiguousDPUnderflowedWeights mimics the logit block value when
+// every member of a block has underflowed weight e^{α(v−vmax)} → 0 (the
+// bundling package returns block value 0 for such blocks): zero-weight
+// items must not derail either solver, and the two must agree on the
+// total.
+func TestContiguousDPUnderflowedWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	n := 12
+	w := make([]float64, n)
+	c := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c[i] = float64(i) * 0.7 // already cost-sorted
+		if i%2 == 0 {
+			w[i] = 0.2 + r.Float64() // survivor
+		} // odd items: weight underflowed to exactly 0
+	}
+	val := func(lo, hi int) float64 {
+		var wSum, cwSum float64
+		for i := lo; i < hi; i++ {
+			wSum += w[i]
+			cwSum += c[i] * w[i]
+		}
+		if wSum <= 0 {
+			return 0 // the whole block underflowed; it attracts no demand
+		}
+		return wSum * math.Exp(-1.1*(cwSum/wSum))
+	}
+	for _, maxBlocks := range []int{1, 2, 3, 6, n, n + 5} {
+		var totals []float64
+		for _, s := range solvers() {
+			blocks, total, err := s.solve(n, maxBlocks, val)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsInf(total, 0) || math.IsNaN(total) {
+				t.Fatalf("%s maxBlocks=%d: non-finite total %v", s.name, maxBlocks, total)
+			}
+			prev := 0
+			for _, b := range blocks {
+				if b[0] != prev || b[1] <= b[0] {
+					t.Fatalf("%s maxBlocks=%d: blocks %v do not tile [0,%d)", s.name, maxBlocks, blocks, n)
+				}
+				prev = b[1]
+			}
+			if prev != n {
+				t.Fatalf("%s maxBlocks=%d: blocks %v do not cover [0,%d)", s.name, maxBlocks, blocks, n)
+			}
+			totals = append(totals, total)
+		}
+		if math.Abs(totals[0]-totals[1]) > 1e-9*(1+math.Abs(totals[0])) {
+			t.Fatalf("maxBlocks=%d: quadratic total %v != monotone total %v", maxBlocks, totals[0], totals[1])
+		}
+	}
+}
+
+// TestDPScratchReuse solves instances of varying size through one scratch
+// to verify the tables resize correctly and results match fresh solves.
+func TestDPScratchReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	s := GetDPScratch()
+	defer PutDPScratch(s)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(40)
+		maxBlocks := 1 + r.Intn(8)
+		o := partitionObjective{
+			w: make([]float64, n),
+			c: make([]float64, n),
+			g: convexTransforms[trial%len(convexTransforms)].g,
+		}
+		for i := 0; i < n; i++ {
+			o.w[i] = 0.1 + r.Float64()
+			o.c[i] = 0.1 + r.Float64()*5
+		}
+		order := o.costOrder()
+		val := func(lo, hi int) float64 { return o.setValue(order[lo:hi]) }
+		gotBlocks, gotTotal, err := s.Solve(n, maxBlocks, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBlocks, wantTotal, err := ContiguousDPMonotone(n, maxBlocks, val)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTotal != wantTotal || len(gotBlocks) != len(wantBlocks) {
+			t.Fatalf("reused scratch: total %v blocks %v, fresh solve: total %v blocks %v",
+				gotTotal, gotBlocks, wantTotal, wantBlocks)
+		}
+		for k := range gotBlocks {
+			if gotBlocks[k] != wantBlocks[k] {
+				t.Fatalf("reused scratch blocks %v != fresh blocks %v", gotBlocks, wantBlocks)
+			}
 		}
 	}
 }

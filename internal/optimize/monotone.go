@@ -1,0 +1,184 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"sync"
+)
+
+// This file implements the divide-and-conquer monotone optimization of the
+// contiguous-partition DP. Both demand models' bundling objectives have
+// block values of the form
+//
+//	val(lo, hi) = W(lo,hi) · g(C(lo,hi))
+//
+// with W a positive block weight, C the W-weighted mean cost of the block
+// over a cost-sorted order, and g strictly convex — the same structure
+// that makes an optimal partition contiguous in cost order (DESIGN.md §4).
+// That structure additionally satisfies the concave-Monge (inverse
+// quadrangle) inequality
+//
+//	val(a, c) + val(b, d) ≥ val(a, d) + val(b, c)   for a ≤ b ≤ c ≤ d
+//
+// so in every DP layer the optimal split index i*(j) of
+// best[b][j] = max_i best[b-1][i] + val(i, j) is non-decreasing in j
+// (total monotonicity). The classic divide-and-conquer optimization then
+// evaluates each layer in O(n log n) instead of O(n²): solve the middle
+// column jm by a linear scan of its feasible split range, and recurse on
+// the two halves with the split range pinched by the optimum found. The
+// property tests cross-check this solver against the quadratic reference
+// DP and exhaustive set-partition enumeration on the full objective
+// family, including degenerate and tie-heavy instances.
+
+// DPScratch holds the flat working tables of ContiguousDPMonotone so that
+// repeated solves — the online repricer's periodic ticks, the experiment
+// engine's strategy × bundle-count fan-out — allocate (almost) nothing.
+// The zero value is ready to use; tables grow on demand and are retained
+// between solves. A DPScratch is not safe for concurrent use; use one per
+// goroutine or borrow from the package pool via ContiguousDPMonotone.
+type DPScratch struct {
+	prev, curr []float64 // rolling DP rows, length n+1
+	cut        []int32   // maxBlocks rows × (n+1) cols: last-block starts
+	layerBest  []float64 // best[b][n] per layer, for the ≤ maxBlocks choice
+}
+
+// resize grows the tables to fit an (n, maxBlocks) instance, reusing the
+// existing capacity whenever it suffices.
+func (s *DPScratch) resize(n, maxBlocks int) {
+	rowLen := n + 1
+	if cap(s.prev) < rowLen {
+		s.prev = make([]float64, rowLen)
+		s.curr = make([]float64, rowLen)
+	}
+	s.prev = s.prev[:rowLen]
+	s.curr = s.curr[:rowLen]
+	if cap(s.cut) < maxBlocks*rowLen {
+		s.cut = make([]int32, maxBlocks*rowLen)
+	}
+	s.cut = s.cut[:maxBlocks*rowLen]
+	if cap(s.layerBest) < maxBlocks {
+		s.layerBest = make([]float64, maxBlocks)
+	}
+	s.layerBest = s.layerBest[:maxBlocks]
+}
+
+// dpScratchPool shares scratch across ContiguousDPMonotone callers. A
+// sync.Pool is per-P cached, so the experiment engine's bounded worker
+// pool and the repricer's tick loop each effectively keep their own warm
+// tables without any coordination.
+var dpScratchPool = sync.Pool{New: func() any { return new(DPScratch) }}
+
+// GetDPScratch borrows a scratch from the package pool. Pair with
+// PutDPScratch when done; callers that solve in a tight loop can instead
+// hold one DPScratch for the loop's lifetime.
+func GetDPScratch() *DPScratch { return dpScratchPool.Get().(*DPScratch) }
+
+// PutDPScratch returns a scratch to the package pool.
+func PutDPScratch(s *DPScratch) { dpScratchPool.Put(s) }
+
+// ContiguousDPMonotone solves the same problem as ContiguousDP — the
+// contiguous partition of 0..n-1 into at most maxBlocks non-empty blocks
+// maximizing the sum of block values — in O(n·maxBlocks·log n) by
+// divide-and-conquer monotone optimization, using pooled scratch tables.
+//
+// It requires val to satisfy the concave-Monge condition documented above,
+// which holds for every objective in this repository (both demand models'
+// block values over cost order). For an arbitrary val that violates the
+// condition, use the quadratic ContiguousDP; the property tests keep the
+// two in agreement on the supported objective family.
+func ContiguousDPMonotone(n, maxBlocks int, val BlockValue) ([][2]int, float64, error) {
+	s := GetDPScratch()
+	defer PutDPScratch(s)
+	return s.Solve(n, maxBlocks, val)
+}
+
+// Solve runs the divide-and-conquer DP in this scratch's tables. The
+// returned blocks are freshly allocated (so they may be retained); every
+// other byte of working state lives in the scratch.
+func (s *DPScratch) Solve(n, maxBlocks int, val BlockValue) ([][2]int, float64, error) {
+	if n <= 0 {
+		return nil, 0, errors.New("optimize: n must be positive")
+	}
+	if maxBlocks <= 0 {
+		return nil, 0, errors.New("optimize: maxBlocks must be positive")
+	}
+	if maxBlocks > n {
+		maxBlocks = n
+	}
+	s.resize(n, maxBlocks)
+	rowLen := n + 1
+	negInf := math.Inf(-1)
+
+	// Layer 0: one block over the first j items.
+	prev, curr := s.prev, s.curr
+	prev[0] = negInf
+	row := s.cut[:rowLen]
+	for j := 1; j <= n; j++ {
+		prev[j] = val(0, j)
+		row[j] = 0
+	}
+	s.layerBest[0] = prev[n]
+
+	// Layers 1..maxBlocks-1: divide-and-conquer over the column range.
+	for b := 1; b < maxBlocks; b++ {
+		row = s.cut[b*rowLen : (b+1)*rowLen]
+		for j := 0; j <= b; j++ {
+			curr[j] = negInf // fewer items than blocks: infeasible
+		}
+		solveLayer(b, n, val, prev, curr, row)
+		s.layerBest[b] = curr[n]
+		prev, curr = curr, prev
+	}
+
+	// Allow fewer than maxBlocks blocks: best over block counts, smallest
+	// count winning ties (matching the quadratic reference).
+	bestB, bestV := 0, s.layerBest[0]
+	for b := 1; b < maxBlocks; b++ {
+		if s.layerBest[b] > bestV {
+			bestB, bestV = b, s.layerBest[b]
+		}
+	}
+
+	blocks := make([][2]int, bestB+1)
+	j := n
+	for b := bestB; b >= 0; b-- {
+		i := int(s.cut[b*rowLen+j])
+		blocks[b] = [2]int{i, j}
+		j = i
+	}
+	return blocks, bestV, nil
+}
+
+// solveLayer fills curr[j] = max_{i ∈ [b, j-1]} prev[i] + val(i, j) for
+// every j in [b+1, n], exploiting the monotonicity of the argmax: the
+// middle column's optimum splits the feasible i-range for the two halves.
+// Ties in the scan resolve to the smallest i (strict >), matching the
+// quadratic reference DP's ascending inner loop.
+func solveLayer(b, n int, val BlockValue, prev, curr []float64, cutRow []int32) {
+	// Feasibility invariant: prev[i] is finite exactly for i ≥ b (b blocks
+	// need at least b items), and every recursive call keeps ilo ≤ jlo-1,
+	// so the scan range [ilo, min(ihi, jm-1)] is never empty.
+	var rec func(jlo, jhi, ilo, ihi int)
+	rec = func(jlo, jhi, ilo, ihi int) {
+		if jlo > jhi {
+			return
+		}
+		jm := jlo + (jhi-jlo)/2
+		top := ihi
+		if top > jm-1 {
+			top = jm - 1
+		}
+		bi := ilo
+		bv := prev[ilo] + val(ilo, jm)
+		for i := ilo + 1; i <= top; i++ {
+			if v := prev[i] + val(i, jm); v > bv {
+				bv, bi = v, i
+			}
+		}
+		curr[jm] = bv
+		cutRow[jm] = int32(bi)
+		rec(jlo, jm-1, ilo, bi)
+		rec(jm+1, jhi, bi, ihi)
+	}
+	rec(b+1, n, b, n-1)
+}

@@ -9,6 +9,7 @@ package optimize
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // BlockValue returns the value of grouping items lo..hi-1 (of some fixed
@@ -26,6 +27,11 @@ type BlockValue func(lo, hi int) float64
 // for which an optimal partition is contiguous in cost order (see
 // DESIGN.md §4; the property is additionally cross-checked against
 // exhaustive set-partition enumeration in tests).
+//
+// This is the O(n²·maxBlocks) reference implementation, kept as the
+// oracle for the property tests and for block values that do not satisfy
+// the concave-Monge condition; hot paths use the O(n·maxBlocks·log n)
+// ContiguousDPMonotone.
 func ContiguousDP(n, maxBlocks int, val BlockValue) ([][2]int, float64, error) {
 	if n <= 0 {
 		return nil, 0, errors.New("optimize: n must be positive")
@@ -36,7 +42,7 @@ func ContiguousDP(n, maxBlocks int, val BlockValue) ([][2]int, float64, error) {
 	if maxBlocks > n {
 		maxBlocks = n
 	}
-	const negInf = -1e308
+	negInf := math.Inf(-1)
 
 	// best[b][j]: max value of splitting the first j items into exactly
 	// b+1 blocks. cut[b][j]: the start of the last block in that optimum.
@@ -93,7 +99,9 @@ func ContiguousDP(n, maxBlocks int, val BlockValue) ([][2]int, float64, error) {
 func BlocksToPartition(blocks [][2]int, order []int) [][]int {
 	out := make([][]int, len(blocks))
 	for k, b := range blocks {
-		out[k] = append([]int(nil), order[b[0]:b[1]]...)
+		block := make([]int, b[1]-b[0])
+		copy(block, order[b[0]:b[1]])
+		out[k] = block
 	}
 	return out
 }

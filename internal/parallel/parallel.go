@@ -55,10 +55,22 @@ func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context
 	if n <= 0 {
 		return nil, nil
 	}
+	return MapInto(ctx, make([]T, n), workers, fn)
+}
+
+// MapInto is Map writing the n := len(dst) results into the caller's dst,
+// so loops that fan out repeatedly (the online repricer's ticks) can reuse
+// one result buffer. dst is returned for convenience; on error its
+// contents are unspecified.
+func MapInto[T any](ctx context.Context, dst []T, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	n := len(dst)
+	if n == 0 {
+		return dst, nil
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make([]T, n)
+	out := dst
 	if Workers(workers, n) == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

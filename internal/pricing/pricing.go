@@ -63,16 +63,24 @@ func GradientPrices(m econ.Logit, flows []econ.Flow, partition [][]int) ([]float
 	if len(partition) == 0 {
 		return nil, errors.New("pricing: empty partition")
 	}
-	// Start from marginal-cost pricing of each bundle.
+	// Start from marginal-cost pricing of each bundle. One cost/valuation
+	// buffer pair sized to the largest bundle serves every iteration of the
+	// start-vector loop.
+	maxBlock := 0
+	for _, block := range partition {
+		if len(block) > maxBlock {
+			maxBlock = len(block)
+		}
+	}
+	costs := make([]float64, maxBlock)
+	vals := make([]float64, maxBlock)
 	start := make([]float64, len(partition))
 	for b, block := range partition {
-		costs := make([]float64, len(block))
-		vals := make([]float64, len(block))
 		for j, i := range block {
 			costs[j] = flows[i].Cost
 			vals[j] = flows[i].Valuation
 		}
-		c, err := m.BundleCost(costs, vals)
+		c, err := m.BundleCost(costs[:len(block)], vals[:len(block)])
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,18 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value reads the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Gauge is a metric that can go up and down (e.g. the size of the last
+// re-priced flow window), safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
 // Histogram is a fixed-bucket latency histogram in the Prometheus
 // cumulative style. Observations are lock-free.
 type Histogram struct {
@@ -101,6 +113,10 @@ type Metrics struct {
 	Reprices       Counter
 	RepriceErrors  Counter
 	RepriceSeconds *Histogram
+	// RepriceFlows is the number of flows priced by the most recent
+	// re-price attempt, so window size can be correlated with re-price
+	// latency on the same scrape.
+	RepriceFlows Gauge
 }
 
 // NewMetrics builds the metric set with re-price latency buckets from
@@ -142,6 +158,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			c.name, c.help, c.name, c.name, c.c.Value()); err != nil {
 			return err
 		}
+	}
+	if _, err := fmt.Fprintf(w, "# HELP tierd_reprice_flows Flows priced by the most recent re-price.\n# TYPE tierd_reprice_flows gauge\ntierd_reprice_flows %d\n", m.RepriceFlows.Value()); err != nil {
+		return err
 	}
 	if _, err := fmt.Fprintf(w, "# HELP tierd_reprice_seconds Re-price latency.\n# TYPE tierd_reprice_seconds histogram\n"); err != nil {
 		return err

@@ -90,3 +90,25 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+func TestRepriceFlowsGauge(t *testing.T) {
+	m := NewMetrics()
+	m.RepriceFlows.Set(742)
+	if got := m.RepriceFlows.Value(); got != 742 {
+		t.Fatalf("gauge value = %d, want 742", got)
+	}
+	m.RepriceFlows.Set(3) // gauges go down too
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE tierd_reprice_flows gauge",
+		"tierd_reprice_flows 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -222,15 +222,29 @@ func Softmax(xs []float64) ([]float64, error) {
 	if len(xs) == 0 {
 		return nil, ErrEmpty
 	}
-	_, max, _ := MinMax(xs)
 	out := make([]float64, len(xs))
+	return out, SoftmaxInto(out, xs)
+}
+
+// SoftmaxInto is Softmax writing into dst (len(dst) must equal len(xs)),
+// for hot paths that reuse a weights buffer across calls — e.g. the logit
+// equal-markup bisection, which evaluates a softmax per iteration. The
+// floating-point operation order is identical to Softmax.
+func SoftmaxInto(dst, xs []float64) error {
+	if len(xs) == 0 {
+		return ErrEmpty
+	}
+	if len(dst) != len(xs) {
+		return errors.New("stats: softmax dst/xs length mismatch")
+	}
+	_, max, _ := MinMax(xs)
 	var sum float64
 	for i, x := range xs {
-		out[i] = math.Exp(x - max)
-		sum += out[i]
+		dst[i] = math.Exp(x - max)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out, nil
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -174,6 +175,15 @@ type Repricer struct {
 	now   func() time.Time
 	epoch atomic.Int64
 	cur   atomic.Pointer[Snapshot]
+
+	// mu serializes Reprice (the periodic tick and a caller-driven final
+	// drain can race) and guards flowBuf, the resolve buffer reused across
+	// ticks. The market fit copies the flows and the snapshot never
+	// retains them, so the buffer is free again by the time Reprice
+	// returns; the bundling DP's own tables are pooled in the optimize
+	// package.
+	mu      sync.Mutex
+	flowBuf []econ.Flow
 }
 
 // NewRepricer validates the configuration.
@@ -226,15 +236,18 @@ func (r *Repricer) Current() *Snapshot { return r.cur.Load() }
 // stays current on any failure (including an empty window), so a
 // transient ingest gap never takes quoting down.
 func (r *Repricer) Reprice(ctx context.Context) (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	aggs := r.cfg.Window.Aggregates()
 	if len(aggs) == 0 {
 		return nil, ErrEmptyWindow
 	}
-	flows, skipped, err := demandfit.BuildFlowsParallel(
-		ctx, aggs, r.cfg.Resolver, r.cfg.DurationSec, r.cfg.Workers)
+	flows, skipped, err := demandfit.BuildFlowsParallelInto(
+		ctx, r.flowBuf, aggs, r.cfg.Resolver, r.cfg.DurationSec, r.cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("stream: resolve: %w", err)
 	}
+	r.flowBuf = flows[:0]
 	market, err := core.NewMarket(flows, r.cfg.Demand, r.cfg.Cost, r.cfg.P0)
 	if err != nil {
 		return nil, fmt.Errorf("stream: fit: %w", err)
