@@ -19,12 +19,18 @@
 #   3. go test -race — the whole test suite under the race detector,
 #                      covering the parallel experiment engine, the
 #                      concurrent NetFlow collector, the sliding-window
-#                      repricer, and the registry
-#   4. benchmarks    — every benchmark compiles and runs one iteration
+#                      repricer (including the failure-path snapshot
+#                      retention tests that hammer Quote against
+#                      injected reprice failures), and the registry
+#   4. chaos stage   — the tierd fault-injection e2e re-run explicitly
+#                      at a pinned seed (CHAOS_SEED, default 4242), so
+#                      the fault schedule the gate certifies is the one
+#                      a failure replays locally
+#   5. benchmarks    — every benchmark compiles and runs one iteration
 #                      (catches bit-rotted benchmark code without paying
 #                      for a timed run; use `./ci.sh bench` for real
 #                      numbers)
-#   5. fuzz smoke    — every netflow/bgp fuzz target actually fuzzes for
+#   6. fuzz smoke    — every netflow/bgp fuzz target actually fuzzes for
 #                      a short budget (FUZZTIME, default 10s each), not
 #                      just replays its seed corpus
 set -eu
@@ -86,6 +92,10 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+CHAOS_SEED="${CHAOS_SEED:-4242}"
+echo "==> chaos stage: CHAOS_SEED=${CHAOS_SEED} go test -race -run TestTierdChaos ./cmd/tierd"
+CHAOS_SEED="$CHAOS_SEED" go test -race -count=1 -run 'TestTierdChaos' ./cmd/tierd
 
 echo "==> go test -run='^$' -bench=. -benchtime=1x ./..."
 go test -run='^$' -bench=. -benchtime=1x ./...

@@ -64,11 +64,20 @@ type config struct {
 	tiers    int
 	blended  float64 // override meta blended rate when > 0
 
-	window    time.Duration
-	slot      time.Duration
-	reprice   time.Duration
-	demandSec float64 // demand divisor override; 0 = capture duration from meta
-	workers   int
+	window     time.Duration
+	slot       time.Duration
+	reprice    time.Duration
+	demandSec  float64 // demand divisor override; 0 = capture duration from meta
+	workers    int
+	maxSnapAge time.Duration // staleness threshold; 0 = 4× reprice interval
+	drainGrace time.Duration // bound on the shutdown drain (final re-price and HTTP)
+
+	// Test hooks, settable only by in-package tests (the chaos e2e):
+	// they interpose fault injection between the daemon's components
+	// without changing production wiring. Flags never populate these.
+	wrapSink     func(netflow.Sink) netflow.Sink
+	wrapResolver func(demandfit.EndpointResolver) demandfit.EndpointResolver
+	now          func() time.Time
 }
 
 func main() {
@@ -92,6 +101,10 @@ func main() {
 	flag.Float64Var(&cfg.demandSec, "demand-sec", 0,
 		"seconds of traffic the window represents when converting octets to Mbps (0 = capture duration from meta.txt)")
 	flag.IntVar(&cfg.workers, "parallel", runtime.NumCPU(), "worker goroutines for the re-fit resolve fan-out")
+	flag.DurationVar(&cfg.maxSnapAge, "max-snapshot-age", 0,
+		"snapshot age after which /healthz reports degraded and quotes carry X-Tierd-Stale (0 = 4x the re-price interval)")
+	flag.DurationVar(&cfg.drainGrace, "drain-grace", 5*time.Second,
+		"bound on each shutdown drain step: the final re-price and the HTTP close each get this long")
 	flag.Parse()
 	if cfg.trace == "" {
 		fmt.Fprintln(os.Stderr, "tierd: -trace is required")
@@ -130,6 +143,7 @@ func main() {
 type daemon struct {
 	cfg      config
 	window   *stream.Window
+	sink     netflow.Sink // the window, possibly behind a fault-injection wrapper
 	repricer *stream.Repricer
 	metrics  *server.Metrics
 	udp      *netflow.CollectorServer
@@ -156,9 +170,14 @@ func startDaemon(cfg config) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
-	rv := &demandfit.Resolver{Geo: geo, DistanceRegions: meta.Dataset == "euisp"}
+	var rv demandfit.EndpointResolver
+	base := &demandfit.Resolver{Geo: geo, DistanceRegions: meta.Dataset == "euisp"}
 	if meta.Dataset == "internet2" {
-		rv.Topo = topology.Internet2()
+		base.Topo = topology.Internet2()
+	}
+	rv = base
+	if cfg.wrapResolver != nil {
+		rv = cfg.wrapResolver(rv)
 	}
 
 	var dm econ.Model
@@ -192,6 +211,9 @@ func startDaemon(cfg config) (*daemon, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.now != nil {
+		w.SetClock(cfg.now)
+	}
 	rp, err := stream.NewRepricer(stream.Config{
 		Window:      w,
 		Resolver:    rv,
@@ -202,18 +224,35 @@ func startDaemon(cfg config) (*daemon, error) {
 		Tiers:       cfg.tiers,
 		DurationSec: durationSec,
 		Workers:     cfg.workers,
+		DrainGrace:  cfg.drainGrace,
+		Now:         cfg.now,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	d := &daemon{cfg: cfg, window: w, repricer: rp, metrics: server.NewMetrics()}
-	srv, err := server.New(rp, d.metrics, d.ingestStats)
+	maxAge := cfg.maxSnapAge
+	if maxAge == 0 {
+		// Default policy: a snapshot that has survived four re-price
+		// intervals means the loop is stuck, not just slow.
+		maxAge = 4 * cfg.reprice
+	}
+	d := &daemon{cfg: cfg, window: w, sink: w, repricer: rp, metrics: server.NewMetrics()}
+	srv, err := server.New(server.Config{
+		Snapshots:      rp,
+		Metrics:        d.metrics,
+		Ingest:         d.ingestStats,
+		MaxSnapshotAge: maxAge,
+		Now:            cfg.now,
+	})
 	if err != nil {
 		return nil, err
 	}
+	if cfg.wrapSink != nil {
+		d.sink = cfg.wrapSink(d.sink)
+	}
 	if cfg.udp != "" {
-		if d.udp, err = netflow.NewCollectorServer(cfg.udp, w); err != nil {
+		if d.udp, err = netflow.NewCollectorServer(cfg.udp, d.sink); err != nil {
 			return nil, err
 		}
 	}
@@ -285,17 +324,20 @@ func (d *daemon) ingestStats() server.IngestStats {
 	}
 }
 
-// onTick feeds re-price telemetry into the metrics. An empty window is
-// the normal warm-up state, not a failure.
+// onTick feeds re-price telemetry into the metrics. An empty window
+// before the first snapshot is the normal warm-up state, not a failure;
+// an empty window afterwards is an ingest gap and counts like one (the
+// repricer's consecutive-failure accounting makes the same call).
 func (d *daemon) onTick(snap *stream.Snapshot, elapsed time.Duration, err error) {
-	if errors.Is(err, stream.ErrEmptyWindow) {
+	d.metrics.ConsecutiveFailures.Set(d.repricer.ConsecutiveFailures())
+	if errors.Is(err, stream.ErrEmptyWindow) && d.repricer.Current() == nil {
 		return
 	}
 	d.metrics.ObserveReprice(elapsed.Seconds(), err != nil)
 	if snap != nil {
 		d.metrics.RepriceFlows.Set(int64(snap.Table.Flows))
 	}
-	if err != nil {
+	if err != nil && !errors.Is(err, stream.ErrEmptyWindow) {
 		fmt.Fprintln(os.Stderr, "tierd: reprice:", err)
 	}
 }
@@ -332,7 +374,11 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 	<-stdinDone
 	repCancel()
 	<-repDone
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	grace := d.cfg.drainGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	if d.pprofSrv != nil {
 		_ = d.pprofSrv.Shutdown(shutdownCtx)
@@ -360,6 +406,6 @@ func (d *daemon) ingestStdin(ctx context.Context, stdin io.Reader) {
 			fmt.Fprintln(os.Stderr, "tierd: stdin:", err)
 			return
 		}
-		d.window.Ingest(h, recs)
+		d.sink.Ingest(h, recs)
 	}
 }

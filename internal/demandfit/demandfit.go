@@ -19,6 +19,22 @@ import (
 	"tieredpricing/internal/topology"
 )
 
+// EndpointResolver maps a (src, dst) address pair to flow distance and
+// region. Resolver is the in-memory implementation; the faultinject
+// package wraps any EndpointResolver to rehearse resolver outages.
+type EndpointResolver interface {
+	Resolve(src, dst netip.Addr) (float64, econ.Region, error)
+}
+
+// ContextResolver is an EndpointResolver whose lookups can block (a
+// network-backed or fault-injected resolver). ResolveContext must return
+// promptly once ctx is done; BuildFlows prefers it over Resolve when the
+// resolver implements it, which is what keeps a bounded shutdown drain
+// bounded even when a resolve is wedged.
+type ContextResolver interface {
+	ResolveContext(ctx context.Context, src, dst netip.Addr) (float64, econ.Region, error)
+}
+
 // Resolver turns record endpoints into flow distance and region using the
 // paper's per-dataset heuristics.
 type Resolver struct {
@@ -78,7 +94,7 @@ func (rv *Resolver) Resolve(src, dst netip.Addr) (float64, econ.Region, error) {
 // demand in Mbps over the capture window, resolved distance, and region.
 // Aggregates that fail to resolve are reported in skipped rather than
 // aborting the build (real captures always contain unroutable junk).
-func BuildFlows(aggs []netflow.Aggregate, rv *Resolver, durationSec float64) (flows []econ.Flow, skipped int, err error) {
+func BuildFlows(aggs []netflow.Aggregate, rv EndpointResolver, durationSec float64) (flows []econ.Flow, skipped int, err error) {
 	return BuildFlowsParallel(context.Background(), aggs, rv, durationSec, 1)
 }
 
@@ -88,7 +104,7 @@ func BuildFlows(aggs []netflow.Aggregate, rv *Resolver, durationSec float64) (fl
 // independently and results are merged in index order, so the output is
 // byte-identical to the serial build at any worker count — the property
 // the online repricer's consistency test relies on.
-func BuildFlowsParallel(ctx context.Context, aggs []netflow.Aggregate, rv *Resolver, durationSec float64, workers int) (flows []econ.Flow, skipped int, err error) {
+func BuildFlowsParallel(ctx context.Context, aggs []netflow.Aggregate, rv EndpointResolver, durationSec float64, workers int) (flows []econ.Flow, skipped int, err error) {
 	return BuildFlowsParallelInto(ctx, nil, aggs, rv, durationSec, workers)
 }
 
@@ -98,7 +114,7 @@ func BuildFlowsParallel(ctx context.Context, aggs []netflow.Aggregate, rv *Resol
 // reallocating it per tick. The returned slice aliases dst when dst has
 // capacity for len(aggs) flows; pass nil for the allocate-per-call
 // behavior. Output is byte-identical to the serial build either way.
-func BuildFlowsParallelInto(ctx context.Context, dst []econ.Flow, aggs []netflow.Aggregate, rv *Resolver, durationSec float64, workers int) (flows []econ.Flow, skipped int, err error) {
+func BuildFlowsParallelInto(ctx context.Context, dst []econ.Flow, aggs []netflow.Aggregate, rv EndpointResolver, durationSec float64, workers int) (flows []econ.Flow, skipped int, err error) {
 	if durationSec <= 0 {
 		return nil, 0, errors.New("demandfit: capture duration must be positive")
 	}
@@ -109,15 +125,26 @@ func BuildFlowsParallelInto(ctx context.Context, dst []econ.Flow, aggs []netflow
 		dst = make([]econ.Flow, len(aggs))
 	}
 	dst = dst[:len(aggs)]
+	resolve := func(_ context.Context, src, dstAddr netip.Addr) (float64, econ.Region, error) {
+		return rv.Resolve(src, dstAddr)
+	}
+	if cr, ok := rv.(ContextResolver); ok {
+		resolve = cr.ResolveContext
+	}
 	// A failed resolution is a skip, not an error, so the task function
 	// never fails except on cancellation. An empty ID marks a skip: the
 	// collector never emits an aggregate with an empty key (unkeyed
 	// records are dropped at ingest).
 	resolved, err := parallel.MapInto(ctx, dst, workers,
-		func(_ context.Context, i int) (econ.Flow, error) {
+		func(ctx context.Context, i int) (econ.Flow, error) {
 			a := aggs[i]
-			distance, region, rerr := rv.Resolve(a.SrcAddr, a.DstAddr)
+			distance, region, rerr := resolve(ctx, a.SrcAddr, a.DstAddr)
 			if rerr != nil {
+				// Cancellation is a build failure, not a skip: treating it
+				// as a skip would silently price a truncated flow set.
+				if cerr := ctx.Err(); cerr != nil {
+					return econ.Flow{}, cerr
+				}
 				return econ.Flow{}, nil // zero ID marks the skip
 			}
 			demand := netflow.DemandMbps(a.Octets, durationSec)

@@ -3,12 +3,14 @@ package demandfit
 import (
 	"bytes"
 	"context"
+	"errors"
 	"io"
 	"math"
 	"net/netip"
 	"reflect"
 	"sort"
 	"testing"
+	"time"
 
 	"tieredpricing/internal/bundling"
 	"tieredpricing/internal/core"
@@ -288,5 +290,50 @@ func TestBuildFlowsErrors(t *testing.T) {
 	}
 	if _, _, err := BuildFlows(aggs, rv, 3600); err == nil {
 		t.Error("expected error when nothing resolves")
+	}
+}
+
+// hangingResolver implements ContextResolver by blocking until the
+// caller's context is cancelled — the shape of a dead network-backed
+// lookup. The plain Resolve path would block forever.
+type hangingResolver struct{}
+
+func (hangingResolver) Resolve(src, dst netip.Addr) (float64, econ.Region, error) {
+	select {}
+}
+
+func (hangingResolver) ResolveContext(ctx context.Context, src, dst netip.Addr) (float64, econ.Region, error) {
+	<-ctx.Done()
+	return 0, 0, ctx.Err()
+}
+
+// TestBuildFlowsContextResolverCancellation: when the resolver
+// implements ContextResolver, cancelling the build context must unwedge
+// hung resolves and fail the build — not report the hung aggregates as
+// skips and price a truncated flow set.
+func TestBuildFlowsContextResolverCancellation(t *testing.T) {
+	aggs := []netflow.Aggregate{
+		{Key: "a", SrcAddr: netip.MustParseAddr("10.0.0.1"),
+			DstAddr: netip.MustParseAddr("10.1.0.1"), Octets: 1e9},
+		{Key: "b", SrcAddr: netip.MustParseAddr("10.16.0.1"),
+			DstAddr: netip.MustParseAddr("10.1.0.2"), Octets: 1e9},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := BuildFlowsParallel(ctx, aggs, hangingResolver{}, 3600, 2)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled build with hung resolves reported success")
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want the context deadline", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("build did not return after its context was cancelled")
 	}
 }

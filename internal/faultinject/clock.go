@@ -1,0 +1,37 @@
+package faultinject
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a manually-driven time source for rehearsing time-dependent
+// faults: ingest gaps and empty-window stretches (advance past the
+// window span), snapshot staleness (advance past the health policy's
+// threshold). Sharing one Clock between the window, the repricer, and
+// the HTTP server keeps their views of "now" consistent while a test
+// marches time forward deterministically.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewClock starts a clock at the given instant.
+func NewClock(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// Now is the injectable time source (assign c.Now to a now-func field).
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new now.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}

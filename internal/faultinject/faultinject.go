@@ -1,0 +1,87 @@
+// Package faultinject is the chaos harness for the online serving path:
+// deterministic, seed-driven wrappers around the pieces tierd depends on
+// — the endpoint resolver, the window sink, and the clock — that inject
+// the fault classes real feeds exhibit (resolver outages and latency
+// spikes, truncated and duplicated export datagrams, empty-window
+// stretches). Every decision derives from the injector's seed and a
+// per-site call counter, never from wall time or a shared RNG, so a
+// fault schedule replays identically under any goroutine interleaving
+// of the sites themselves — the property the chaos e2e's fixed-seed CI
+// stage relies on.
+package faultinject
+
+import (
+	"sync/atomic"
+)
+
+// Injector is the deterministic decision core shared by the fault
+// wrappers: each call site draws a pseudo-random value keyed on
+// (seed, site call index), so site decisions are a pure function of the
+// seed and how many times that site has fired. A disabled injector
+// never fires; the master switch flips atomically so a test can turn
+// faults off (e.g. before a final drain) without stopping traffic.
+type Injector struct {
+	seed    uint64
+	enabled atomic.Bool
+}
+
+// New creates an injector for the given seed, enabled.
+func New(seed int64) *Injector {
+	in := &Injector{seed: uint64(seed)}
+	in.enabled.Store(true)
+	return in
+}
+
+// Enable turns fault injection on.
+func (in *Injector) Enable() { in.enabled.Store(true) }
+
+// Disable turns every wrapper sharing this injector into a transparent
+// pass-through.
+func (in *Injector) Disable() { in.enabled.Store(false) }
+
+// Enabled reports the master switch.
+func (in *Injector) Enabled() bool { return in.enabled.Load() }
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// hash from (seed, counter) to a 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Site is one independent fault site: it owns its call counter, so two
+// sites sharing an injector draw independent deterministic sequences.
+type Site struct {
+	in *Injector
+	n  atomic.Uint64
+}
+
+// NewSite derives an independent decision sequence from the injector,
+// salted by id so distinct sites disagree even at the same call index.
+func (in *Injector) NewSite(id uint64) *Site {
+	return &Site{in: &Injector{seed: splitmix64(in.seed ^ id)}}
+}
+
+// enabled defers to the parent injector's master switch when the site
+// was derived from one; detached sites (zero value) are always off.
+func (s *Site) enabled(parent *Injector) bool {
+	return parent != nil && parent.Enabled()
+}
+
+// Hit reports whether this call (the site's n-th) is selected at the
+// given per-mille probability. The draw consumes one counter step
+// whether or not it hits, and even while the parent injector is
+// disabled, so toggling the master switch does not shift the schedule
+// of later calls.
+func (s *Site) Hit(parent *Injector, permille uint32) bool {
+	n := s.n.Add(1)
+	if !s.enabled(parent) || permille == 0 {
+		return false
+	}
+	return splitmix64(s.in.seed^n)%1000 < uint64(permille)
+}
+
+// Calls reports how many decisions the site has made.
+func (s *Site) Calls() uint64 { return s.n.Load() }

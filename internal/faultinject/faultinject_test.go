@@ -1,0 +1,233 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tieredpricing/internal/econ"
+	"tieredpricing/internal/netflow"
+)
+
+// TestSiteDeterminism: the decision sequence is a pure function of the
+// seed and the call index — two sites derived the same way agree call
+// for call, and a different seed disagrees somewhere.
+func TestSiteDeterminism(t *testing.T) {
+	const n = 2000
+	draw := func(seed int64) []bool {
+		site := New(seed).NewSite(7)
+		in := New(seed)
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = site.Hit(in, 100)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverges at call %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == n {
+		t.Fatalf("100‰ schedule hit %d of %d calls — not a schedule", hits, n)
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestDisableKeepsSchedule: toggling the master switch suppresses hits
+// but still consumes call indices, so re-enabling resumes the original
+// schedule rather than shifting it.
+func TestDisableKeepsSchedule(t *testing.T) {
+	ref := New(5)
+	refSite := ref.NewSite(1)
+	want := make([]bool, 100)
+	for i := range want {
+		want[i] = refSite.Hit(ref, 500)
+	}
+
+	in := New(5)
+	site := in.NewSite(1)
+	for i := range want {
+		if i == 20 {
+			in.Disable()
+		}
+		if i == 40 {
+			in.Enable()
+		}
+		got := site.Hit(in, 500)
+		switch {
+		case i >= 20 && i < 40:
+			if got {
+				t.Fatalf("call %d hit while disabled", i)
+			}
+		case got != want[i]:
+			t.Fatalf("call %d = %v after re-enable, want %v", i, got, want[i])
+		}
+	}
+}
+
+type stubResolver struct{}
+
+func (stubResolver) Resolve(src, dst netip.Addr) (float64, econ.Region, error) {
+	return 100, econ.RegionNational, nil
+}
+
+func TestResolverOutageAndHang(t *testing.T) {
+	in := New(9)
+	rv := NewResolver(in, stubResolver{})
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.1.0.1")
+
+	if _, _, err := rv.ResolveContext(context.Background(), src, dst); err != nil {
+		t.Fatalf("healthy resolve failed: %v", err)
+	}
+	rv.SetOutage(true)
+	if _, _, err := rv.ResolveContext(context.Background(), src, dst); !errors.Is(err, ErrInjectedResolve) {
+		t.Fatalf("outage resolve err = %v, want ErrInjectedResolve", err)
+	}
+	rv.SetOutage(false)
+
+	// A hung resolve must return once (and only because) ctx is done.
+	rv.SetHang(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := rv.ResolveContext(ctx, src, dst)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hung resolve err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hung resolve held for %v after ctx expiry", elapsed)
+	}
+	rv.SetHang(false)
+
+	// Disabled injector bypasses outage and hang entirely.
+	rv.SetOutage(true)
+	in.Disable()
+	if _, _, err := rv.ResolveContext(context.Background(), src, dst); err != nil {
+		t.Fatalf("disabled injector still faulted: %v", err)
+	}
+}
+
+func TestResolverSpikeHonorsContext(t *testing.T) {
+	in := New(11)
+	rv := NewResolver(in, stubResolver{})
+	rv.SpikePermille = 1000 // every call spikes
+	rv.Spike = time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := rv.ResolveContext(ctx, netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.1.0.1"))
+	if err == nil {
+		t.Fatal("spiked resolve returned before its delay without error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("spiked resolve held for %v after ctx expiry", elapsed)
+	}
+}
+
+// captureSink records every Ingest call.
+type captureSink struct {
+	calls [][]netflow.Record
+}
+
+func (c *captureSink) Ingest(h netflow.Header, recs []netflow.Record) {
+	cp := append([]netflow.Record(nil), recs...)
+	c.calls = append(c.calls, cp)
+}
+
+func TestSinkFaultsAreDeterministic(t *testing.T) {
+	mkRecs := func(n int) []netflow.Record {
+		recs := make([]netflow.Record, n)
+		for i := range recs {
+			recs[i] = netflow.Record{
+				SrcAddr: netip.AddrFrom4([4]byte{10, 0, byte(i), 1}),
+				DstAddr: netip.AddrFrom4([4]byte{10, 1, byte(i), 1}),
+				Octets:  1000,
+			}
+		}
+		return recs
+	}
+	run := func(seed int64) *captureSink {
+		down := &captureSink{}
+		s := NewSink(New(seed), down)
+		s.DropPermille, s.DupPermille, s.TruncPermille = 100, 150, 200
+		for i := 0; i < 400; i++ {
+			s.Ingest(netflow.Header{}, mkRecs(2+i%28))
+		}
+		return down
+	}
+	a, b := run(21), run(21)
+	if len(a.calls) != len(b.calls) {
+		t.Fatalf("same seed forwarded %d vs %d datagrams", len(a.calls), len(b.calls))
+	}
+	for i := range a.calls {
+		if len(a.calls[i]) != len(b.calls[i]) {
+			t.Fatalf("same seed truncated datagram %d differently (%d vs %d records)",
+				i, len(a.calls[i]), len(b.calls[i]))
+		}
+	}
+
+	down := &captureSink{}
+	s := NewSink(New(21), down)
+	s.DropPermille, s.DupPermille, s.TruncPermille = 100, 150, 200
+	for i := 0; i < 400; i++ {
+		s.Ingest(netflow.Header{}, mkRecs(2+i%28))
+	}
+	dropped, duplicated, truncated := s.Stats()
+	if dropped == 0 || duplicated == 0 || truncated == 0 {
+		t.Fatalf("fault classes did not all fire: drop=%d dup=%d trunc=%d", dropped, duplicated, truncated)
+	}
+	if want := 400 - int(dropped) + int(duplicated); len(down.calls) != want {
+		t.Fatalf("forwarded %d datagrams, want %d (400 - dropped + duplicated)", len(down.calls), want)
+	}
+	for i, call := range down.calls {
+		if len(call) == 0 {
+			t.Fatalf("datagram %d truncated to zero records", i)
+		}
+	}
+}
+
+func TestSinkDisabledIsTransparent(t *testing.T) {
+	in := New(33)
+	in.Disable()
+	down := &captureSink{}
+	s := NewSink(in, down)
+	s.DropPermille, s.DupPermille, s.TruncPermille = 1000, 1000, 1000
+	recs := []netflow.Record{{Octets: 1}, {Octets: 2}, {Octets: 3}}
+	s.Ingest(netflow.Header{}, recs)
+	if len(down.calls) != 1 || len(down.calls[0]) != 3 {
+		t.Fatalf("disabled sink altered the stream: %d calls", len(down.calls))
+	}
+}
+
+func TestClock(t *testing.T) {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	c := NewClock(base)
+	if !c.Now().Equal(base) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), base)
+	}
+	if got := c.Advance(90 * time.Minute); !got.Equal(base.Add(90 * time.Minute)) {
+		t.Fatalf("Advance returned %v", got)
+	}
+	if !c.Now().Equal(base.Add(90 * time.Minute)) {
+		t.Fatalf("Now() after advance = %v", c.Now())
+	}
+}

@@ -1,0 +1,88 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"tieredpricing/internal/demandfit"
+	"tieredpricing/internal/econ"
+)
+
+// ErrInjectedResolve is the error the fault-injected resolver returns
+// for per-call failures and outages, so tests can tell injected faults
+// from real resolver errors.
+var ErrInjectedResolve = errors.New("faultinject: injected resolve failure")
+
+// Resolver wraps an EndpointResolver with deterministic failure modes:
+// sporadic per-call errors, full outages (every call fails), latency
+// spikes, and a hung mode that blocks until the caller's context is
+// cancelled — the shape of a dead network-backed lookup service.
+// It implements demandfit.ContextResolver, so the repricer's bounded
+// drain can interrupt a spike or a hang.
+type Resolver struct {
+	// Wrapped answers the calls that are not faulted.
+	Wrapped demandfit.EndpointResolver
+	// ErrPermille is the per-call probability (‰) of an injected error.
+	ErrPermille uint32
+	// SpikePermille and Spike inject latency: selected calls sleep Spike
+	// (or until ctx is done) before resolving normally.
+	SpikePermille uint32
+	Spike         time.Duration
+
+	in     *Injector
+	site   *Site
+	outage atomic.Bool
+	hang   atomic.Bool
+}
+
+// NewResolver wraps rv with faults driven by in.
+func NewResolver(in *Injector, rv demandfit.EndpointResolver) *Resolver {
+	return &Resolver{Wrapped: rv, in: in, site: in.NewSite(0x7e501fe5)}
+}
+
+// SetOutage turns every resolve into an immediate ErrInjectedResolve
+// (on) or restores normal operation (off) — a resolver backend that is
+// down but fast to refuse.
+func (r *Resolver) SetOutage(on bool) { r.outage.Store(on) }
+
+// SetHang makes every resolve block until its context is cancelled — a
+// resolver backend that is down and silent. Resolve calls without a
+// cancellable context would block forever, which is exactly the
+// shutdown-wedging behavior the bounded drain exists to survive.
+func (r *Resolver) SetHang(on bool) { r.hang.Store(on) }
+
+// Resolve satisfies demandfit.EndpointResolver; a hang here blocks
+// indefinitely (no context to honor).
+func (r *Resolver) Resolve(src, dst netip.Addr) (float64, econ.Region, error) {
+	return r.ResolveContext(context.Background(), src, dst)
+}
+
+// ResolveContext satisfies demandfit.ContextResolver.
+func (r *Resolver) ResolveContext(ctx context.Context, src, dst netip.Addr) (float64, econ.Region, error) {
+	if r.in.Enabled() {
+		if r.hang.Load() {
+			<-ctx.Done()
+			return 0, 0, fmt.Errorf("faultinject: hung resolve: %w", ctx.Err())
+		}
+		if r.outage.Load() {
+			return 0, 0, ErrInjectedResolve
+		}
+	}
+	if r.site.Hit(r.in, r.SpikePermille) && r.Spike > 0 {
+		t := time.NewTimer(r.Spike)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return 0, 0, fmt.Errorf("faultinject: spiked resolve: %w", ctx.Err())
+		case <-t.C:
+		}
+	}
+	if r.site.Hit(r.in, r.ErrPermille) {
+		return 0, 0, ErrInjectedResolve
+	}
+	return r.Wrapped.Resolve(src, dst)
+}

@@ -110,13 +110,19 @@ type Metrics struct {
 	HealthRequests  Counter
 	MetricsRequests Counter
 
-	Reprices       Counter
-	RepriceErrors  Counter
-	RepriceSeconds *Histogram
+	Reprices Counter
+	// RepriceFailures counts failed re-price attempts (including backoff
+	// retries and empty windows once a snapshot exists — an ingest gap).
+	RepriceFailures Counter
+	RepriceSeconds  *Histogram
 	// RepriceFlows is the number of flows priced by the most recent
 	// re-price attempt, so window size can be correlated with re-price
 	// latency on the same scrape.
 	RepriceFlows Gauge
+	// ConsecutiveFailures mirrors the repricer's consecutive-failure
+	// count: zero while healthy, climbing during a resolver outage or
+	// ingest gap, the leading signal before the snapshot goes stale.
+	ConsecutiveFailures Gauge
 }
 
 // NewMetrics builds the metric set with re-price latency buckets from
@@ -134,7 +140,7 @@ func NewMetrics() *Metrics {
 func (m *Metrics) ObserveReprice(seconds float64, failed bool) {
 	m.Reprices.Inc()
 	if failed {
-		m.RepriceErrors.Inc()
+		m.RepriceFailures.Inc()
 	}
 	m.RepriceSeconds.Observe(seconds)
 }
@@ -151,7 +157,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"tierd_health_requests_total", "Health checks served.", &m.HealthRequests},
 		{"tierd_metrics_requests_total", "Metric scrapes served.", &m.MetricsRequests},
 		{"tierd_reprices_total", "Re-price attempts.", &m.Reprices},
-		{"tierd_reprice_errors_total", "Re-price attempts that failed.", &m.RepriceErrors},
+		{"tierd_reprice_failures_total", "Re-price attempts that failed (retries and ingest gaps included).", &m.RepriceFailures},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
@@ -160,6 +166,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		}
 	}
 	if _, err := fmt.Fprintf(w, "# HELP tierd_reprice_flows Flows priced by the most recent re-price.\n# TYPE tierd_reprice_flows gauge\ntierd_reprice_flows %d\n", m.RepriceFlows.Value()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# HELP tierd_reprice_consecutive_failures Consecutive failed re-price attempts (0 while healthy).\n# TYPE tierd_reprice_consecutive_failures gauge\ntierd_reprice_consecutive_failures %d\n", m.ConsecutiveFailures.Value()); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "# HELP tierd_reprice_seconds Re-price latency.\n# TYPE tierd_reprice_seconds histogram\n"); err != nil {

@@ -81,7 +81,8 @@ func TestMetricsExposition(t *testing.T) {
 		"tierd_quote_requests_total 3",
 		"tierd_quote_misses_total 1",
 		"tierd_reprices_total 2",
-		"tierd_reprice_errors_total 1",
+		"tierd_reprice_failures_total 1",
+		"tierd_reprice_consecutive_failures 0",
 		"tierd_reprice_seconds_count 2",
 		"# TYPE tierd_reprice_seconds histogram",
 	} {

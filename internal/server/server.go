@@ -29,23 +29,66 @@ type IngestStats struct {
 	Dropped    uint64
 }
 
+// Config wires a Server to its snapshot source and policies.
+type Config struct {
+	// Snapshots supplies the serving snapshot (required).
+	Snapshots SnapshotSource
+	// Metrics receives request telemetry; nil builds a fresh set.
+	Metrics *Metrics
+	// Ingest reports the ingest pipeline's counters for /metrics; nil
+	// when no live ingest is attached.
+	Ingest func() IngestStats
+	// MaxSnapshotAge is the staleness policy: once the serving snapshot
+	// is older, /healthz reports degraded (503) and /v1/quote tags
+	// responses with X-Tierd-Stale — quoting stays up on the last good
+	// snapshot, but load balancers and callers can see the data is old.
+	// Zero disables the policy.
+	MaxSnapshotAge time.Duration
+	// Now is the server's time source for snapshot age; nil selects
+	// time.Now. Injectable for fault rehearsal and tests.
+	Now func() time.Time
+}
+
 // Server serves tier quotes out of immutable pricing snapshots.
 type Server struct {
 	snapshots SnapshotSource
 	metrics   *Metrics
 	ingest    func() IngestStats // optional
+	maxAge    time.Duration      // 0 = staleness policy disabled
+	now       func() time.Time
 }
 
-// New wires the API to its snapshot source. ingest may be nil when no
-// live ingest pipeline is attached.
-func New(snapshots SnapshotSource, metrics *Metrics, ingest func() IngestStats) (*Server, error) {
-	if snapshots == nil {
+// New wires the API to its snapshot source.
+func New(cfg Config) (*Server, error) {
+	if cfg.Snapshots == nil {
 		return nil, errors.New("server: nil snapshot source")
 	}
-	if metrics == nil {
-		metrics = NewMetrics()
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
 	}
-	return &Server{snapshots: snapshots, metrics: metrics, ingest: ingest}, nil
+	if cfg.MaxSnapshotAge < 0 {
+		return nil, fmt.Errorf("server: max snapshot age must not be negative, got %v", cfg.MaxSnapshotAge)
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Server{
+		snapshots: cfg.Snapshots,
+		metrics:   cfg.Metrics,
+		ingest:    cfg.Ingest,
+		maxAge:    cfg.MaxSnapshotAge,
+		now:       cfg.Now,
+	}, nil
+}
+
+// snapshotAge is the age of snap on the server's clock.
+func (s *Server) snapshotAge(snap *stream.Snapshot) time.Duration {
+	return s.now().Sub(snap.FittedAt)
+}
+
+// stale reports whether the staleness policy considers snap too old.
+func (s *Server) stale(snap *stream.Snapshot) bool {
+	return s.maxAge > 0 && s.snapshotAge(snap) > s.maxAge
 }
 
 // Handler builds the route table.
@@ -129,6 +172,12 @@ func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"no pricing snapshot yet"})
 		return
 	}
+	if s.stale(snap) {
+		// Degraded mode: the snapshot outlived the staleness policy but
+		// quoting stays up on it — the caller sees the age, not a 5xx.
+		w.Header().Set("X-Tierd-Stale", "true")
+		w.Header().Set("X-Tierd-Snapshot-Age", fmt.Sprintf("%.3f", s.snapshotAge(snap).Seconds()))
+	}
 	q, ok := snap.Quote(src, dst)
 	if !ok {
 		s.metrics.QuoteMisses.Inc()
@@ -171,8 +220,14 @@ func (s *Server) handleTiers(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.metrics.HealthRequests.Inc()
-	if s.snapshots.Current() == nil {
+	snap := s.snapshots.Current()
+	if snap == nil {
 		http.Error(w, "warming up: no pricing snapshot yet", http.StatusServiceUnavailable)
+		return
+	}
+	if s.stale(snap) {
+		http.Error(w, fmt.Sprintf("degraded: snapshot age %v exceeds %v",
+			s.snapshotAge(snap).Round(time.Millisecond), s.maxAge), http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -197,5 +252,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP tierd_snapshot_epoch Epoch of the serving snapshot.\n# TYPE tierd_snapshot_epoch gauge\ntierd_snapshot_epoch %d\n", snap.Epoch)
 		fmt.Fprintf(w, "# HELP tierd_snapshot_flows Flows priced in the serving snapshot.\n# TYPE tierd_snapshot_flows gauge\ntierd_snapshot_flows %d\n", snap.Table.Flows)
 		fmt.Fprintf(w, "# HELP tierd_snapshot_tiers Tiers in the serving snapshot.\n# TYPE tierd_snapshot_tiers gauge\ntierd_snapshot_tiers %d\n", len(snap.Table.Tiers))
+		fmt.Fprintf(w, "# HELP tierd_snapshot_age_seconds Age of the serving snapshot.\n# TYPE tierd_snapshot_age_seconds gauge\ntierd_snapshot_age_seconds %g\n", s.snapshotAge(snap).Seconds())
+		stale := 0
+		if s.stale(snap) {
+			stale = 1
+		}
+		fmt.Fprintf(w, "# HELP tierd_snapshot_stale Whether the serving snapshot exceeds the staleness policy (1 = degraded).\n# TYPE tierd_snapshot_stale gauge\ntierd_snapshot_stale %d\n", stale)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"net/netip"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -72,7 +73,7 @@ func makeSnapshot(t *testing.T) *stream.Snapshot {
 
 func newTestServer(t *testing.T, src SnapshotSource, ingest func() IngestStats) (*Server, *httptest.Server) {
 	t.Helper()
-	s, err := New(src, NewMetrics(), ingest)
+	s, err := New(Config{Snapshots: src, Metrics: NewMetrics(), Ingest: ingest})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,10 +217,75 @@ func TestHealthAndMetrics(t *testing.T) {
 }
 
 func TestNewServerValidation(t *testing.T) {
-	if _, err := New(nil, nil, nil); err == nil {
+	if _, err := New(Config{}); err == nil {
 		t.Error("expected error for nil snapshot source")
 	}
-	if _, err := New(&fakeSource{}, nil, nil); err != nil {
+	if _, err := New(Config{Snapshots: &fakeSource{}}); err != nil {
 		t.Errorf("nil metrics should default, got %v", err)
+	}
+	if _, err := New(Config{Snapshots: &fakeSource{}, MaxSnapshotAge: -time.Second}); err == nil {
+		t.Error("negative staleness threshold accepted")
+	}
+}
+
+// TestStalenessPolicy pins the degraded-mode contract: /healthz flips
+// to 503 exactly when the snapshot's age exceeds MaxSnapshotAge, while
+// /v1/quote keeps answering 200 from the stale snapshot with the
+// staleness headers set.
+func TestStalenessPolicy(t *testing.T) {
+	snap := makeSnapshot(t)
+	var mu sync.Mutex
+	now := snap.FittedAt
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	setNow := func(t time.Time) { mu.Lock(); now = t; mu.Unlock() }
+	s, err := New(Config{
+		Snapshots:      &fakeSource{snap: snap},
+		MaxSnapshotAge: 30 * time.Second,
+		Now:            clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	quoteURL := ts.URL + "/v1/quote?src=10.0.0.1&dst=10.1.0.1"
+	// At the threshold (not beyond): still healthy, no staleness header.
+	setNow(snap.FittedAt.Add(30 * time.Second))
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz at threshold: status %d body %q, want 200", code, body)
+	}
+	resp, err := http.Get(quoteURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Tierd-Stale") != "" {
+		t.Errorf("fresh quote: status %d stale header %q", resp.StatusCode, resp.Header.Get("X-Tierd-Stale"))
+	}
+
+	// One tick past the threshold: degraded, quoting stays up.
+	setNow(snap.FittedAt.Add(30*time.Second + time.Millisecond))
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "degraded") {
+		t.Errorf("healthz past threshold: status %d body %q, want 503 degraded", code, body)
+	}
+	resp, err = http.Get(quoteURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("stale quote: status %d, want 200 (quoting never goes down)", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Tierd-Stale") != "true" || resp.Header.Get("X-Tierd-Snapshot-Age") == "" {
+		t.Errorf("stale quote headers: stale=%q age=%q", resp.Header.Get("X-Tierd-Stale"),
+			resp.Header.Get("X-Tierd-Snapshot-Age"))
+	}
+
+	// /metrics reports the age and the stale flag.
+	if _, body := get(t, ts.URL+"/metrics"); !strings.Contains(string(body), "tierd_snapshot_stale 1") ||
+		!strings.Contains(string(body), "tierd_snapshot_age_seconds") {
+		t.Errorf("metrics missing staleness gauges:\n%s", body)
 	}
 }

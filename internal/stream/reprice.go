@@ -28,8 +28,11 @@ var ErrEmptyWindow = errors.New("stream: window holds no aggregates")
 type Config struct {
 	// Window supplies the live aggregates.
 	Window *Window
-	// Resolver maps aggregate endpoints to distance and region.
-	Resolver *demandfit.Resolver
+	// Resolver maps aggregate endpoints to distance and region. A
+	// resolver that also implements demandfit.ContextResolver gets the
+	// re-price context, so a wedged lookup cannot outlive a bounded
+	// drain.
+	Resolver demandfit.EndpointResolver
 	// Demand and Cost are the models to fit; P0 the blended rate anchor.
 	Demand econ.Model
 	Cost   cost.Model
@@ -41,17 +44,30 @@ type Config struct {
 	// window span — the steady-state choice; set it explicitly when
 	// replaying a capture whose duration differs from the window.
 	DurationSec float64
-	// SrcMaskBits and DstMaskBits define the quote key: a quote request's
-	// endpoints are masked to these widths before lookup. They must match
-	// the window's aggregation rule; zero selects the defaults of
-	// traces.AggregateKey (src /20, dst /24).
+	// SrcMaskBits and DstMaskBits define the IPv4 quote key: a quote
+	// request's endpoints are masked to these widths before lookup. They
+	// must match the window's aggregation rule; zero selects the defaults
+	// of traces.AggregateKey (src /20, dst /24).
 	SrcMaskBits int
 	DstMaskBits int
+	// Src6MaskBits and Dst6MaskBits are the IPv6 mask widths. IPv4 widths
+	// applied to IPv6 endpoints would collapse whole address ranges onto
+	// one bucket, so the two families mask independently; zero selects
+	// src /48, dst /64.
+	Src6MaskBits int
+	Dst6MaskBits int
 	// Workers bounds the parallel resolve fan-out (0 = NumCPU).
 	Workers int
 	// NextHop is stamped on the tier-tagged RIB routes (§5.1); zero
 	// selects the unspecified address.
 	NextHop netip.Addr
+	// DrainGrace bounds the final drain re-price Run performs after its
+	// context is cancelled, so a hung resolve cannot wedge shutdown. Zero
+	// selects 5s.
+	DrainGrace time.Duration
+	// Now is the repricer's time source (snapshot FittedAt stamps); nil
+	// selects time.Now. Injectable for fault rehearsal and tests.
+	Now func() time.Time
 }
 
 // TierQuote is one served tier: its index, price, and the window
@@ -134,26 +150,50 @@ type Snapshot struct {
 	// Skipped counts window aggregates that failed to resolve.
 	Skipped int
 
-	byKey   map[quoteKey]int
-	rib     *bgp.RIB
-	srcBits int
-	dstBits int
+	byKey    map[quoteKey]int
+	rib      *bgp.RIB
+	srcBits  int
+	dstBits  int
+	src6Bits int
+	dst6Bits int
 }
 
-// Quote prices one flow: the endpoints are masked to the snapshot's key
-// widths and matched against the window buckets; a miss falls back to a
-// longest-prefix match of the destination in the tier-tagged RIB (the
-// §5.2 accounting path for traffic the window has not seen from this
-// source). The exact-match path performs no allocations.
-func (s *Snapshot) Quote(src, dst netip.Addr) (Quote, bool) {
-	key := quoteKey{
-		src: netip.PrefixFrom(src, s.srcBits).Masked().Addr(),
-		dst: netip.PrefixFrom(dst, s.dstBits).Masked().Addr(),
+// maskAddr masks a to the width of its address family (4-in-6 mapped
+// addresses count as IPv4, matching how NetFlow records key the window).
+// ok is false for an invalid address, which can never match a bucket.
+func maskAddr(a netip.Addr, v4Bits, v6Bits int) (masked netip.Addr, ok bool) {
+	if !a.IsValid() {
+		return netip.Addr{}, false
 	}
+	a = a.Unmap()
+	bits := v6Bits
+	if a.Is4() {
+		bits = v4Bits
+	}
+	p := netip.PrefixFrom(a, bits)
+	if !p.IsValid() {
+		return netip.Addr{}, false
+	}
+	return p.Masked().Addr(), true
+}
+
+// Quote prices one flow: the endpoints are masked to the snapshot's
+// per-family key widths and matched against the window buckets; a miss
+// falls back to a longest-prefix match of the destination in the
+// tier-tagged RIB (the §5.2 accounting path for traffic the window has
+// not seen from this source). The exact-match path performs no
+// allocations.
+func (s *Snapshot) Quote(src, dst netip.Addr) (Quote, bool) {
+	srcMasked, srcOK := maskAddr(src, s.srcBits, s.src6Bits)
+	dstMasked, dstOK := maskAddr(dst, s.dstBits, s.dst6Bits)
+	if !srcOK || !dstOK {
+		return Quote{}, false
+	}
+	key := quoteKey{src: srcMasked, dst: dstMasked}
 	if tier, ok := s.byKey[key]; ok {
 		return Quote{Tier: tier, Price: s.Table.Tiers[tier].Price, Source: SourceWindow}, true
 	}
-	if route, ok := s.rib.Lookup(dst); ok && route.Tier != nil {
+	if route, ok := s.rib.Lookup(dst.Unmap()); ok && route.Tier != nil {
 		tier := int(route.Tier.Tier)
 		if tier < len(s.Table.Tiers) {
 			// The snapshot price is authoritative; the community's
@@ -175,6 +215,11 @@ type Repricer struct {
 	now   func() time.Time
 	epoch atomic.Int64
 	cur   atomic.Pointer[Snapshot]
+	// failures counts consecutive failed re-price attempts (reset on
+	// success). Warm-up empty windows don't count; an empty window after
+	// a snapshot exists does — that's an ingest gap, the signal the
+	// staleness policy and the backoff both key off.
+	failures atomic.Int64
 
 	// mu serializes Reprice (the periodic tick and a caller-driven final
 	// drain can race) and guards flowBuf, the resolve buffer reused across
@@ -221,11 +266,35 @@ func NewRepricer(cfg Config) (*Repricer, error) {
 	if cfg.SrcMaskBits < 0 || cfg.SrcMaskBits > 32 || cfg.DstMaskBits < 0 || cfg.DstMaskBits > 32 {
 		return nil, fmt.Errorf("stream: mask bits out of range (%d, %d)", cfg.SrcMaskBits, cfg.DstMaskBits)
 	}
+	if cfg.Src6MaskBits == 0 {
+		cfg.Src6MaskBits = 48
+	}
+	if cfg.Dst6MaskBits == 0 {
+		cfg.Dst6MaskBits = 64
+	}
+	if cfg.Src6MaskBits < 0 || cfg.Src6MaskBits > 128 || cfg.Dst6MaskBits < 0 || cfg.Dst6MaskBits > 128 {
+		return nil, fmt.Errorf("stream: IPv6 mask bits out of range (%d, %d)", cfg.Src6MaskBits, cfg.Dst6MaskBits)
+	}
+	if cfg.DrainGrace < 0 {
+		return nil, fmt.Errorf("stream: drain grace must not be negative, got %v", cfg.DrainGrace)
+	}
+	if cfg.DrainGrace == 0 {
+		cfg.DrainGrace = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	if !cfg.NextHop.IsValid() {
 		cfg.NextHop = netip.AddrFrom4([4]byte{0, 0, 0, 0})
 	}
-	return &Repricer{cfg: cfg, now: time.Now}, nil
+	return &Repricer{cfg: cfg, now: cfg.Now}, nil
 }
+
+// ConsecutiveFailures reports how many re-price attempts have failed in
+// a row (0 after any success). Warm-up empty windows are not failures;
+// an empty window once a snapshot exists is, because it means ingest
+// stopped feeding the window.
+func (r *Repricer) ConsecutiveFailures() int64 { return r.failures.Load() }
 
 // Current returns the latest published snapshot, or nil before the first
 // successful re-price.
@@ -236,6 +305,19 @@ func (r *Repricer) Current() *Snapshot { return r.cur.Load() }
 // stays current on any failure (including an empty window), so a
 // transient ingest gap never takes quoting down.
 func (r *Repricer) Reprice(ctx context.Context) (*Snapshot, error) {
+	snap, err := r.reprice(ctx)
+	switch {
+	case err == nil:
+		r.failures.Store(0)
+	case errors.Is(err, ErrEmptyWindow) && r.cur.Load() == nil:
+		// Warm-up: nothing has arrived yet, nothing is at risk.
+	default:
+		r.failures.Add(1)
+	}
+	return snap, err
+}
+
+func (r *Repricer) reprice(ctx context.Context) (*Snapshot, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	aggs := r.cfg.Window.Aggregates()
@@ -276,7 +358,11 @@ func (r *Repricer) buildSnapshot(flows []econ.Flow, skipped int, out core.Outcom
 	byKey := make(map[quoteKey]int, len(flows))
 	// tierOfPrefix resolves multi-bucket destinations deterministically:
 	// when two source PoPs reach the same destination prefix in different
-	// tiers, the route advertises the cheaper tier.
+	// tiers, the route advertises the cheaper tier — by price, not tier
+	// index, since nothing guarantees prices are sorted by index (ties
+	// break toward the lower index). IPv6 buckets get quote keys but no
+	// route: the tier-tagged RIB speaks the IPv4 wire format, so IPv6
+	// traffic is served from the window exact-match path only.
 	tierOfPrefix := make(map[netip.Prefix]int)
 	for tier, block := range out.Partition {
 		for _, i := range block {
@@ -284,13 +370,20 @@ func (r *Repricer) buildSnapshot(flows []econ.Flow, skipped int, out core.Outcom
 			if !ok {
 				return nil, fmt.Errorf("stream: flow %q has no source aggregate", flows[i].ID)
 			}
-			key := quoteKey{
-				src: netip.PrefixFrom(a.SrcAddr, r.cfg.SrcMaskBits).Masked().Addr(),
-				dst: netip.PrefixFrom(a.DstAddr, r.cfg.DstMaskBits).Masked().Addr(),
+			srcMasked, srcOK := maskAddr(a.SrcAddr, r.cfg.SrcMaskBits, r.cfg.Src6MaskBits)
+			dstMasked, dstOK := maskAddr(a.DstAddr, r.cfg.DstMaskBits, r.cfg.Dst6MaskBits)
+			if !srcOK || !dstOK {
+				return nil, fmt.Errorf("stream: aggregate %q has an invalid endpoint sample (%v>%v)",
+					a.Key, a.SrcAddr, a.DstAddr)
 			}
-			byKey[key] = tier
-			pfx := netip.PrefixFrom(a.DstAddr, r.cfg.DstMaskBits).Masked()
-			if prev, ok := tierOfPrefix[pfx]; !ok || tier < prev {
+			byKey[quoteKey{src: srcMasked, dst: dstMasked}] = tier
+			if !dstMasked.Is4() {
+				continue
+			}
+			pfx := netip.PrefixFrom(dstMasked, r.cfg.DstMaskBits)
+			if prev, ok := tierOfPrefix[pfx]; !ok ||
+				out.Prices[tier] < out.Prices[prev] ||
+				(out.Prices[tier] == out.Prices[prev] && tier < prev) {
 				tierOfPrefix[pfx] = tier
 			}
 		}
@@ -321,33 +414,74 @@ func (r *Repricer) buildSnapshot(flows []econ.Flow, skipped int, out core.Outcom
 		rib:      rib,
 		srcBits:  r.cfg.SrcMaskBits,
 		dstBits:  r.cfg.DstMaskBits,
+		src6Bits: r.cfg.Src6MaskBits,
+		dst6Bits: r.cfg.Dst6MaskBits,
 	}, nil
 }
 
 // Run re-prices every interval until ctx is cancelled, then performs one
 // final drain re-price so the last snapshot covers everything ingested
-// before shutdown. onTick, when non-nil, observes every attempt (for
-// metrics): the published snapshot or nil, the re-price latency, and the
-// error if any.
+// before shutdown. The drain runs under the configured DrainGrace
+// deadline: a wedged resolve delays shutdown by at most the grace
+// period, never forever.
+//
+// Failed attempts (other than warm-up empty windows) are retried with
+// exponential backoff — starting at interval/8 (floored at 10ms) and
+// doubling up to the interval — instead of waiting a full interval, so
+// a transient resolver outage shortens snapshot staleness rather than
+// extending it. onTick, when non-nil, observes every attempt (for
+// metrics): the published snapshot or nil, the re-price latency, and
+// the error if any.
 func (r *Repricer) Run(ctx context.Context, interval time.Duration,
 	onTick func(snap *Snapshot, elapsed time.Duration, err error)) {
-	tick := func(ctx context.Context) {
+	tick := func(ctx context.Context) error {
 		start := r.now()
 		snap, err := r.Reprice(ctx)
 		if onTick != nil {
 			onTick(snap, r.now().Sub(start), err)
 		}
+		return err
 	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	var (
+		backoff time.Duration
+		retryC  <-chan time.Time // nil (blocks forever) when no retry is due
+	)
+	schedule := func(err error) {
+		if err == nil || (errors.Is(err, ErrEmptyWindow) && r.failures.Load() == 0) {
+			// Success, or a warm-up empty window: nothing to retry.
+			backoff, retryC = 0, nil
+			return
+		}
+		switch {
+		case backoff == 0:
+			backoff = interval / 8
+			if backoff < 10*time.Millisecond {
+				backoff = 10 * time.Millisecond
+			}
+		case backoff < interval:
+			backoff *= 2
+		}
+		if backoff > interval {
+			backoff = interval
+		}
+		retryC = time.After(backoff)
+	}
 	for {
 		select {
 		case <-ctx.Done():
-			// Final drain pass: price whatever arrived since the last tick.
-			tick(context.Background())
+			// Final drain pass: price whatever arrived since the last
+			// tick, bounded so shutdown cannot wedge on a stuck resolve.
+			drainCtx, cancel := context.WithTimeout(context.Background(), r.cfg.DrainGrace)
+			tick(drainCtx)
+			cancel()
 			return
 		case <-ticker.C:
-			tick(ctx)
+			schedule(tick(ctx))
+		case <-retryC:
+			retryC = nil
+			schedule(tick(ctx))
 		}
 	}
 }

@@ -68,6 +68,15 @@ func NewWindow(keyFn netflow.AggregateKeyFunc, slotDur time.Duration, slots int)
 	}, nil
 }
 
+// SetClock replaces the window's time source — fault rehearsal (empty
+// window stretches driven by a deterministic clock) and tests. Call it
+// before the first Ingest; it is not synchronized with ingest.
+func (w *Window) SetClock(now func() time.Time) {
+	if now != nil {
+		w.now = now
+	}
+}
+
 // Span is the window length: slot duration × slot count.
 func (w *Window) Span() time.Duration {
 	return w.slotDur * time.Duration(w.numSlots)
