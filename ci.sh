@@ -12,6 +12,20 @@
 #                        BENCH_*.json via `benchjson diff`; fails when
 #                        any benchmark's ns/op regressed by more than
 #                        BENCH_THRESHOLD (default 0.15 = +15%).
+#   ./ci.sh slo        — serving-path SLO gate: generates a trace at a
+#                        deterministic seed, starts a real tierd, runs
+#                        cmd/loadgen's smoke profile against it (quote
+#                        load + NetFlow push together), converts the SLO
+#                        report into benchmark rows, diffs them against
+#                        the newest committed BENCH_*.json (p50/p99/p999
+#                        quote-latency regressions beyond SLO_THRESHOLD
+#                        — default 1.0 = +100%, latency on shared boxes
+#                        is noisy — and absolute error-rate/QPS floors
+#                        fail the gate), then merges the fresh record
+#                        into that BENCH file so the trajectory carries
+#                        it. Knobs: SLO_QPS (400), SLO_DURATION (5s),
+#                        SLO_SEED (7), SLO_THRESHOLD, SLO_HTTP_PORT
+#                        (18080), SLO_UDP_PORT (12055).
 #
 # Gate steps, in order (each must pass):
 #   1. go vet        — static analysis across every package
@@ -60,6 +74,51 @@ bench_diff() {
     echo "==> bench-diff passed"
 }
 
+slo() {
+    tmp=$(mktemp -d)
+    tierd_pid=
+    trap 'rm -rf "$tmp"; [ -n "$tierd_pid" ] && kill "$tierd_pid" 2>/dev/null' EXIT
+
+    echo "==> build tierd + loadgen"
+    go build -o "$tmp/tierd" ./cmd/tierd
+    go build -o "$tmp/loadgen" ./cmd/loadgen
+    go build -o "$tmp/benchjson" ./cmd/benchjson
+
+    seed="${SLO_SEED:-7}"
+    echo "==> tracegen -dataset euisp -seed $seed"
+    go run ./cmd/tracegen -dataset euisp -seed "$seed" -out "$tmp/trace" -stdout > "$tmp/stream.nf"
+
+    http_addr="127.0.0.1:${SLO_HTTP_PORT:-18080}"
+    udp_addr="127.0.0.1:${SLO_UDP_PORT:-12055}"
+    echo "==> tierd -listen $http_addr -udp $udp_addr -reprice 500ms"
+    "$tmp/tierd" -trace "$tmp/trace" -listen "$http_addr" -udp "$udp_addr" \
+        -reprice 500ms -window 10m -slot 1m &
+    tierd_pid=$!
+
+    echo "==> loadgen smoke profile: ${SLO_QPS:-400} qps for ${SLO_DURATION:-5s} + ${SLO_NETFLOW_PPS:-200} pps NetFlow churn"
+    "$tmp/loadgen" -target "http://$http_addr" -stream "$tmp/stream.nf" \
+        -netflow "$udp_addr" -netflow-pps "${SLO_NETFLOW_PPS:-200}" \
+        -qps "${SLO_QPS:-400}" -duration "${SLO_DURATION:-5s}" -workers 16 \
+        -warmup -warmup-timeout 60s -seed "$seed" -pid "$tierd_pid" \
+        -profile smoke -report "$tmp/slo.json"
+
+    kill "$tierd_pid" 2>/dev/null
+    wait "$tierd_pid" 2>/dev/null || true
+    tierd_pid=
+
+    base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1)
+    if [ -z "$base" ]; then
+        echo "slo: no committed BENCH_*.json baseline" >&2
+        exit 1
+    fi
+    "$tmp/benchjson" slo "$tmp/slo.json" > "$tmp/slo-rows.json"
+    echo "==> benchjson diff -threshold ${SLO_THRESHOLD:-1.0} $base <slo rows>"
+    "$tmp/benchjson" diff -threshold "${SLO_THRESHOLD:-1.0}" "$base" "$tmp/slo-rows.json"
+    "$tmp/benchjson" merge "$base" "$tmp/slo-rows.json" > "$tmp/merged.json"
+    cp "$tmp/merged.json" "$base"
+    echo "==> slo: record merged into $base"
+}
+
 fuzz_smoke() {
     # `go test -fuzz` accepts only one target per run, so iterate.
     for target in FuzzDecodePacket FuzzUDPDatagramPath FuzzReader; do
@@ -79,6 +138,11 @@ fi
 
 if [ "${1:-}" = "bench-diff" ]; then
     bench_diff
+    exit 0
+fi
+
+if [ "${1:-}" = "slo" ]; then
+    slo
     exit 0
 fi
 

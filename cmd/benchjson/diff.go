@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // Diff compares two benchjson snapshots and reports per-benchmark deltas
@@ -113,11 +114,44 @@ func writeDiff(w io.Writer, rows []diffRow, threshold float64) {
 	fmt.Fprintf(w, "threshold: ns/op regressions above +%.0f%% fail\n", threshold*100)
 }
 
+// CheckSLO applies the absolute floors that govern SLO rows (package
+// prefix "slo/") in a fresh snapshot, independent of any baseline: the
+// run's error rate must not exceed maxErrRate and its achieved QPS must
+// reach at least minQPSFrac of target (a shortfall means the daemon —
+// not the generator — could not keep up, which no latency baseline can
+// excuse). Returns one violation message per failing run.
+func CheckSLO(results []Result, maxErrRate, minQPSFrac float64) []string {
+	var violations []string
+	seen := map[string]bool{} // metrics are duplicated per quantile row; report each run once
+	for _, r := range results {
+		if !strings.HasPrefix(r.Pkg, sloPkgPrefix) || r.Metrics == nil || seen[r.Pkg] {
+			continue
+		}
+		seen[r.Pkg] = true
+		if errRate, ok := r.Metrics["err-rate"]; ok && errRate > maxErrRate {
+			violations = append(violations,
+				fmt.Sprintf("%s: error rate %.4f exceeds SLO floor %.4f", r.Pkg, errRate, maxErrRate))
+		}
+		target, okT := r.Metrics["target-qps"]
+		achieved, okA := r.Metrics["achieved-qps"]
+		if okT && okA && target > 0 && achieved < minQPSFrac*target {
+			violations = append(violations,
+				fmt.Sprintf("%s: achieved %.1f qps below %.0f%% of target %.1f",
+					r.Pkg, achieved, minQPSFrac*100, target))
+		}
+	}
+	return violations
+}
+
 // runDiff is the `benchjson diff` entry point.
 func runDiff(args []string) int {
 	fs := flag.NewFlagSet("benchjson diff", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.15,
 		"fractional ns/op regression that fails the diff (0.15 = +15%)")
+	maxErrRate := fs.Float64("slo-max-err-rate", 0.01,
+		"absolute error-rate floor for slo/ rows in the new snapshot")
+	minQPSFrac := fs.Float64("slo-min-qps", 0.90,
+		"minimum achieved/target QPS fraction for slo/ rows in the new snapshot")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchjson diff [-threshold 0.15] <old.json> <new.json>")
 		fs.PrintDefaults()
@@ -139,8 +173,14 @@ func runDiff(args []string) int {
 	}
 	rows, regressed := Diff(old, new, *threshold)
 	writeDiff(os.Stdout, rows, *threshold)
+	violations := CheckSLO(new, *maxErrRate, *minQPSFrac)
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "benchjson: SLO violation:", v)
+	}
 	if regressed {
 		fmt.Fprintln(os.Stderr, "benchjson: ns/op regression above threshold")
+	}
+	if regressed || len(violations) > 0 {
 		return 1
 	}
 	return 0

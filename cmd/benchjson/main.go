@@ -16,6 +16,23 @@
 // exits non-zero when any benchmark present in both snapshots regressed
 // its ns/op by more than the threshold (default +15%). Added and removed
 // benchmarks are reported but never fail the diff.
+//
+// The slo subcommand converts a cmd/loadgen load-test report into result
+// rows — one per latency quantile, ns/op carrying the quantile — so SLO
+// records ride the same trajectory and the same diff gate:
+//
+//	benchjson slo slo-report.json > slo-rows.json
+//	benchjson diff BENCH_old.json slo-rows.json
+//
+// Rows under the "slo/" package prefix additionally face absolute floors
+// in diff: error rate above -slo-max-err-rate or achieved QPS below
+// -slo-min-qps of target fail regardless of the baseline.
+//
+// The merge subcommand folds fresh rows into an existing snapshot
+// (replacing same-key rows, appending new ones), which is how the slo
+// stage of ci.sh writes its record into the newest BENCH_*.json:
+//
+//	benchjson merge BENCH_2026-08-05.json slo-rows.json > merged.json
 package main
 
 import (
@@ -25,8 +42,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "diff" {
-		os.Exit(runDiff(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "diff":
+			os.Exit(runDiff(os.Args[2:]))
+		case "slo":
+			os.Exit(runSLO(os.Args[2:]))
+		case "merge":
+			os.Exit(runMerge(os.Args[2:]))
+		}
 	}
 	results, err := Parse(os.Stdin)
 	if err != nil {

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tieredpricing/internal/sloreport"
+)
+
+// sloPkgPrefix namespaces SLO rows inside a BENCH_*.json snapshot so the
+// diff's SLO-specific rules know which rows they govern.
+const sloPkgPrefix = "slo/"
+
+// sloResults converts one load-test report into benchmark-result rows:
+// one row per latency quantile (ns_per_op carries the quantile, so the
+// existing ns/op regression rule gates each of them), with the run-level
+// SLO metrics attached to every row so absolute floors (error rate,
+// achieved-vs-target QPS) can be checked row-locally.
+func sloResults(r *sloreport.Report) []Result {
+	metrics := map[string]float64{
+		"target-qps":   r.TargetQPS,
+		"achieved-qps": r.AchievedQPS,
+		"err-rate":     r.ErrorRate,
+		"stale-rate":   r.StaleRate,
+	}
+	if r.Netflow.TargetPPS > 0 {
+		metrics["netflow-pps"] = r.Netflow.AchievedPPS
+	}
+	if r.Proc.Sampled {
+		metrics["max-rss-bytes"] = float64(r.Proc.MaxRSSBytes)
+		metrics["cpu-seconds"] = r.Proc.CPUSeconds
+	}
+	quantiles := []struct {
+		name string
+		ns   int64
+	}{
+		{"SLOQuoteLatencyP50", r.Latency.P50Ns},
+		{"SLOQuoteLatencyP90", r.Latency.P90Ns},
+		{"SLOQuoteLatencyP99", r.Latency.P99Ns},
+		{"SLOQuoteLatencyP999", r.Latency.P999Ns},
+	}
+	results := make([]Result, 0, len(quantiles))
+	for _, q := range quantiles {
+		results = append(results, Result{
+			Pkg:        sloPkgPrefix + r.Profile,
+			Name:       q.name,
+			Iterations: int64(r.Requests),
+			NsPerOp:    float64(q.ns),
+			Metrics:    metrics,
+		})
+	}
+	return results
+}
+
+// runSLO is the `benchjson slo` entry point: report JSON in, result rows
+// out, ready for `benchjson diff` or `benchjson merge`.
+func runSLO(args []string) int {
+	fs := flag.NewFlagSet("benchjson slo", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchjson slo <report.json>")
+		fmt.Fprintln(os.Stderr, "converts a cmd/loadgen SLO report into benchmark-result rows on stdout")
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	report, err := sloreport.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sloResults(report)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// mergeResults overlays rows onto base: a row with a key already in base
+// replaces it in place (the trajectory keeps one row per benchmark); new
+// keys are appended in sorted order.
+func mergeResults(base, overlay []Result) []Result {
+	idx := make(map[string]int, len(base))
+	for i := range base {
+		idx[diffKey(base[i])] = i
+	}
+	merged := append([]Result(nil), base...)
+	var added []Result
+	for _, r := range overlay {
+		if i, ok := idx[diffKey(r)]; ok {
+			merged[i] = r
+		} else {
+			added = append(added, r)
+		}
+	}
+	sort.Slice(added, func(i, j int) bool { return diffKey(added[i]) < diffKey(added[j]) })
+	return append(merged, added...)
+}
+
+// runMerge is the `benchjson merge` entry point: it folds an overlay
+// snapshot (e.g. fresh SLO rows) into a base BENCH_*.json on stdout.
+func runMerge(args []string) int {
+	fs := flag.NewFlagSet("benchjson merge", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchjson merge <base.json> <overlay.json>")
+		fmt.Fprintln(os.Stderr, "overlay rows replace base rows with the same key; new rows are appended")
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := loadResults(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	overlay, err := loadResults(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(mergeResults(base, overlay)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	return 0
+}

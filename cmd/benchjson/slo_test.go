@@ -1,0 +1,166 @@
+package main
+
+import (
+	"testing"
+
+	"tieredpricing/internal/sloreport"
+)
+
+// sampleReport is a healthy smoke-profile run.
+func sampleReport() *sloreport.Report {
+	return &sloreport.Report{
+		Profile:     "smoke",
+		Seed:        7,
+		TargetQPS:   400,
+		AchievedQPS: 398.5,
+		DurationSec: 5,
+		Requests:    1993, OK: 1993,
+		Latency: sloreport.Latency{
+			P50Ns: 80_000, P90Ns: 150_000, P99Ns: 400_000, P999Ns: 900_000,
+			MaxNs: 1_500_000, MeanNs: 95_000,
+		},
+		Netflow: sloreport.Netflow{Datagrams: 1000, TargetPPS: 200, AchievedPPS: 199},
+		Proc:    sloreport.Proc{Sampled: true, MaxRSSBytes: 64 << 20, CPUSeconds: 1.25},
+	}
+}
+
+func TestSLOResultRows(t *testing.T) {
+	rows := sloResults(sampleReport())
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 quantiles", len(rows))
+	}
+	wantNs := map[string]float64{
+		"SLOQuoteLatencyP50":  80_000,
+		"SLOQuoteLatencyP90":  150_000,
+		"SLOQuoteLatencyP99":  400_000,
+		"SLOQuoteLatencyP999": 900_000,
+	}
+	for _, r := range rows {
+		if r.Pkg != "slo/smoke" {
+			t.Errorf("%s: pkg %q, want slo/smoke", r.Name, r.Pkg)
+		}
+		if ns, ok := wantNs[r.Name]; !ok || r.NsPerOp != ns {
+			t.Errorf("%s: ns_per_op %g, want %g", r.Name, r.NsPerOp, ns)
+		}
+		if r.Metrics["achieved-qps"] != 398.5 || r.Metrics["err-rate"] != 0 {
+			t.Errorf("%s: metrics %v missing run-level SLO fields", r.Name, r.Metrics)
+		}
+	}
+}
+
+// TestSLODiffP99Regression is the gate's core contract: a p99
+// quote-latency degradation beyond threshold must fail the diff, an
+// improvement (or a within-threshold wobble) must pass.
+func TestSLODiffP99Regression(t *testing.T) {
+	base := sloResults(sampleReport())
+
+	cases := []struct {
+		name     string
+		p99      int64
+		regender bool // expect the diff to flag a regression
+	}{
+		{"degradation-beyond-threshold", 700_000, true}, // +75% over 400µs
+		{"improvement", 200_000, false},
+		{"within-threshold", 430_000, false}, // +7.5%
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := sampleReport()
+			r.Latency.P99Ns = tc.p99
+			if r.Latency.P999Ns < tc.p99 {
+				r.Latency.P999Ns = tc.p99
+			}
+			fresh := sloResults(r)
+			rows, regressed := Diff(base, fresh, 0.15)
+			if regressed != tc.regender {
+				t.Fatalf("regressed = %v, want %v", regressed, tc.regender)
+			}
+			// The flagged row, when any, must be the p99 one.
+			for _, row := range rows {
+				wantFlag := tc.regender && row.Key == "slo/smoke.SLOQuoteLatencyP99"
+				if row.Regression != wantFlag {
+					t.Errorf("%s: regression flag %v, want %v", row.Key, row.Regression, wantFlag)
+				}
+			}
+		})
+	}
+}
+
+// TestSLOAbsoluteFloors: error-rate and achieved-QPS floors bind on the
+// fresh snapshot alone — no baseline can excuse a failing run.
+func TestSLOAbsoluteFloors(t *testing.T) {
+	healthy := sloResults(sampleReport())
+	if v := CheckSLO(healthy, 0.01, 0.90); len(v) != 0 {
+		t.Fatalf("healthy run violates floors: %v", v)
+	}
+
+	errored := sampleReport()
+	errored.OK = 1900
+	errored.Errors = 93
+	errored.ErrorRate = float64(errored.Errors) / float64(errored.Requests) // ~4.7%
+	if v := CheckSLO(sloResults(errored), 0.01, 0.90); len(v) != 1 {
+		t.Fatalf("error-rate floor: got %v, want one violation", v)
+	}
+
+	starved := sampleReport()
+	starved.AchievedQPS = 250 // 62% of a 400 qps target
+	if v := CheckSLO(sloResults(starved), 0.01, 0.90); len(v) != 1 {
+		t.Fatalf("qps floor: got %v, want one violation", v)
+	}
+
+	// Both floors broken: still one message per floor, not per quantile row.
+	both := sampleReport()
+	both.OK, both.Errors, both.ErrorRate = 1900, 93, 0.047
+	both.AchievedQPS = 250
+	if v := CheckSLO(sloResults(both), 0.01, 0.90); len(v) != 2 {
+		t.Fatalf("both floors: got %v, want two violations", v)
+	}
+
+	// Non-SLO rows never face the floors.
+	bench := []Result{{Pkg: "tieredpricing", Name: "BenchmarkX", NsPerOp: 10,
+		Metrics: map[string]float64{"err-rate": 1.0}}}
+	if v := CheckSLO(bench, 0.01, 0.90); len(v) != 0 {
+		t.Fatalf("floors applied outside slo/: %v", v)
+	}
+}
+
+func TestMergeResults(t *testing.T) {
+	base := []Result{
+		{Pkg: "tieredpricing", Name: "BenchmarkA", NsPerOp: 100},
+		{Pkg: "slo/smoke", Name: "SLOQuoteLatencyP99", NsPerOp: 400_000},
+	}
+	overlay := []Result{
+		{Pkg: "slo/smoke", Name: "SLOQuoteLatencyP99", NsPerOp: 380_000},
+		{Pkg: "slo/smoke", Name: "SLOQuoteLatencyP50", NsPerOp: 80_000},
+	}
+	merged := mergeResults(base, overlay)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d rows, want 3", len(merged))
+	}
+	if merged[0].Name != "BenchmarkA" || merged[0].NsPerOp != 100 {
+		t.Errorf("untouched base row altered: %+v", merged[0])
+	}
+	if merged[1].NsPerOp != 380_000 {
+		t.Errorf("same-key row not replaced in place: %+v", merged[1])
+	}
+	if merged[2].Name != "SLOQuoteLatencyP50" {
+		t.Errorf("new row not appended: %+v", merged[2])
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	good := sampleReport()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("healthy report rejected: %v", err)
+	}
+	broken := sampleReport()
+	broken.Latency.P99Ns = broken.Latency.P999Ns + 1 // non-monotone
+	if err := broken.Validate(); err == nil {
+		t.Error("non-monotone quantiles accepted")
+	}
+	miscounted := sampleReport()
+	miscounted.OK--
+	if err := miscounted.Validate(); err == nil {
+		t.Error("requests != ok + errors accepted")
+	}
+}

@@ -1,0 +1,394 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tieredpricing/internal/hist"
+	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/sloreport"
+)
+
+// Options configures one load-test run.
+type Options struct {
+	// Target is the tierd base URL (e.g. http://127.0.0.1:8080).
+	Target string
+	// Datagrams are the pre-encoded NetFlow export packets of the
+	// workload trace; Pairs are the src>dst endpoints its records quote.
+	// Both come from LoadStream.
+	Datagrams [][]byte
+	Pairs     []Pair
+
+	QPS      float64
+	Duration time.Duration
+	Workers  int
+	Timeout  time.Duration // per-request; 0 = 5s
+
+	// NetflowAddr, when set, receives the trace's datagrams over UDP at
+	// NetflowPPS for the whole measured window, cycling through the
+	// trace, so reprice churn and quote serving are measured together.
+	NetflowAddr string
+	NetflowPPS  float64
+
+	// Warmup replays the full trace into NetflowAddr and blocks until
+	// the daemon serves a 200 quote for every pair in the mix (bounded
+	// by WarmupTimeout), so the measured window starts from a priced
+	// steady state instead of counting warm-up 503s as errors.
+	Warmup        bool
+	WarmupTimeout time.Duration // 0 = 30s
+
+	// Seed orders the quote mix deterministically.
+	Seed int64
+	// PID, when non-zero, samples that process's RSS and CPU from /proc
+	// over the measured window.
+	PID int
+
+	Profile string
+}
+
+// Pair is one quotable src>dst endpoint pair from the trace.
+type Pair struct{ Src, Dst string }
+
+// LoadStream decodes a concatenated NetFlow v5 export stream (the
+// tracegen -stdout format) into per-export datagrams for UDP replay and
+// the deduplicated endpoint pairs its records quote, in order of first
+// appearance.
+func LoadStream(r io.Reader) (datagrams [][]byte, pairs []Pair, err error) {
+	rd := netflow.NewReader(r)
+	seen := map[Pair]bool{}
+	for {
+		h, recs, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		pkt, err := netflow.EncodePacket(h, recs)
+		if err != nil {
+			return nil, nil, err
+		}
+		datagrams = append(datagrams, pkt)
+		for _, rec := range recs {
+			p := Pair{Src: rec.SrcAddr.String(), Dst: rec.DstAddr.String()}
+			if !seen[p] {
+				seen[p] = true
+				pairs = append(pairs, p)
+			}
+		}
+	}
+	if len(datagrams) == 0 {
+		return nil, nil, errors.New("loadgen: stream holds no export packets")
+	}
+	return datagrams, pairs, nil
+}
+
+// worker accumulates one goroutine's observations; merged after the run
+// so recording stays lock-free.
+type worker struct {
+	hist                              *hist.Histogram
+	requests, ok, errs, misses, stale uint64
+}
+
+// Run executes the load test: an open-loop constant-rate schedule
+// (vegeta-style — send times are fixed up front; a slow server makes
+// latencies grow, it does not make the generator slow down) against the
+// quote endpoint, with an optional concurrent NetFlow push, /proc
+// resource sampling, and an SLO report at the end.
+func Run(ctx context.Context, opts Options) (*sloreport.Report, error) {
+	if opts.Target == "" {
+		return nil, errors.New("loadgen: no target")
+	}
+	if opts.QPS <= 0 || opts.Duration <= 0 {
+		return nil, errors.New("loadgen: qps and duration must be positive")
+	}
+	if len(opts.Pairs) == 0 {
+		return nil, errors.New("loadgen: no endpoint pairs to quote")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 16
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.Profile == "" {
+		opts.Profile = "adhoc"
+	}
+
+	client := &http.Client{
+		Timeout: opts.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        opts.Workers * 2,
+			MaxIdleConnsPerHost: opts.Workers * 2,
+			DisableCompression:  true,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	// Pre-build the quote URLs in a seed-shuffled order; request i takes
+	// urls[i % len], so the mix is the same multiset every run.
+	urls := make([]string, len(opts.Pairs))
+	for i, p := range opts.Pairs {
+		urls[i] = opts.Target + "/v1/quote?src=" + p.Src + "&dst=" + p.Dst
+	}
+	rand.New(rand.NewSource(opts.Seed)).Shuffle(len(urls), func(i, j int) {
+		urls[i], urls[j] = urls[j], urls[i]
+	})
+
+	if opts.Warmup {
+		if err := warmup(ctx, client, opts, urls); err != nil {
+			return nil, err
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	sampler := newProcSampler(opts.PID)
+	var samplerWG sync.WaitGroup
+	if sampler != nil {
+		samplerWG.Add(1)
+		go func() {
+			defer samplerWG.Done()
+			sampler.run(runCtx, 100*time.Millisecond)
+		}()
+	}
+
+	var (
+		nfSent uint64
+		nfErr  error
+		nfWG   sync.WaitGroup
+	)
+	if opts.NetflowAddr != "" && opts.NetflowPPS > 0 {
+		nfWG.Add(1)
+		go func() {
+			defer nfWG.Done()
+			nfSent, nfErr = pushNetflow(runCtx, opts.NetflowAddr, opts.Datagrams, opts.NetflowPPS)
+		}()
+	}
+
+	// Open-loop schedule: request i is due at start + i/QPS. The channel
+	// buffer absorbs jitter; when the server (or the worker pool) falls
+	// behind, the due times keep their fixed cadence and the backlog is
+	// charged to latency — no coordinated omission.
+	total := int(opts.QPS * opts.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	step := time.Duration(float64(time.Second) / opts.QPS)
+	due := make(chan time.Time, 1024)
+
+	workers := make([]*worker, opts.Workers)
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for w := range workers {
+		workers[w] = &worker{hist: hist.New()}
+		wg.Add(1)
+		go func(wk *worker) {
+			defer wg.Done()
+			for sched := range due {
+				url := urls[int(next.Add(1)-1)%len(urls)]
+				wk.requests++
+				status, isStale, err := fire(runCtx, client, url)
+				if err != nil {
+					wk.errs++
+					continue
+				}
+				wk.hist.Record(int64(time.Since(sched)))
+				switch {
+				case status == http.StatusOK:
+					wk.ok++
+					if isStale {
+						wk.stale++
+					}
+				case status == http.StatusNotFound:
+					wk.errs++
+					wk.misses++
+				default:
+					wk.errs++
+				}
+			}
+		}(workers[w])
+	}
+
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+sched:
+	for i := 0; i < total; i++ {
+		at := start.Add(time.Duration(i) * step)
+		if wait := time.Until(at); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break sched
+			}
+		}
+		select {
+		case due <- at:
+		case <-ctx.Done():
+			break sched
+		}
+	}
+	close(due)
+	wg.Wait()
+	elapsed := time.Since(start)
+	cancel()
+	nfWG.Wait()
+	samplerWG.Wait()
+	if nfErr != nil {
+		return nil, fmt.Errorf("loadgen: netflow push: %w", nfErr)
+	}
+
+	merged := hist.New()
+	report := &sloreport.Report{
+		Profile:     opts.Profile,
+		Seed:        opts.Seed,
+		TargetQPS:   opts.QPS,
+		DurationSec: elapsed.Seconds(),
+	}
+	for _, wk := range workers {
+		if err := merged.Merge(wk.hist); err != nil {
+			return nil, err
+		}
+		report.Requests += wk.requests
+		report.OK += wk.ok
+		report.Errors += wk.errs
+		report.Misses += wk.misses
+		report.Stale += wk.stale
+	}
+	if report.Requests == 0 {
+		return nil, errors.New("loadgen: no requests completed")
+	}
+	report.AchievedQPS = float64(report.Requests) / elapsed.Seconds()
+	report.ErrorRate = float64(report.Errors) / float64(report.Requests)
+	report.StaleRate = float64(report.Stale) / float64(report.Requests)
+	report.Latency = sloreport.Latency{
+		P50Ns:  merged.Quantile(0.50),
+		P90Ns:  merged.Quantile(0.90),
+		P99Ns:  merged.Quantile(0.99),
+		P999Ns: merged.Quantile(0.999),
+		MaxNs:  merged.Max(),
+		MeanNs: merged.Mean(),
+	}
+	report.Netflow = sloreport.Netflow{
+		Datagrams:   nfSent,
+		TargetPPS:   opts.NetflowPPS,
+		AchievedPPS: float64(nfSent) / elapsed.Seconds(),
+	}
+	if sampler != nil {
+		report.Proc = sampler.result()
+	}
+	if err := report.Validate(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// fire issues one quote request and drains the body so the connection is
+// reused. isStale reports the X-Tierd-Stale degraded-mode tag.
+func fire(ctx context.Context, client *http.Client, url string) (status int, isStale bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Tierd-Stale") == "true", nil
+}
+
+// pushNetflow sends the trace's datagrams to addr at a constant packet
+// rate, cycling through the trace until ctx is cancelled. Re-sent
+// datagrams are idempotent: the window's cross-router dedup suppresses
+// them, so the push exercises ingest and reprice churn without inflating
+// demand.
+func pushNetflow(ctx context.Context, addr string, datagrams [][]byte, pps float64) (sent uint64, err error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	ticker := time.NewTicker(time.Duration(float64(time.Second) / pps))
+	defer ticker.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-ctx.Done():
+			return sent, nil
+		case <-ticker.C:
+			if _, err := conn.Write(datagrams[i%len(datagrams)]); err != nil {
+				return sent, err
+			}
+			sent++
+		}
+	}
+}
+
+// warmup replays the whole trace into the ingest path and waits until
+// every pair in the quote mix is priced. The daemon picks up re-sent
+// data only at its next re-price, so the loop replays, probes, and backs
+// off until the deadline.
+func warmup(ctx context.Context, client *http.Client, opts Options, urls []string) error {
+	if opts.NetflowAddr == "" {
+		return errors.New("loadgen: -warmup needs a netflow address to replay into")
+	}
+	timeout := opts.WarmupTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	conn, err := net.Dial("udp", opts.NetflowAddr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	missing := len(urls)
+	for attempt := 0; ; attempt++ {
+		// Replay the full trace; pacing keeps the loopback socket buffer
+		// from shedding most of it.
+		for i, d := range opts.Datagrams {
+			if _, err := conn.Write(d); err != nil {
+				return err
+			}
+			if i%64 == 63 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		// Give the daemon a chance to re-price, then probe the mix.
+		for time.Now().Before(deadline) {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			missing = 0
+			for _, url := range urls {
+				status, _, err := fire(ctx, client, url)
+				if err != nil || status != http.StatusOK {
+					missing++
+				}
+			}
+			if missing == 0 {
+				return nil
+			}
+			time.Sleep(200 * time.Millisecond)
+			if attempt == 0 {
+				break // early re-replay once, in case the first burst was shed
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("loadgen: warm-up deadline: %d of %d pairs still unpriced", missing, len(urls))
+		}
+	}
+}

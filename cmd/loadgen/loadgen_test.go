@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"tieredpricing/internal/netflow"
+)
+
+// makeStream encodes a two-packet export stream with overlapping
+// endpoint pairs.
+func makeStream(t *testing.T) []byte {
+	t.Helper()
+	rec := func(src, dst string, seq uint16) netflow.Record {
+		return netflow.Record{
+			SrcAddr: netip.MustParseAddr(src), DstAddr: netip.MustParseAddr(dst),
+			SrcPort: 1024 + seq, DstPort: 443, Proto: 6, Octets: 1000, Packets: 1, SrcAS: seq,
+		}
+	}
+	var buf bytes.Buffer
+	w := netflow.NewWriter(&buf, netflow.Header{UnixSecs: 1257985000})
+	for _, r := range []netflow.Record{
+		rec("10.0.0.1", "10.1.0.1", 0),
+		rec("10.0.0.1", "10.2.0.1", 1),
+		rec("10.0.0.1", "10.1.0.1", 2), // duplicate pair
+		rec("10.0.0.2", "10.1.0.1", 3),
+	} {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadStream(t *testing.T) {
+	datagrams, pairs, err := LoadStream(bytes.NewReader(makeStream(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(datagrams) == 0 {
+		t.Fatal("no datagrams decoded")
+	}
+	want := []Pair{
+		{"10.0.0.1", "10.1.0.1"},
+		{"10.0.0.1", "10.2.0.1"},
+		{"10.0.0.2", "10.1.0.1"},
+	}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs %v, want %v", pairs, want)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Errorf("pair %d: %v, want %v (first-appearance order, deduplicated)", i, pairs[i], want[i])
+		}
+	}
+	// Every datagram must be a decodable export packet.
+	for i, d := range datagrams {
+		if _, _, err := netflow.DecodePacket(d); err != nil {
+			t.Errorf("datagram %d does not decode: %v", i, err)
+		}
+	}
+}
+
+func TestLoadStreamEmpty(t *testing.T) {
+	if _, _, err := LoadStream(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	pairs := []Pair{{"10.0.0.1", "10.1.0.1"}}
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"no-target", Options{Pairs: pairs, QPS: 10, Duration: time.Second}},
+		{"no-pairs", Options{Target: "http://127.0.0.1:1", QPS: 10, Duration: time.Second}},
+		{"zero-qps", Options{Target: "http://127.0.0.1:1", Pairs: pairs, Duration: time.Second}},
+		{"zero-duration", Options{Target: "http://127.0.0.1:1", Pairs: pairs, QPS: 10}},
+		{"warmup-without-netflow", Options{Target: "http://127.0.0.1:1", Pairs: pairs,
+			QPS: 10, Duration: time.Second, Warmup: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(context.Background(), tc.opts); err == nil {
+				t.Error("invalid options accepted")
+			}
+		})
+	}
+}
+
+func TestProcSamplerSelf(t *testing.T) {
+	s := newProcSampler(0)
+	if s != nil {
+		t.Fatal("pid 0 must disable sampling")
+	}
+}

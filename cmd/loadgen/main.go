@@ -1,0 +1,122 @@
+// Command loadgen is the closed-loop load-test harness for tierd: an
+// open-loop (vegeta-style) constant-rate generator that replays a
+// synthetic trace's quote mix against a live daemon over HTTP while
+// simultaneously pushing the same trace's NetFlow datagrams at its
+// ingest port, so quote serving is measured under reprice churn — the
+// regime the paper's online deployment actually runs in.
+//
+// Latency is recorded per request from its *scheduled* send time into an
+// HDR-style histogram (internal/hist), so a saturated daemon shows up as
+// tail growth rather than being hidden by generator back-pressure
+// (no coordinated omission). The run ends with a machine-readable SLO
+// report (internal/sloreport): p50/p90/p99/p999 quote latency, error and
+// stale rates, achieved-vs-target QPS, NetFlow push rate, and the
+// daemon's peak RSS and CPU time sampled from /proc.
+//
+// Quickstart against a locally running tierd:
+//
+//	tracegen -dataset euisp -seed 91 -out /tmp/trace -stdout > /tmp/trace.nf
+//	tierd -trace /tmp/trace -udp 127.0.0.1:2055 -reprice 2s &
+//	loadgen -target http://127.0.0.1:8080 -stream /tmp/trace.nf \
+//	        -netflow 127.0.0.1:2055 -qps 1000 -duration 30s -warmup \
+//	        -pid $(pgrep tierd) -report slo.json
+//
+// `benchjson slo slo.json` converts the report into BENCH_*.json rows;
+// `./ci.sh slo` wires the whole loop into the regression gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		target  = flag.String("target", "", "tierd base URL (required, e.g. http://127.0.0.1:8080)")
+		stream  = flag.String("stream", "", "NetFlow export stream file, the tracegen -stdout format (required)")
+		qps     = flag.Float64("qps", 400, "target request rate against /v1/quote")
+		dur     = flag.Duration("duration", 10*time.Second, "measured window length")
+		workers = flag.Int("workers", 16, "concurrent request workers")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request timeout")
+
+		netflowAddr = flag.String("netflow", "", "UDP address to push the trace's datagrams at during the run (empty disables)")
+		netflowPPS  = flag.Float64("netflow-pps", 200, "NetFlow datagram push rate")
+
+		warmup        = flag.Bool("warmup", false, "replay the trace and wait until every pair quotes 200 before measuring")
+		warmupTimeout = flag.Duration("warmup-timeout", 30*time.Second, "warm-up deadline")
+
+		seed    = flag.Int64("seed", 1, "quote-mix shuffle seed")
+		pid     = flag.Int("pid", 0, "tierd PID for /proc RSS/CPU sampling (0 disables)")
+		profile = flag.String("profile", "adhoc", "profile name recorded in the report")
+		report  = flag.String("report", "", "report output path (empty writes JSON to stdout)")
+	)
+	flag.Parse()
+	if *target == "" || *stream == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -target and -stream are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*stream)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	datagrams, pairs, err := LoadStream(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d datagrams, %d quotable pairs, %s at %.0f qps\n",
+		len(datagrams), len(pairs), *dur, *qps)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := Run(ctx, Options{
+		Target:        *target,
+		Datagrams:     datagrams,
+		Pairs:         pairs,
+		QPS:           *qps,
+		Duration:      *dur,
+		Workers:       *workers,
+		Timeout:       *timeout,
+		NetflowAddr:   *netflowAddr,
+		NetflowPPS:    *netflowPPS,
+		Warmup:        *warmup,
+		WarmupTimeout: *warmupTimeout,
+		Seed:          *seed,
+		PID:           *pid,
+		Profile:       *profile,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"loadgen: %d requests, %.1f/%.1f qps achieved/target, err %.4f, stale %.4f, p50 %s p99 %s p999 %s\n",
+		rep.Requests, rep.AchievedQPS, rep.TargetQPS, rep.ErrorRate, rep.StaleRate,
+		time.Duration(rep.Latency.P50Ns), time.Duration(rep.Latency.P99Ns), time.Duration(rep.Latency.P999Ns))
+
+	if *report != "" {
+		if err := rep.WriteFile(*report); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"tieredpricing/internal/sloreport"
+)
+
+// clockTicksPerSec is the kernel's USER_HZ, the unit of /proc/<pid>/stat
+// CPU accounting. It has been 100 on every Linux ABI since 2.6; loadgen
+// reads it as a constant rather than shelling out to getconf.
+const clockTicksPerSec = 100
+
+// procSampler polls /proc/<pid> for resident set size and cumulative CPU
+// time, keeping the peak RSS and the CPU delta across the measured
+// window. All methods degrade to "not sampled" when /proc is unreadable
+// (wrong PID, non-Linux), never failing the run.
+type procSampler struct {
+	pid      int
+	pageSize int64
+
+	sampled  bool
+	maxRSS   int64
+	firstCPU float64
+	lastCPU  float64
+}
+
+// newProcSampler returns nil when pid is zero (sampling disabled).
+func newProcSampler(pid int) *procSampler {
+	if pid == 0 {
+		return nil
+	}
+	return &procSampler{pid: pid, pageSize: int64(os.Getpagesize())}
+}
+
+// run samples every interval until ctx is cancelled, then takes one
+// final sample so short runs still get a CPU delta.
+func (p *procSampler) run(ctx context.Context, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	p.sample()
+	for {
+		select {
+		case <-ctx.Done():
+			p.sample()
+			return
+		case <-ticker.C:
+			p.sample()
+		}
+	}
+}
+
+func (p *procSampler) sample() {
+	rss, err := readRSS(p.pid, p.pageSize)
+	if err != nil {
+		return
+	}
+	cpu, err := readCPUSeconds(p.pid)
+	if err != nil {
+		return
+	}
+	if !p.sampled {
+		p.firstCPU = cpu
+		p.sampled = true
+	}
+	if rss > p.maxRSS {
+		p.maxRSS = rss
+	}
+	p.lastCPU = cpu
+}
+
+// result summarizes the window; call only after run has returned.
+func (p *procSampler) result() sloreport.Proc {
+	return sloreport.Proc{
+		Sampled:     p.sampled,
+		MaxRSSBytes: p.maxRSS,
+		CPUSeconds:  p.lastCPU - p.firstCPU,
+	}
+}
+
+// readRSS reads resident pages from /proc/<pid>/statm (second field).
+func readRSS(pid int, pageSize int64) (int64, error) {
+	b, err := os.ReadFile(fmt.Sprintf("/proc/%d/statm", pid))
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) < 2 {
+		return 0, fmt.Errorf("statm: %d fields", len(fields))
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return pages * pageSize, nil
+}
+
+// readCPUSeconds reads utime+stime from /proc/<pid>/stat. The comm field
+// may contain spaces and parentheses, so parsing starts after the last
+// ')': utime and stime are overall fields 14 and 15 (1-based), i.e.
+// fields 11 and 12 of the remainder.
+func readCPUSeconds(pid int) (float64, error) {
+	b, err := os.ReadFile(fmt.Sprintf("/proc/%d/stat", pid))
+	if err != nil {
+		return 0, err
+	}
+	s := string(b)
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 {
+		return 0, fmt.Errorf("stat: no comm field")
+	}
+	fields := strings.Fields(s[i+1:])
+	if len(fields) < 13 {
+		return 0, fmt.Errorf("stat: %d fields after comm", len(fields))
+	}
+	utime, err := strconv.ParseUint(fields[11], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	stime, err := strconv.ParseUint(fields[12], 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return float64(utime+stime) / clockTicksPerSec, nil
+}

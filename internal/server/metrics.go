@@ -110,6 +110,15 @@ type Metrics struct {
 	HealthRequests  Counter
 	MetricsRequests Counter
 
+	// QuoteStale counts quotes served from a snapshot older than the
+	// staleness policy (the X-Tierd-Stale responses), so a load test can
+	// distinguish "served fast from old data" from healthy serving.
+	QuoteStale Counter
+	// QuoteSeconds is the server-side quote latency — request arrival to
+	// response written — the daemon-side complement of the load
+	// generator's client-observed histogram.
+	QuoteSeconds *Histogram
+
 	Reprices Counter
 	// RepriceFailures counts failed re-price attempts (including backoff
 	// retries and empty windows once a snapshot exists — an ingest gap).
@@ -126,13 +135,19 @@ type Metrics struct {
 }
 
 // NewMetrics builds the metric set with re-price latency buckets from
-// 1 ms to 30 s.
+// 1 ms to 30 s and quote latency buckets from 50 µs to 1 s (the quote
+// path is sub-microsecond; the buckets resolve the HTTP stack on top).
 func NewMetrics() *Metrics {
 	h, err := NewHistogram(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30)
 	if err != nil {
 		panic(err) // static bounds; unreachable
 	}
-	return &Metrics{RepriceSeconds: h}
+	q, err := NewHistogram(0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+		0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1)
+	if err != nil {
+		panic(err) // static bounds; unreachable
+	}
+	return &Metrics{RepriceSeconds: h, QuoteSeconds: q}
 }
 
 // ObserveReprice records one re-price attempt for the counters and the
@@ -156,6 +171,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"tierd_tiers_requests_total", "Tier table requests served.", &m.TiersRequests},
 		{"tierd_health_requests_total", "Health checks served.", &m.HealthRequests},
 		{"tierd_metrics_requests_total", "Metric scrapes served.", &m.MetricsRequests},
+		{"tierd_quote_stale_total", "Quotes served from a snapshot beyond the staleness policy.", &m.QuoteStale},
 		{"tierd_reprices_total", "Re-price attempts.", &m.Reprices},
 		{"tierd_reprice_failures_total", "Re-price attempts that failed (retries and ingest gaps included).", &m.RepriceFailures},
 	}
@@ -169,6 +185,12 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "# HELP tierd_reprice_consecutive_failures Consecutive failed re-price attempts (0 while healthy).\n# TYPE tierd_reprice_consecutive_failures gauge\ntierd_reprice_consecutive_failures %d\n", m.ConsecutiveFailures.Value()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# HELP tierd_quote_seconds Server-side quote latency.\n# TYPE tierd_quote_seconds histogram\n"); err != nil {
+		return err
+	}
+	if err := m.QuoteSeconds.write(w, "tierd_quote_seconds"); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "# HELP tierd_reprice_seconds Re-price latency.\n# TYPE tierd_reprice_seconds histogram\n"); err != nil {

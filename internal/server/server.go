@@ -157,6 +157,10 @@ func parseFlow(r *http.Request) (src, dst netip.Addr, err error) {
 }
 
 func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+	// Server-side latency on the real clock (s.now is a policy clock that
+	// tests freeze; freezing it must not zero the histogram).
+	start := time.Now()
+	defer func() { s.metrics.QuoteSeconds.Observe(time.Since(start).Seconds()) }()
 	s.metrics.QuoteRequests.Inc()
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
@@ -175,6 +179,7 @@ func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 	if s.stale(snap) {
 		// Degraded mode: the snapshot outlived the staleness policy but
 		// quoting stays up on it — the caller sees the age, not a 5xx.
+		s.metrics.QuoteStale.Inc()
 		w.Header().Set("X-Tierd-Stale", "true")
 		w.Header().Set("X-Tierd-Snapshot-Age", fmt.Sprintf("%.3f", s.snapshotAge(snap).Seconds()))
 	}

@@ -1,0 +1,118 @@
+// Package sloreport defines the machine-readable record a closed-loop
+// load-test run produces: cmd/loadgen writes one, cmd/benchjson's `slo`
+// subcommand converts it into benchmark-result rows for the BENCH_*.json
+// trajectory, and `benchjson diff` gates serving-path SLO regressions on
+// those rows. Keeping the schema in one package means the generator and
+// the gate cannot drift apart.
+package sloreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is the outcome of one load-test run against a live tierd.
+type Report struct {
+	// Profile names the load shape (e.g. "smoke", "soak") so the same
+	// daemon can carry several SLO records in one trajectory.
+	Profile string `json:"profile"`
+	// Seed is the workload seed: trace generation, quote-mix order and
+	// NetFlow replay are deterministic given it.
+	Seed int64 `json:"seed"`
+
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	DurationSec float64 `json:"duration_sec"`
+
+	// Requests = OK + Errors. Errors counts transport failures and every
+	// non-200 response; Misses is the 404 no-matching-tier subset of
+	// Errors; Stale counts 200s tagged X-Tierd-Stale (served from a
+	// snapshot older than the staleness policy).
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Errors   uint64 `json:"errors"`
+	Misses   uint64 `json:"misses"`
+	Stale    uint64 `json:"stale"`
+
+	ErrorRate float64 `json:"error_rate"`
+	StaleRate float64 `json:"stale_rate"`
+
+	Latency Latency `json:"latency"`
+	Netflow Netflow `json:"netflow"`
+	Proc    Proc    `json:"proc"`
+}
+
+// Latency carries the quote-latency distribution in nanoseconds,
+// measured open-loop from each request's scheduled send time (so queueing
+// caused by a saturated server is charged to the server, not hidden —
+// no coordinated omission).
+type Latency struct {
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	P999Ns int64   `json:"p999_ns"`
+	MaxNs  int64   `json:"max_ns"`
+	MeanNs float64 `json:"mean_ns"`
+}
+
+// Netflow describes the concurrent ingest push that forces reprice churn
+// while quotes are being served.
+type Netflow struct {
+	Datagrams   uint64  `json:"datagrams"`
+	TargetPPS   float64 `json:"target_pps"`
+	AchievedPPS float64 `json:"achieved_pps"`
+}
+
+// Proc is the daemon's resource footprint sampled from /proc over the
+// measured window. Sampled is false when no PID was supplied or /proc is
+// unreadable (non-Linux).
+type Proc struct {
+	Sampled     bool    `json:"sampled"`
+	MaxRSSBytes int64   `json:"max_rss_bytes"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+}
+
+// Validate rejects reports that cannot have come from a completed run.
+func (r *Report) Validate() error {
+	if r.Profile == "" {
+		return fmt.Errorf("sloreport: empty profile")
+	}
+	if r.TargetQPS <= 0 || r.DurationSec <= 0 {
+		return fmt.Errorf("sloreport: non-positive target QPS or duration")
+	}
+	if r.Requests != r.OK+r.Errors {
+		return fmt.Errorf("sloreport: requests %d != ok %d + errors %d", r.Requests, r.OK, r.Errors)
+	}
+	l := r.Latency
+	if l.P50Ns > l.P90Ns || l.P90Ns > l.P99Ns || l.P99Ns > l.P999Ns || l.P999Ns > l.MaxNs {
+		return fmt.Errorf("sloreport: latency quantiles not monotone: p50=%d p90=%d p99=%d p999=%d max=%d",
+			l.P50Ns, l.P90Ns, l.P99Ns, l.P999Ns, l.MaxNs)
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a report.
+func ReadFile(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
