@@ -78,4 +78,8 @@ type Result struct {
 	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// Build identifies the binary under test for rows that come from a
+	// live daemon (SLO rows carry the tierd X-Tierd-Build identity);
+	// informational — the diff ignores it.
+	Build string `json:"build,omitempty"`
 }

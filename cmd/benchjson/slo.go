@@ -50,6 +50,7 @@ func sloResults(r *sloreport.Report) []Result {
 			Iterations: int64(r.Requests),
 			NsPerOp:    float64(q.ns),
 			Metrics:    metrics,
+			Build:      r.Build,
 		})
 	}
 	return results

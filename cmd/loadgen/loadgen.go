@@ -149,6 +149,11 @@ func Run(ctx context.Context, opts Options) (*sloreport.Report, error) {
 		}
 	}
 
+	// Stamp the daemon's build identity into the report. /healthz carries
+	// X-Tierd-Build on every response, including warming-up 503s; a
+	// transport failure just leaves the field empty.
+	build := fetchBuild(ctx, client, opts.Target)
+
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -253,6 +258,7 @@ sched:
 	report := &sloreport.Report{
 		Profile:     opts.Profile,
 		Seed:        opts.Seed,
+		Build:       build,
 		TargetQPS:   opts.QPS,
 		DurationSec: elapsed.Seconds(),
 	}
@@ -292,6 +298,22 @@ sched:
 		return nil, err
 	}
 	return report, nil
+}
+
+// fetchBuild reads the daemon's build identity from /healthz's
+// X-Tierd-Build header. Best effort: any failure returns "".
+func fetchBuild(ctx context.Context, client *http.Client, target string) string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target+"/healthz", nil)
+	if err != nil {
+		return ""
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return ""
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.Header.Get("X-Tierd-Build")
 }
 
 // fire issues one quote request and drains the body so the connection is

@@ -25,6 +25,7 @@ type procSampler struct {
 	pageSize int64
 
 	sampled  bool
+	lost     bool // target exited mid-run; the partial window is discarded
 	maxRSS   int64
 	firstCPU float64
 	lastCPU  float64
@@ -58,10 +59,12 @@ func (p *procSampler) run(ctx context.Context, interval time.Duration) {
 func (p *procSampler) sample() {
 	rss, err := readRSS(p.pid, p.pageSize)
 	if err != nil {
+		p.noteFailure(err)
 		return
 	}
 	cpu, err := readCPUSeconds(p.pid)
 	if err != nil {
+		p.noteFailure(err)
 		return
 	}
 	if !p.sampled {
@@ -74,8 +77,24 @@ func (p *procSampler) sample() {
 	p.lastCPU = cpu
 }
 
+// noteFailure handles a sample that failed after sampling had started:
+// the target exited (or /proc became unreadable) mid-run, so the
+// partial window would under-report CPU and RSS. Warn once and discard
+// rather than publish misleading numbers. Failures before the first
+// successful sample keep the pre-existing "never sampled" behavior.
+func (p *procSampler) noteFailure(err error) {
+	if !p.sampled || p.lost {
+		return
+	}
+	p.lost = true
+	fmt.Fprintf(os.Stderr, "loadgen: warning: target pid %d unreadable mid-run (%v); dropping proc sample\n", p.pid, err)
+}
+
 // result summarizes the window; call only after run has returned.
 func (p *procSampler) result() sloreport.Proc {
+	if p.lost {
+		return sloreport.Proc{}
+	}
 	return sloreport.Proc{
 		Sampled:     p.sampled,
 		MaxRSSBytes: p.maxRSS,

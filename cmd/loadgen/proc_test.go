@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// impossiblePID is above the kernel's pid_max ceiling (4194304), so
+// /proc/<pid> can never exist.
+const impossiblePID = 1 << 31
+
+func TestProcSamplerReadsSelf(t *testing.T) {
+	p := newProcSampler(os.Getpid())
+	p.sample()
+	p.sample()
+	got := p.result()
+	if !got.Sampled {
+		t.Fatal("sampling our own process reported not sampled")
+	}
+	if got.MaxRSSBytes <= 0 {
+		t.Errorf("max RSS %d, want positive", got.MaxRSSBytes)
+	}
+	if got.CPUSeconds < 0 {
+		t.Errorf("CPU delta %v, want non-negative", got.CPUSeconds)
+	}
+}
+
+// TestProcSamplerTargetExitsMidRun: when the target becomes unreadable
+// after sampling has started (it crashed or was killed mid-run), the
+// partial window would under-report, so the sampler must discard it and
+// report "not sampled" instead of misleading numbers.
+func TestProcSamplerTargetExitsMidRun(t *testing.T) {
+	p := newProcSampler(os.Getpid())
+	p.sample()
+	if !p.sampled {
+		t.Fatal("first sample failed on our own process")
+	}
+	p.pid = impossiblePID // the target "exits"
+	p.sample()
+	if !p.lost {
+		t.Fatal("mid-run disappearance not flagged")
+	}
+	got := p.result()
+	if got.Sampled || got.MaxRSSBytes != 0 || got.CPUSeconds != 0 {
+		t.Fatalf("lost target still reported data: %+v", got)
+	}
+	// Further failures stay quiet (the warning fires once) and further
+	// results stay zeroed.
+	p.sample()
+	if got := p.result(); got.Sampled {
+		t.Fatalf("lost target recovered spuriously: %+v", got)
+	}
+}
+
+// TestProcSamplerNeverSampled: a bad PID from the start keeps the
+// pre-existing behavior — never sampled, not "lost".
+func TestProcSamplerNeverSampled(t *testing.T) {
+	p := newProcSampler(impossiblePID)
+	p.sample()
+	if p.lost {
+		t.Fatal("never-sampled target flagged as lost mid-run")
+	}
+	if got := p.result(); got.Sampled {
+		t.Fatalf("never-sampled target reported data: %+v", got)
+	}
+}
+
+func TestProcSamplerDisabled(t *testing.T) {
+	if p := newProcSampler(0); p != nil {
+		t.Fatal("pid 0 should disable sampling")
+	}
+}

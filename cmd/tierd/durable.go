@@ -1,0 +1,292 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tieredpricing/internal/checkpoint"
+	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/server"
+	"tieredpricing/internal/stream"
+	"tieredpricing/internal/wal"
+)
+
+// maxHistory bounds the checkpointed tier-table time series carried in
+// memory and in each checkpoint (oldest entries fall off).
+const maxHistory = 512
+
+// durability owns tierd's persistent state: the write-ahead log every
+// accepted datagram goes through, the periodic checkpoints that bound
+// replay time, and the tier-table history ring served by /v1/history.
+//
+// The central invariant is the pairing lock (mu): an ingest holds it
+// across {WAL append; window apply}, and the checkpoint loop holds it
+// across {WAL position read; window export}. A checkpoint therefore
+// covers exactly the WAL prefix its window state contains — never an
+// entry the window hasn't applied, never an applied entry the WAL
+// position excludes — which is what makes "restore checkpoint, replay
+// WAL tail" reproduce the pre-crash window byte for byte.
+type durability struct {
+	dataDir  string
+	walDir   string
+	ckptDir  string
+	retain   int
+	interval time.Duration
+	now      func() time.Time
+
+	log      *wal.Log
+	window   *stream.Window
+	repricer *stream.Repricer
+
+	mu sync.Mutex // the pairing lock (see above)
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	checkpoints       atomic.Uint64
+	lastCkptNano      atomic.Int64
+	recoveryReplayed  atomic.Uint64
+	recoveryTornBytes atomic.Uint64
+
+	histMu    sync.Mutex
+	history   []server.HistoryEntry
+	lastEpoch int64 // newest epoch recorded in history
+}
+
+// openDurability recovers state from dataDir and returns the live
+// subsystem: window and repricer are restored (newest valid checkpoint
+// + WAL-tail replay through the window's own ingest path), the WAL is
+// open for appending at the recovered end, and the checkpoint loop is
+// ready to start.
+func openDurability(cfg config, w *stream.Window, rp *stream.Repricer) (*durability, error) {
+	d := &durability{
+		dataDir:  cfg.dataDir,
+		walDir:   filepath.Join(cfg.dataDir, "wal"),
+		ckptDir:  filepath.Join(cfg.dataDir, "checkpoint"),
+		retain:   cfg.ckptRetain,
+		interval: cfg.ckptInterval,
+		now:      cfg.now,
+		window:   w,
+		repricer: rp,
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	if d.now == nil {
+		d.now = time.Now
+	}
+
+	st, ckptPath, err := checkpoint.LoadNewest(d.ckptDir)
+	if err != nil {
+		return nil, fmt.Errorf("loading checkpoint: %w", err)
+	}
+	var from wal.Position
+	if st != nil {
+		if err := w.Import(st.Window); err != nil {
+			return nil, fmt.Errorf("restoring window from %s: %w", ckptPath, err)
+		}
+		from = st.WAL
+		rp.RestoreEpoch(st.Epoch)
+		d.lastEpoch = st.Epoch
+		for _, he := range st.History {
+			d.history = append(d.history, server.HistoryEntry{At: he.At, Epoch: he.Epoch, Table: he.Table})
+		}
+		fmt.Fprintf(os.Stderr, "tierd: restored checkpoint %s (epoch %d, %d slots, wal %d/%d)\n",
+			filepath.Base(ckptPath), st.Epoch, len(st.Window.Slots), st.WAL.Segment, st.WAL.Offset)
+	}
+
+	res, err := wal.Replay(d.walDir, from, func(ts time.Time, h netflow.Header, recs []netflow.Record) error {
+		w.IngestAt(ts, h, recs)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("replaying wal: %w", err)
+	}
+	d.recoveryReplayed.Store(uint64(res.Entries))
+	d.recoveryTornBytes.Store(uint64(res.TornBytes))
+	if res.Entries > 0 || res.Torn {
+		fmt.Fprintf(os.Stderr, "tierd: replayed %d wal entries (torn tail: %v, %d bytes discarded)\n",
+			res.Entries, res.Torn, res.TornBytes)
+	}
+
+	d.log, err = wal.OpenAt(d.walDir, wal.Options{
+		SegmentBytes: cfg.walSegBytes,
+		Sync:         cfg.walSync,
+	}, res.End)
+	if err != nil {
+		return nil, fmt.Errorf("opening wal: %w", err)
+	}
+	return d, nil
+}
+
+// sink wraps the window as a netflow.Sink that logs before it applies:
+// the arrival timestamp is captured once and used for both the WAL
+// entry and the window slotting, so replaying the entry reproduces the
+// original slotting decision exactly.
+func (d *durability) sink() netflow.Sink { return durableSink{d} }
+
+type durableSink struct{ d *durability }
+
+func (s durableSink) Ingest(h netflow.Header, recs []netflow.Record) {
+	d := s.d
+	ts := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.log.Append(ts, h, recs); err != nil {
+		// Keep serving on the in-memory window; the gap means recovery
+		// would under-replay, which the operator is told about.
+		fmt.Fprintln(os.Stderr, "tierd: wal append:", err)
+	}
+	d.window.IngestAt(ts, h, recs)
+}
+
+// start launches the periodic checkpoint loop.
+func (d *durability) start() {
+	go func() {
+		defer close(d.doneCh)
+		ticker := time.NewTicker(d.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-d.stopCh:
+				return
+			case <-ticker.C:
+				if err := d.checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "tierd: checkpoint:", err)
+				}
+			}
+		}
+	}()
+}
+
+// checkpoint takes one snapshot: WAL position and window state are
+// captured atomically under the pairing lock, framed with the serving
+// epoch, current table, and history ring, written atomically, and old
+// checkpoints and fully-covered WAL segments are pruned.
+func (d *durability) checkpoint() error {
+	d.mu.Lock()
+	pos := d.log.Pos()
+	ws := d.window.Export()
+	d.mu.Unlock()
+
+	st := &checkpoint.State{CreatedAt: d.now(), WAL: pos, Window: ws}
+	if snap := d.repricer.Current(); snap != nil {
+		st.Epoch = snap.Epoch
+		table, err := snap.Table.Marshal()
+		if err != nil {
+			return fmt.Errorf("marshaling tier table: %w", err)
+		}
+		st.Table = table
+	}
+	d.histMu.Lock()
+	for _, he := range d.history {
+		st.History = append(st.History, checkpoint.HistoryEntry{At: he.At, Epoch: he.Epoch, Table: he.Table})
+	}
+	d.histMu.Unlock()
+
+	if _, err := checkpoint.Write(d.ckptDir, st); err != nil {
+		return err
+	}
+	d.checkpoints.Add(1)
+	d.lastCkptNano.Store(d.now().UnixNano())
+	if err := checkpoint.Prune(d.ckptDir, d.retain); err != nil {
+		return err
+	}
+	// Segments wholly before the covered position are now redundant.
+	return d.log.TruncateBefore(pos)
+}
+
+// recordSnapshot appends a newly published snapshot's table to the
+// history ring (one entry per epoch).
+func (d *durability) recordSnapshot(snap *stream.Snapshot) {
+	if snap == nil {
+		return
+	}
+	table, err := snap.Table.Marshal()
+	if err != nil {
+		return
+	}
+	d.histMu.Lock()
+	defer d.histMu.Unlock()
+	if snap.Epoch <= d.lastEpoch {
+		return
+	}
+	d.lastEpoch = snap.Epoch
+	d.history = append(d.history, server.HistoryEntry{At: snap.FittedAt, Epoch: snap.Epoch, Table: json.RawMessage(table)})
+	if len(d.history) > maxHistory {
+		d.history = d.history[len(d.history)-maxHistory:]
+	}
+}
+
+// historySnapshot copies the ring for /v1/history.
+func (d *durability) historySnapshot() []server.HistoryEntry {
+	d.histMu.Lock()
+	defer d.histMu.Unlock()
+	out := make([]server.HistoryEntry, len(d.history))
+	copy(out, d.history)
+	return out
+}
+
+// stats feeds the /metrics durability section.
+func (d *durability) stats() server.DurabilityStats {
+	ws := d.log.Stats()
+	s := server.DurabilityStats{
+		WALBytes:          ws.Bytes,
+		WALEntries:        ws.Entries,
+		WALFsyncs:         ws.Fsyncs,
+		WALFsyncP50:       float64(ws.FsyncP50Ns) / 1e9,
+		WALFsyncP99:       float64(ws.FsyncP99Ns) / 1e9,
+		WALFsyncMax:       float64(ws.FsyncMaxNs) / 1e9,
+		WALFsyncSum:       ws.FsyncSumNs / 1e9,
+		Checkpoints:       d.checkpoints.Load(),
+		CheckpointAge:     -1,
+		RecoveryReplayed:  d.recoveryReplayed.Load(),
+		RecoveryTornBytes: d.recoveryTornBytes.Load(),
+	}
+	if last := d.lastCkptNano.Load(); last > 0 {
+		s.CheckpointAge = d.now().Sub(time.Unix(0, last)).Seconds()
+	}
+	return s
+}
+
+// close stops the checkpoint loop, takes a final checkpoint (covering
+// everything the drain re-price saw), and closes the WAL. A clean
+// shutdown therefore restarts instantly — the final checkpoint covers
+// the whole log, leaving nothing to replay.
+func (d *durability) close() error {
+	close(d.stopCh)
+	<-d.doneCh
+	err := d.checkpoint()
+	if cerr := d.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// warmReprice publishes an initial snapshot from the recovered window
+// so a warm restart serves quotes (and 200s on /healthz) immediately
+// instead of waiting out the first re-price interval. An empty window
+// (fresh data dir) is not an error — the daemon warms up normally.
+func (d *durability) warmReprice(grace time.Duration) error {
+	records, _, _, _ := d.window.Stats()
+	if records == 0 {
+		return nil
+	}
+	ctx := context.Background()
+	if grace > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, grace)
+		defer cancel()
+	}
+	snap, err := d.repricer.Reprice(ctx)
+	if err != nil {
+		return fmt.Errorf("warm re-price after recovery: %w", err)
+	}
+	d.recordSnapshot(snap)
+	return nil
+}

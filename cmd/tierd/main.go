@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"tieredpricing/internal/buildinfo"
 	"tieredpricing/internal/bundling"
 	"tieredpricing/internal/cost"
 	"tieredpricing/internal/demandfit"
@@ -47,6 +48,7 @@ import (
 	"tieredpricing/internal/stream"
 	"tieredpricing/internal/topology"
 	"tieredpricing/internal/traces"
+	"tieredpricing/internal/wal"
 )
 
 type config struct {
@@ -63,6 +65,15 @@ type config struct {
 	strategy string
 	tiers    int
 	blended  float64 // override meta blended rate when > 0
+
+	// Durability: empty dataDir runs memory-only (the pre-durability
+	// behavior); a data dir enables the WAL + checkpoint subsystem and
+	// recover-on-boot.
+	dataDir      string
+	ckptInterval time.Duration
+	ckptRetain   int
+	walSync      wal.SyncMode
+	walSegBytes  int64
 
 	window     time.Duration
 	slot       time.Duration
@@ -105,7 +116,24 @@ func main() {
 		"snapshot age after which /healthz reports degraded and quotes carry X-Tierd-Stale (0 = 4x the re-price interval)")
 	flag.DurationVar(&cfg.drainGrace, "drain-grace", 5*time.Second,
 		"bound on each shutdown drain step: the final re-price and the HTTP close each get this long")
+	flag.StringVar(&cfg.dataDir, "data-dir", "",
+		"durable state directory: WAL + checkpoints, recover-on-boot (empty = memory-only)")
+	flag.DurationVar(&cfg.ckptInterval, "checkpoint-interval", time.Minute, "how often to checkpoint the window (needs -data-dir)")
+	flag.IntVar(&cfg.ckptRetain, "checkpoint-retain", 3, "checkpoints kept on disk (newest first; older are fallbacks for corruption)")
+	walSyncFlag := flag.String("wal-sync", "batch", "WAL fsync policy: batch (group commit), always, or none")
+	flag.Int64Var(&cfg.walSegBytes, "wal-segment-bytes", 4<<20, "WAL segment rotation size in bytes")
+	showVersion := flag.Bool("version", false, "print build info and exit")
 	flag.Parse()
+	if *showVersion {
+		bi := buildinfo.Get()
+		fmt.Printf("tierd %s\n", bi.String())
+		return
+	}
+	var err error
+	if cfg.walSync, err = wal.ParseSyncMode(*walSyncFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "tierd:", err)
+		os.Exit(2)
+	}
 	if cfg.trace == "" {
 		fmt.Fprintln(os.Stderr, "tierd: -trace is required")
 		flag.Usage()
@@ -143,7 +171,8 @@ func main() {
 type daemon struct {
 	cfg      config
 	window   *stream.Window
-	sink     netflow.Sink // the window, possibly behind a fault-injection wrapper
+	sink     netflow.Sink // the window, possibly behind durability and/or a fault-injection wrapper
+	durable  *durability  // nil when running memory-only (no -data-dir)
 	repricer *stream.Repricer
 	metrics  *server.Metrics
 	udp      *netflow.CollectorServer
@@ -238,18 +267,45 @@ func startDaemon(cfg config) (*daemon, error) {
 		maxAge = 4 * cfg.reprice
 	}
 	d := &daemon{cfg: cfg, window: w, sink: w, repricer: rp, metrics: server.NewMetrics()}
-	srv, err := server.New(server.Config{
+	if cfg.dataDir != "" {
+		// Recover before serving: restore the newest checkpoint, replay
+		// the WAL tail through the window, and publish a warm snapshot so
+		// a restart resumes quoting where the crash left off.
+		if d.durable, err = openDurability(cfg, w, rp); err != nil {
+			return nil, err
+		}
+		d.sink = d.durable.sink()
+		if err := d.durable.warmReprice(cfg.drainGrace); err != nil {
+			// Serve cold rather than refuse to boot; the periodic loop
+			// will publish once the resolver (or window) comes back.
+			fmt.Fprintln(os.Stderr, "tierd:", err)
+		}
+	}
+	srvCfg := server.Config{
 		Snapshots:      rp,
 		Metrics:        d.metrics,
 		Ingest:         d.ingestStats,
 		MaxSnapshotAge: maxAge,
 		Now:            cfg.now,
-	})
+	}
+	if d.durable != nil {
+		srvCfg.Durability = d.durable.stats
+		srvCfg.History = d.durable.historySnapshot
+	}
+	srv, err := server.New(srvCfg)
 	if err != nil {
+		if d.durable != nil {
+			d.durable.log.Close()
+		}
 		return nil, err
 	}
 	if cfg.wrapSink != nil {
+		// Fault injection wraps outside durability: the WAL records what
+		// survived the (simulated) network, exactly what the window saw.
 		d.sink = cfg.wrapSink(d.sink)
+	}
+	if d.durable != nil {
+		d.durable.start()
 	}
 	if cfg.udp != "" {
 		if d.udp, err = netflow.NewCollectorServer(cfg.udp, d.sink); err != nil {
@@ -336,6 +392,9 @@ func (d *daemon) onTick(snap *stream.Snapshot, elapsed time.Duration, err error)
 	d.metrics.ObserveReprice(elapsed.Seconds(), err != nil)
 	if snap != nil {
 		d.metrics.RepriceFlows.Set(int64(snap.Table.Flows))
+		if d.durable != nil {
+			d.durable.recordSnapshot(snap)
+		}
 	}
 	if err != nil && !errors.Is(err, stream.ErrEmptyWindow) {
 		fmt.Fprintln(os.Stderr, "tierd: reprice:", err)
@@ -374,6 +433,13 @@ func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
 	<-stdinDone
 	repCancel()
 	<-repDone
+	if d.durable != nil {
+		// The drain re-price has published; the final checkpoint covers
+		// the whole log, so a clean restart replays nothing.
+		if err := d.durable.close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tierd: durability:", err)
+		}
+	}
 	grace := d.cfg.drainGrace
 	if grace <= 0 {
 		grace = 5 * time.Second

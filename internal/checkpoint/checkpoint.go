@@ -1,0 +1,269 @@
+// Package checkpoint persists tierd's recovery state: a point-in-time
+// snapshot of the sliding window (slots, dedup sets, counters), the
+// WAL position the snapshot covers, the serving epoch, the current
+// canonical TierTable, and a bounded history of published tables.
+//
+// Write discipline is the classic atomic pattern: encode → write to a
+// temp file in the same directory → fsync the file → rename into place
+// → fsync the directory. A crash at any point leaves either the old
+// checkpoint set or the old set plus a complete new file — never a
+// half-written checkpoint under a live name. Each file is additionally
+// framed with a magic string and a CRC32-C, so LoadNewest can detect a
+// corrupted file (bit rot, torn copy) and fall back to the next-older
+// checkpoint instead of trusting garbage.
+//
+// Recovery contract with internal/wal: a checkpoint covering WAL
+// position P means "this window state already contains every WAL entry
+// before P" — boot restores the window from the checkpoint and replays
+// the WAL from P, and segments wholly before P can be deleted.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"tieredpricing/internal/stream"
+	"tieredpricing/internal/wal"
+)
+
+// Magic identifies a checkpoint file and pins the format version; a
+// format change bumps the suffix so old readers reject new files
+// cleanly instead of misparsing them.
+const Magic = "TPCKPT01"
+
+// headerSize is magic + u32 CRC32-C(payload) + u32 len(payload).
+const headerSize = len(Magic) + 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DefaultRetain is how many checkpoints Prune keeps when the caller
+// does not say: the newest plus two fallbacks for the CRC-mismatch
+// recovery path.
+const DefaultRetain = 3
+
+// HistoryEntry is one published TierTable in the checkpointed time
+// series served by GET /v1/history. Table carries the canonical
+// stream.TierTable.Marshal bytes, exactly as /v1/tiers served them.
+type HistoryEntry struct {
+	At    time.Time       `json:"at"`
+	Epoch int64           `json:"epoch"`
+	Table json.RawMessage `json:"table"`
+}
+
+// State is everything a checkpoint persists.
+type State struct {
+	// CreatedAt is when the checkpoint was taken (daemon clock).
+	CreatedAt time.Time `json:"created_at"`
+	// Epoch is the serving snapshot's epoch at checkpoint time (0 when
+	// no snapshot has been published yet); recovery fast-forwards the
+	// repricer so epochs stay monotone across restarts.
+	Epoch int64 `json:"epoch"`
+	// WAL is the log position this checkpoint covers: the window state
+	// below already contains every WAL entry before it.
+	WAL wal.Position `json:"wal"`
+	// Window is the full exported window state.
+	Window stream.WindowState `json:"window"`
+	// Table is the serving snapshot's canonical TierTable bytes, empty
+	// before the first successful re-price.
+	Table json.RawMessage `json:"table,omitempty"`
+	// History is the bounded TierTable time series (oldest first).
+	History []HistoryEntry `json:"history,omitempty"`
+}
+
+// Encode frames the state for disk: Magic, CRC32-C over the JSON
+// payload, payload length, payload. The JSON is deterministic for a
+// deterministic State (encoding/json emits struct fields in declaration
+// order and WindowState's slices are sorted on export).
+func Encode(st *State) ([]byte, error) {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	buf := make([]byte, 0, headerSize+len(payload))
+	buf = append(buf, Magic...)
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...), nil
+}
+
+// Decode validates the framing (magic, length, CRC) and unmarshals the
+// state. Any mismatch returns an error — LoadNewest treats it as "this
+// file is corrupt, try the previous one".
+func Decode(data []byte) (*State, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("checkpoint: %d bytes is shorter than the header", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, errors.New("checkpoint: bad magic")
+	}
+	wantCRC := binary.BigEndian.Uint32(data[len(Magic):])
+	wantLen := int(binary.BigEndian.Uint32(data[len(Magic)+4:]))
+	payload := data[headerSize:]
+	if wantLen != len(payload) {
+		return nil, fmt.Errorf("checkpoint: header says %d payload bytes, file has %d", wantLen, len(payload))
+	}
+	if crc32.Checksum(payload, castagnoli) != wantCRC {
+		return nil, errors.New("checkpoint: CRC mismatch")
+	}
+	var st State
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return &st, nil
+}
+
+// fileName formats checkpoint seq's name; fixed-width hex keeps
+// lexicographic order equal to numeric order.
+func fileName(seq uint64) string { return fmt.Sprintf("checkpoint-%016x.ckpt", seq) }
+
+// parseFileName inverts fileName.
+func parseFileName(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, "checkpoint-%016x.ckpt", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// list returns the directory's checkpoint sequence numbers ascending.
+// A missing directory holds no checkpoints.
+func list(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseFileName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// Write persists st as the next checkpoint in dir, atomically: temp
+// file → fsync → rename → directory fsync. It returns the final path.
+func Write(dir string, st *State) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := Encode(st)
+	if err != nil {
+		return "", err
+	}
+	seqs, err := list(dir)
+	if err != nil {
+		return "", err
+	}
+	next := uint64(1)
+	if len(seqs) > 0 {
+		next = seqs[len(seqs)-1] + 1
+	}
+	final := filepath.Join(dir, fileName(next))
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("checkpoint: fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		return "", fmt.Errorf("checkpoint: rename into place: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// LoadNewest returns the newest checkpoint that decodes and validates,
+// scanning from newest to oldest and skipping corrupt files — a bad CRC
+// or truncated file falls back to the previous checkpoint rather than
+// failing recovery. With no loadable checkpoint it returns (nil, "",
+// nil): recovery then starts from an empty window and the WAL head.
+func LoadNewest(dir string) (*State, string, error) {
+	seqs, err := list(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, fileName(seqs[i]))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // pruned between list and read
+			}
+			return nil, "", err
+		}
+		st, err := Decode(data)
+		if err != nil {
+			continue // corrupt — fall back to the next-older checkpoint
+		}
+		return st, path, nil
+	}
+	return nil, "", nil
+}
+
+// Prune deletes all but the newest keep checkpoints (and any leftover
+// temp files from crashed writes). keep < 1 is treated as DefaultRetain.
+func Prune(dir string, keep int) error {
+	if keep < 1 {
+		keep = DefaultRetain
+	}
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".checkpoint-") && strings.HasSuffix(e.Name(), ".tmp") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
+		if seq, ok := parseFileName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for i := 0; i < len(seqs)-keep; i++ {
+		if err := os.Remove(filepath.Join(dir, fileName(seqs[i]))); err != nil {
+			return fmt.Errorf("checkpoint: prune: %w", err)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so the rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+)
+
+// File-corruption helpers for durability tests: deterministic,
+// seed-driven damage to WAL segments and checkpoint files, modeling
+// what a kill -9 or a dying disk leaves behind — a torn final write, a
+// flipped bit mid-file, a zeroed fsync region. They operate on closed
+// files (the crash already happened) and derive every offset and byte
+// from the injector's seed, so a corruption schedule replays
+// identically under a pinned seed.
+
+// draw consumes one counter step and returns the site's next
+// deterministic 64-bit value. Unlike Hit it ignores the master switch:
+// the file helpers run from test code that explicitly asked for
+// corruption, not from wrapped production sites.
+func (s *Site) draw() uint64 {
+	n := s.n.Add(1)
+	return splitmix64(s.in.seed ^ n)
+}
+
+// TearTail truncates the file to a pseudo-random fraction of its size —
+// a torn final write. The cut point is drawn uniformly from
+// [keepAtLeast, size); if the file is not longer than keepAtLeast it is
+// left alone and the call reports false.
+func (s *Site) TearTail(path string, keepAtLeast int64) (bool, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return false, err
+	}
+	size := fi.Size()
+	if size <= keepAtLeast {
+		return false, nil
+	}
+	cut := keepAtLeast + int64(s.draw()%uint64(size-keepAtLeast))
+	if err := os.Truncate(path, cut); err != nil {
+		return false, fmt.Errorf("faultinject: tear tail: %w", err)
+	}
+	return true, nil
+}
+
+// CorruptByte flips one pseudo-random bit in one pseudo-random byte of
+// the file's [from, size) range — bit rot, or a partially-applied
+// write. Reports false without touching the file when the range is
+// empty.
+func (s *Site) CorruptByte(path string, from int64) (bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return false, err
+	}
+	size := fi.Size()
+	if from < 0 {
+		from = 0
+	}
+	if size <= from {
+		return false, nil
+	}
+	draw := s.draw()
+	off := from + int64(draw%uint64(size-from))
+	bit := byte(1) << ((draw >> 32) % 8)
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return false, err
+	}
+	b[0] ^= bit
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return false, fmt.Errorf("faultinject: corrupt byte: %w", err)
+	}
+	return true, nil
+}
+
+// ZeroRange overwrites n pseudo-randomly placed bytes in [from, size)
+// with zeros — the signature of a lost fsync region on some
+// filesystems. The run is contiguous and clamped to the file end;
+// reports false when the range is empty.
+func (s *Site) ZeroRange(path string, from, n int64) (bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return false, err
+	}
+	size := fi.Size()
+	if from < 0 {
+		from = 0
+	}
+	if size <= from || n <= 0 {
+		return false, nil
+	}
+	off := from + int64(s.draw()%uint64(size-from))
+	if off+n > size {
+		n = size - off
+	}
+	zeros := make([]byte, n)
+	if _, err := f.WriteAt(zeros, off); err != nil {
+		return false, fmt.Errorf("faultinject: zero range: %w", err)
+	}
+	return true, nil
+}

@@ -107,6 +107,7 @@ type Metrics struct {
 	QuoteRequests   Counter
 	QuoteMisses     Counter
 	TiersRequests   Counter
+	HistoryRequests Counter
 	HealthRequests  Counter
 	MetricsRequests Counter
 
@@ -169,6 +170,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"tierd_quote_requests_total", "Quote requests served.", &m.QuoteRequests},
 		{"tierd_quote_misses_total", "Quote requests with no matching bucket or route.", &m.QuoteMisses},
 		{"tierd_tiers_requests_total", "Tier table requests served.", &m.TiersRequests},
+		{"tierd_history_requests_total", "Tier-table history requests served.", &m.HistoryRequests},
 		{"tierd_health_requests_total", "Health checks served.", &m.HealthRequests},
 		{"tierd_metrics_requests_total", "Metric scrapes served.", &m.MetricsRequests},
 		{"tierd_quote_stale_total", "Quotes served from a snapshot beyond the staleness policy.", &m.QuoteStale},

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"tieredpricing/internal/buildinfo"
 	"tieredpricing/internal/stream"
 )
 
@@ -29,6 +30,41 @@ type IngestStats struct {
 	Dropped    uint64
 }
 
+// DurabilityStats is a point-in-time view of the durability subsystem
+// (WAL + checkpoints) for the /metrics endpoint. The zero value means
+// "durability disabled" only through Config.Durability being nil; with
+// a callback installed every field is live.
+type DurabilityStats struct {
+	// WAL counters: bytes and entries appended, fsync syscalls issued.
+	WALBytes   uint64
+	WALEntries uint64
+	WALFsyncs  uint64
+	// Fsync latency summary, in seconds (internal/hist quantiles).
+	WALFsyncP50 float64
+	WALFsyncP99 float64
+	WALFsyncMax float64
+	WALFsyncSum float64
+	// Checkpoints taken since boot; CheckpointAge is the seconds since
+	// the newest one (negative = none yet, the age line is suppressed).
+	Checkpoints   uint64
+	CheckpointAge float64
+	// RecoveryReplayed is the number of WAL entries replayed at boot;
+	// RecoveryTornBytes is how many trailing WAL bytes recovery
+	// distrusted and discarded.
+	RecoveryReplayed uint64
+	RecoveryTornBytes uint64
+}
+
+// HistoryEntry is one published tier table in the /v1/history time
+// series: the canonical TierTable bytes exactly as /v1/tiers served
+// them at that epoch. The daemon's checkpoint loop records one entry
+// per epoch and persists the ring across restarts.
+type HistoryEntry struct {
+	At    time.Time       `json:"at"`
+	Epoch int64           `json:"epoch"`
+	Table json.RawMessage `json:"table"`
+}
+
 // Config wires a Server to its snapshot source and policies.
 type Config struct {
 	// Snapshots supplies the serving snapshot (required).
@@ -47,15 +83,28 @@ type Config struct {
 	// Now is the server's time source for snapshot age; nil selects
 	// time.Now. Injectable for fault rehearsal and tests.
 	Now func() time.Time
+	// Durability reports the WAL/checkpoint subsystem's counters for
+	// /metrics; nil when the daemon runs without -data-dir.
+	Durability func() DurabilityStats
+	// History supplies the checkpointed tier-table time series for
+	// GET /v1/history (oldest first); nil serves an empty series.
+	History func() []HistoryEntry
+	// Build identifies the running binary; the zero value is filled
+	// from the embedded build metadata.
+	Build buildinfo.Info
 }
 
 // Server serves tier quotes out of immutable pricing snapshots.
 type Server struct {
-	snapshots SnapshotSource
-	metrics   *Metrics
-	ingest    func() IngestStats // optional
-	maxAge    time.Duration      // 0 = staleness policy disabled
-	now       func() time.Time
+	snapshots  SnapshotSource
+	metrics    *Metrics
+	ingest     func() IngestStats      // optional
+	durability func() DurabilityStats  // optional
+	history    func() []HistoryEntry   // optional
+	maxAge     time.Duration           // 0 = staleness policy disabled
+	now        func() time.Time
+	build      buildinfo.Info
+	buildTag   string // precomputed Info.String() for the X-Tierd-Build header
 }
 
 // New wires the API to its snapshot source.
@@ -72,12 +121,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Build == (buildinfo.Info{}) {
+		cfg.Build = buildinfo.Get()
+	}
 	return &Server{
-		snapshots: cfg.Snapshots,
-		metrics:   cfg.Metrics,
-		ingest:    cfg.Ingest,
-		maxAge:    cfg.MaxSnapshotAge,
-		now:       cfg.Now,
+		snapshots:  cfg.Snapshots,
+		metrics:    cfg.Metrics,
+		ingest:     cfg.Ingest,
+		durability: cfg.Durability,
+		history:    cfg.History,
+		maxAge:     cfg.MaxSnapshotAge,
+		now:        cfg.Now,
+		build:      cfg.Build,
+		buildTag:   cfg.Build.String(),
 	}, nil
 }
 
@@ -96,6 +152,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/quote", s.handleQuote)
 	mux.HandleFunc("/v1/tiers", s.handleTiers)
+	mux.HandleFunc("/v1/history", s.handleHistory)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -223,8 +280,37 @@ func (s *Server) handleTiers(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// historyResponse is the /v1/history body.
+type historyResponse struct {
+	Entries []HistoryEntry `json:"entries"`
+}
+
+// handleHistory serves the checkpointed tier-table time series: every
+// published epoch the checkpoint loop has recorded, oldest first. It
+// answers from the daemon's in-memory ring (restored from the newest
+// checkpoint at boot), so history survives restarts along with the
+// window.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	s.metrics.HistoryRequests.Inc()
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	entries := []HistoryEntry{}
+	if s.history != nil {
+		if got := s.history(); got != nil {
+			entries = got
+		}
+	}
+	writeJSON(w, http.StatusOK, historyResponse{Entries: entries})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.metrics.HealthRequests.Inc()
+	// Build attribution rides on every health response — including the
+	// 503s — so probes and load generators can always tell which binary
+	// answered. Headers must be set before any WriteHeader.
+	w.Header().Set("X-Tierd-Build", s.buildTag)
 	snap := s.snapshots.Current()
 	if snap == nil {
 		http.Error(w, "warming up: no pricing snapshot yet", http.StatusServiceUnavailable)
@@ -252,6 +338,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP tierd_ingest_records_total Flow records ingested into the window.\n# TYPE tierd_ingest_records_total counter\ntierd_ingest_records_total %d\n", in.Records)
 		fmt.Fprintf(w, "# HELP tierd_ingest_duplicates_total Cross-router duplicates suppressed.\n# TYPE tierd_ingest_duplicates_total counter\ntierd_ingest_duplicates_total %d\n", in.Duplicates)
 		fmt.Fprintf(w, "# HELP tierd_ingest_dropped_total Records with no aggregation bucket.\n# TYPE tierd_ingest_dropped_total counter\ntierd_ingest_dropped_total %d\n", in.Dropped)
+	}
+	fmt.Fprintf(w, "# HELP tierd_build_info Build metadata of the running binary (value is always 1).\n# TYPE tierd_build_info gauge\ntierd_build_info{revision=%q,go_version=%q} 1\n",
+		s.build.Revision, s.build.GoVersion)
+	if s.durability != nil {
+		d := s.durability()
+		fmt.Fprintf(w, "# HELP tierd_wal_bytes_total Bytes appended to the write-ahead log.\n# TYPE tierd_wal_bytes_total counter\ntierd_wal_bytes_total %d\n", d.WALBytes)
+		fmt.Fprintf(w, "# HELP tierd_wal_entries_total Entries appended to the write-ahead log.\n# TYPE tierd_wal_entries_total counter\ntierd_wal_entries_total %d\n", d.WALEntries)
+		fmt.Fprintf(w, "# HELP tierd_wal_fsyncs_total WAL fsync syscalls issued.\n# TYPE tierd_wal_fsyncs_total counter\ntierd_wal_fsyncs_total %d\n", d.WALFsyncs)
+		fmt.Fprintf(w, "# HELP tierd_wal_fsync_seconds WAL fsync latency.\n# TYPE tierd_wal_fsync_seconds summary\n")
+		fmt.Fprintf(w, "tierd_wal_fsync_seconds{quantile=\"0.5\"} %g\n", d.WALFsyncP50)
+		fmt.Fprintf(w, "tierd_wal_fsync_seconds{quantile=\"0.99\"} %g\n", d.WALFsyncP99)
+		fmt.Fprintf(w, "tierd_wal_fsync_seconds_sum %g\n", d.WALFsyncSum)
+		fmt.Fprintf(w, "tierd_wal_fsync_seconds_count %d\n", d.WALFsyncs)
+		fmt.Fprintf(w, "# HELP tierd_wal_fsync_max_seconds Worst WAL fsync latency observed.\n# TYPE tierd_wal_fsync_max_seconds gauge\ntierd_wal_fsync_max_seconds %g\n", d.WALFsyncMax)
+		fmt.Fprintf(w, "# HELP tierd_checkpoints_total Checkpoints written since boot.\n# TYPE tierd_checkpoints_total counter\ntierd_checkpoints_total %d\n", d.Checkpoints)
+		if d.CheckpointAge >= 0 {
+			fmt.Fprintf(w, "# HELP tierd_checkpoint_age_seconds Seconds since the newest checkpoint.\n# TYPE tierd_checkpoint_age_seconds gauge\ntierd_checkpoint_age_seconds %g\n", d.CheckpointAge)
+		}
+		fmt.Fprintf(w, "# HELP tierd_recovery_replayed_total WAL entries replayed during boot recovery.\n# TYPE tierd_recovery_replayed_total counter\ntierd_recovery_replayed_total %d\n", d.RecoveryReplayed)
+		fmt.Fprintf(w, "# HELP tierd_recovery_torn_bytes_total Trailing WAL bytes recovery distrusted and discarded.\n# TYPE tierd_recovery_torn_bytes_total counter\ntierd_recovery_torn_bytes_total %d\n", d.RecoveryTornBytes)
 	}
 	if snap := s.snapshots.Current(); snap != nil {
 		fmt.Fprintf(w, "# HELP tierd_snapshot_epoch Epoch of the serving snapshot.\n# TYPE tierd_snapshot_epoch gauge\ntierd_snapshot_epoch %d\n", snap.Epoch)

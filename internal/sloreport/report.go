@@ -20,6 +20,11 @@ type Report struct {
 	// Seed is the workload seed: trace generation, quote-mix order and
 	// NetFlow replay are deterministic given it.
 	Seed int64 `json:"seed"`
+	// Build identifies the daemon under test (its X-Tierd-Build header:
+	// git revision and go version), so an SLO record in the trajectory
+	// can be traced back to the binary that produced it. Empty when the
+	// daemon predates build stamping or was unreachable at stamp time.
+	Build string `json:"build,omitempty"`
 
 	TargetQPS   float64 `json:"target_qps"`
 	AchievedQPS float64 `json:"achieved_qps"`

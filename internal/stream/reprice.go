@@ -231,6 +231,21 @@ type Repricer struct {
 	flowBuf []econ.Flow
 }
 
+// RestoreEpoch fast-forwards the epoch counter so the next published
+// snapshot is numbered epoch+1. Recovery calls it with the last epoch a
+// checkpoint recorded: epochs stay monotone across a restart, so
+// clients correlating /v1/quote and /v1/tiers by epoch never see the
+// sequence restart from 1. It must run before the first Reprice; values
+// at or below the current counter are ignored (epochs never rewind).
+func (r *Repricer) RestoreEpoch(epoch int64) {
+	for {
+		cur := r.epoch.Load()
+		if epoch <= cur || r.epoch.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
 // NewRepricer validates the configuration.
 func NewRepricer(cfg Config) (*Repricer, error) {
 	if cfg.Window == nil {

@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tieredpricing/internal/netflow"
+)
+
+// SlotState is one window slot in exportable form: the absolute slot
+// index, the slot's dedup keys, and its partial aggregates. Both lists
+// are deterministically sorted, so encoding an exported state yields
+// identical bytes for identical window contents — the property the
+// crash-recovery parity tests compare on.
+type SlotState struct {
+	Index int64               `json:"index"`
+	Seen  []netflow.FlowKey   `json:"seen"`
+	Aggs  []netflow.Aggregate `json:"aggs"`
+}
+
+// WindowState is a complete, self-validating serialization of a Window:
+// configuration (slot geometry), lifetime counters, and every live
+// slot. It is the unit the checkpoint subsystem persists.
+type WindowState struct {
+	SlotNanos  int64       `json:"slot_nanos"`
+	NumSlots   int         `json:"num_slots"`
+	Records    int         `json:"records"`
+	Duplicates int         `json:"duplicates"`
+	Dropped    int         `json:"dropped"`
+	Slots      []SlotState `json:"slots"`
+}
+
+// flowKeyLess is a total order over dedup keys (for deterministic
+// export). netip.Addr.Compare orders by family then bytes.
+func flowKeyLess(a, b netflow.FlowKey) bool {
+	if c := a.SrcAddr.Compare(b.SrcAddr); c != 0 {
+		return c < 0
+	}
+	if c := a.DstAddr.Compare(b.DstAddr); c != 0 {
+		return c < 0
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	if a.Proto != b.Proto {
+		return a.Proto < b.Proto
+	}
+	if a.First != b.First {
+		return a.First < b.First
+	}
+	if a.Last != b.Last {
+		return a.Last < b.Last
+	}
+	if a.Octets != b.Octets {
+		return a.Octets < b.Octets
+	}
+	return a.Sequence < b.Sequence
+}
+
+// Export snapshots the window into a deterministic WindowState. Slots
+// are emitted in ascending index order, dedup keys and aggregates in
+// sorted order, so two windows with equal contents export equal states
+// regardless of map iteration order or ingest interleaving.
+func (w *Window) Export() WindowState {
+	cur := w.slotIndex(w.now())
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evictLocked(cur)
+	st := WindowState{
+		SlotNanos:  int64(w.slotDur),
+		NumSlots:   w.numSlots,
+		Records:    w.records,
+		Duplicates: w.duplicates,
+		Dropped:    w.dropped,
+		Slots:      make([]SlotState, 0, len(w.slots)),
+	}
+	idxs := make([]int64, 0, len(w.slots))
+	for idx := range w.slots {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		s := w.slots[idx]
+		ss := SlotState{
+			Index: idx,
+			Seen:  make([]netflow.FlowKey, 0, len(s.seen)),
+			Aggs:  make([]netflow.Aggregate, 0, len(s.aggs)),
+		}
+		for key := range s.seen {
+			ss.Seen = append(ss.Seen, key)
+		}
+		sort.Slice(ss.Seen, func(i, j int) bool { return flowKeyLess(ss.Seen[i], ss.Seen[j]) })
+		for _, a := range s.aggs {
+			ss.Aggs = append(ss.Aggs, *a)
+		}
+		sort.Slice(ss.Aggs, func(i, j int) bool { return ss.Aggs[i].Key < ss.Aggs[j].Key })
+		st.Slots = append(st.Slots, ss)
+	}
+	return st
+}
+
+// Import replaces the window's contents with a previously Exported
+// state. The state's slot geometry must match the window's — a window
+// restored under different -slot/-window flags would silently misfile
+// records, so the mismatch is an error instead. Slots that have already
+// aged out of the window (by the window's own clock) are skipped rather
+// than resurrected.
+func (w *Window) Import(st WindowState) error {
+	if st.SlotNanos != int64(w.slotDur) {
+		return fmt.Errorf("stream: import slot duration %v does not match window %v",
+			time.Duration(st.SlotNanos), w.slotDur)
+	}
+	if st.NumSlots != w.numSlots {
+		return fmt.Errorf("stream: import slot count %d does not match window %d",
+			st.NumSlots, w.numSlots)
+	}
+	cur := w.slotIndex(w.now())
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.slots = make(map[int64]*slot, len(st.Slots))
+	w.records = st.Records
+	w.duplicates = st.Duplicates
+	w.dropped = st.Dropped
+	for _, ss := range st.Slots {
+		if ss.Index <= cur-int64(w.numSlots) {
+			continue // aged out while the daemon was down
+		}
+		if _, dup := w.slots[ss.Index]; dup {
+			return fmt.Errorf("stream: import has slot %d twice", ss.Index)
+		}
+		s := &slot{
+			seen: make(map[netflow.FlowKey]struct{}, len(ss.Seen)),
+			aggs: make(map[string]*netflow.Aggregate, len(ss.Aggs)),
+		}
+		for _, key := range ss.Seen {
+			s.seen[key] = struct{}{}
+		}
+		for _, a := range ss.Aggs {
+			cp := a
+			s.aggs[a.Key] = &cp
+		}
+		w.slots[ss.Index] = s
+	}
+	return nil
+}
+
+// IngestAt is Ingest with an explicit arrival instant: the record lands
+// in the slot covering ts and eviction runs relative to ts, exactly as
+// Ingest would have done had it run at ts on the live clock. WAL replay
+// uses it to reproduce the original slotting decision for each logged
+// datagram, which is what makes recovery byte-identical.
+func (w *Window) IngestAt(ts time.Time, h netflow.Header, recs []netflow.Record) {
+	w.ingestAt(w.slotIndex(ts), h, recs)
+}

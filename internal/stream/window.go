@@ -101,11 +101,16 @@ func (w *Window) evictLocked(cur int64) {
 // restoration follow netflow.Collector exactly; the only difference is
 // that the accumulated state ages out slot by slot.
 func (w *Window) Ingest(h netflow.Header, recs []netflow.Record) {
+	w.ingestAt(w.slotIndex(w.now()), h, recs)
+}
+
+// ingestAt files recs into slot cur; Ingest derives cur from the live
+// clock, IngestAt (WAL replay) from the logged arrival timestamp.
+func (w *Window) ingestAt(cur int64, h netflow.Header, recs []netflow.Record) {
 	sampling := uint64(h.SamplingInterval)
 	if sampling == 0 {
 		sampling = 1
 	}
-	cur := w.slotIndex(w.now())
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.evictLocked(cur)

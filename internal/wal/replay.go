@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tieredpricing/internal/netflow"
+)
+
+// ReplayResult summarizes a Replay pass.
+type ReplayResult struct {
+	// Entries is the number of valid frames delivered to the callback.
+	Entries int
+	// End is the position just past the last valid frame — hand it to
+	// OpenAt to resume appending on the recovered prefix.
+	End Position
+	// Torn reports that the scan stopped at an invalid frame (partial
+	// write, CRC mismatch, or undecodable packet) rather than clean
+	// end-of-log; TornBytes is how many trailing bytes were distrusted
+	// in that segment (later segments are discarded whole and are not
+	// counted).
+	Torn      bool
+	TornBytes int64
+}
+
+// Replay streams every valid entry at or after from through fn, in
+// append order. Recovery semantics are contiguous-prefix: the scan
+// stops at the first frame that fails validation — a torn final write,
+// a corrupt length or CRC, an undecodable packet — and everything from
+// that point on, including all later segments, is excluded from the
+// result. fn returning an error aborts the replay and propagates.
+//
+// The zero Position replays the whole log. A missing directory or an
+// empty log replays nothing and returns End == from (or the first
+// segment's start).
+func Replay(dir string, from Position, fn func(ts time.Time, h netflow.Header, recs []netflow.Record) error) (ReplayResult, error) {
+	res := ReplayResult{End: from}
+	if res.End.Segment == 0 {
+		res.End = Position{Segment: 1, Offset: 0}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return res, err
+	}
+	startSeg := from.Segment
+	if startSeg == 0 {
+		startSeg = 1
+	}
+	for i, seq := range segs {
+		if seq < startSeg {
+			continue
+		}
+		off := int64(0)
+		if seq == from.Segment {
+			off = from.Offset
+		}
+		path := filepath.Join(dir, segmentName(seq))
+		end, entries, scanErr := scanSegmentFunc(path, off, fn)
+		res.Entries += entries
+		res.End = Position{Segment: seq, Offset: end}
+		if scanErr != nil {
+			return res, scanErr
+		}
+		size, err := fileSize(path)
+		if err != nil {
+			return res, err
+		}
+		if end < size {
+			// Invalid frame mid-segment: the prefix up to `end` is the
+			// log; the rest — and every later segment — is untrusted.
+			res.Torn = true
+			res.TornBytes = size - end
+			return res, nil
+		}
+		if i < len(segs)-1 && segs[i+1] != seq+1 {
+			// A gap in segment numbering means manual deletion; frames
+			// after the gap are not a contiguous continuation.
+			res.Torn = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func fileSize(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// scanSegment validates frames in the segment at path starting at
+// fromOffset, invoking fn (when non-nil) for each valid frame. It
+// returns the byte offset just past the last valid frame and the number
+// of valid frames seen. An invalid frame — short header, implausible
+// length, CRC mismatch, or a payload netflow.DecodePacket rejects —
+// stops the scan cleanly (no error); only real I/O failures and fn
+// errors propagate.
+func scanSegment(path string, fromOffset int64, fn func(ts time.Time, h netflow.Header, recs []netflow.Record) error) (int64, int, error) {
+	return scanSegmentFunc(path, fromOffset, fn)
+}
+
+func scanSegmentFunc(path string, fromOffset int64, fn func(ts time.Time, h netflow.Header, recs []netflow.Record) error) (int64, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return fromOffset, 0, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(fromOffset, 0); err != nil {
+		return fromOffset, 0, err
+	}
+
+	off := fromOffset
+	entries := 0
+	hdr := make([]byte, frameHeaderSize)
+	payload := make([]byte, 0, 4096)
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			// Clean EOF or a torn header: either way the valid prefix
+			// ends here.
+			return off, entries, nil
+		}
+		payloadLen := int(binary.BigEndian.Uint32(hdr[0:4]))
+		wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+		if payloadLen < tsSize+netflow.HeaderSize || payloadLen > MaxEntryBytes {
+			return off, entries, nil
+		}
+		if cap(payload) < payloadLen {
+			payload = make([]byte, payloadLen)
+		}
+		payload = payload[:payloadLen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return off, entries, nil // torn payload
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return off, entries, nil
+		}
+		ts := time.Unix(0, int64(binary.BigEndian.Uint64(payload[:tsSize])))
+		h, recs, err := netflow.DecodePacket(payload[tsSize:])
+		if err != nil {
+			// CRC matched but the packet is malformed — a frame this
+			// writer never produced. Treat as corruption, stop.
+			return off, entries, nil
+		}
+		if fn != nil {
+			if err := fn(ts, h, recs); err != nil {
+				return off, entries, fmt.Errorf("wal: replay callback: %w", err)
+			}
+		}
+		off += int64(frameHeaderSize + payloadLen)
+		entries++
+	}
+}

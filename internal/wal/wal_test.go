@@ -1,0 +1,452 @@
+package wal
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"tieredpricing/internal/faultinject"
+	"tieredpricing/internal/netflow"
+)
+
+// testPacket builds a small deterministic export packet whose contents
+// vary with i, so replayed entries can be matched to appended ones.
+func testPacket(i int) (netflow.Header, []netflow.Record) {
+	h := netflow.Header{
+		Count:            2,
+		SysUptime:        uint32(1000 + i),
+		UnixSecs:         uint32(1700000000 + i),
+		FlowSequence:     uint32(i * 2),
+		SamplingInterval: 10,
+	}
+	recs := []netflow.Record{
+		{
+			SrcAddr: netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+			DstAddr: netip.AddrFrom4([4]byte{192, 168, 1, byte(i)}),
+			NextHop: netip.AddrFrom4([4]byte{10, 255, 0, 1}),
+			Octets:  uint32(1000 + i),
+			Packets: 3,
+			SrcPort: uint16(1024 + i%1000),
+			DstPort: 443,
+			Proto:   6,
+			First:   uint32(i),
+			Last:    uint32(i + 5),
+			SrcAS:   uint16(i),
+		},
+		{
+			SrcAddr: netip.AddrFrom4([4]byte{10, 1, 0, byte(i)}),
+			DstAddr: netip.AddrFrom4([4]byte{172, 16, 0, byte(i)}),
+			NextHop: netip.AddrFrom4([4]byte{10, 255, 0, 2}),
+			Octets:  uint32(500 + i),
+			Packets: 1,
+			SrcPort: 80,
+			DstPort: uint16(2048 + i%1000),
+			Proto:   17,
+			First:   uint32(i + 1),
+			Last:    uint32(i + 2),
+			SrcAS:   uint16(i + 1),
+		},
+	}
+	return h, recs
+}
+
+// frameSize is the on-disk size of one testPacket frame: frame header,
+// timestamp, and a 2-record v5 packet.
+const frameSize = frameHeaderSize + tsSize + netflow.HeaderSize + 2*netflow.RecordSize
+
+type entry struct {
+	ts   time.Time
+	h    netflow.Header
+	recs []netflow.Record
+}
+
+// appendN opens a log in dir, appends n entries, and closes it.
+func appendN(t *testing.T, dir string, opts Options, n int) []entry {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]entry, 0, n)
+	base := time.Unix(1700000000, 0)
+	for i := 0; i < n; i++ {
+		h, recs := testPacket(i)
+		ts := base.Add(time.Duration(i) * time.Second)
+		if err := l.Append(ts, h, recs); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		entries = append(entries, entry{ts, h, recs})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return entries
+}
+
+// collect replays dir from pos and returns the delivered entries.
+func collect(t *testing.T, dir string, pos Position) ([]entry, ReplayResult) {
+	t.Helper()
+	var got []entry
+	res, err := Replay(dir, pos, func(ts time.Time, h netflow.Header, recs []netflow.Record) error {
+		cp := make([]netflow.Record, len(recs))
+		copy(cp, recs)
+		got = append(got, entry{ts, h, cp})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, res
+}
+
+func checkEntries(t *testing.T, got, want []entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].ts.Equal(want[i].ts) {
+			t.Fatalf("entry %d: ts %v, want %v", i, got[i].ts, want[i].ts)
+		}
+		if got[i].h != want[i].h {
+			t.Fatalf("entry %d: header %+v, want %+v", i, got[i].h, want[i].h)
+		}
+		if !reflect.DeepEqual(got[i].recs, want[i].recs) {
+			t.Fatalf("entry %d: records diverge", i)
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := appendN(t, dir, Options{}, 25)
+	got, res := collect(t, dir, Position{})
+	checkEntries(t, got, want)
+	if res.Torn {
+		t.Error("clean log reported torn")
+	}
+	if res.Entries != 25 {
+		t.Errorf("res.Entries = %d, want 25", res.Entries)
+	}
+}
+
+func TestSegmentRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// ~160-byte frames against a 512-byte segment bound forces rotation
+	// every few entries.
+	want := appendN(t, dir, Options{SegmentBytes: 512}, 40)
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	got, res := collect(t, dir, Position{})
+	checkEntries(t, got, want)
+
+	// TruncateBefore with a position at the head of segment segs[2] must
+	// delete only whole earlier segments; everything from that segment
+	// on replays intact.
+	l, err := OpenAt(dir, Options{SegmentBytes: 512}, res.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := Position{Segment: segs[2], Offset: 0}
+	if err := l.TruncateBefore(cut); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after[0] != segs[2] {
+		t.Fatalf("oldest surviving segment %d, want %d", after[0], segs[2])
+	}
+	got2, res2 := collect(t, dir, cut)
+	if res2.Torn {
+		t.Error("post-truncate replay reported torn")
+	}
+	// The surviving entries must be a proper suffix of the original
+	// sequence.
+	if len(got2) == 0 || len(got2) >= len(want) {
+		t.Fatalf("post-truncate replay has %d entries, want a proper suffix of %d", len(got2), len(want))
+	}
+	checkEntries(t, got2, want[len(want)-len(got2):])
+}
+
+func TestSyncModes(t *testing.T) {
+	for _, mode := range []SyncMode{SyncBatch, SyncAlways, SyncNone} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			want := appendN(t, dir, Options{Sync: mode, BatchWindow: time.Millisecond}, 10)
+			got, _ := collect(t, dir, Position{})
+			checkEntries(t, got, want)
+		})
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for in, want := range map[string]SyncMode{"batch": SyncBatch, "always": SyncAlways, "none": SyncNone} {
+		got, err := ParseSyncMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncMode("sometimes"); err == nil {
+		t.Error("ParseSyncMode accepted garbage")
+	}
+}
+
+// lastSegmentPath returns the newest segment file.
+func lastSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	return filepath.Join(dir, segmentName(segs[len(segs)-1]))
+}
+
+// TestTornTailTruncation is the table-driven corruption matrix over
+// real segment files: each case damages the log the way a crash or
+// dying disk would, and recovery must (a) keep exactly the undamaged
+// prefix, (b) report the tear, and (c) leave the log appendable with
+// the new entries visible to a clean second replay.
+func TestTornTailTruncation(t *testing.T) {
+	const n = 12
+	inj := faultinject.New(4242)
+	cases := []struct {
+		name string
+		// corrupt damages the newest segment; returns the minimum
+		// number of entries that must survive (-1 = exactly n-1, i.e.
+		// only the final frame may be lost).
+		corrupt func(t *testing.T, dir string) int
+	}{
+		{"torn-frame-header", func(t *testing.T, dir string) int {
+			// Cut mid-way into the final frame's header.
+			path := lastSegmentPath(t, dir)
+			fi, _ := os.Stat(path)
+			if err := os.Truncate(path, fi.Size()-frameSize-3); err != nil {
+				t.Fatal(err)
+			}
+			return n - 2
+		}},
+		{"torn-payload", func(t *testing.T, dir string) int {
+			path := lastSegmentPath(t, dir)
+			fi, _ := os.Stat(path)
+			if err := os.Truncate(path, fi.Size()-40); err != nil {
+				t.Fatal(err)
+			}
+			return n - 1
+		}},
+		{"seeded-tear", func(t *testing.T, dir string) int {
+			site := inj.NewSite(1)
+			torn, err := site.TearTail(lastSegmentPath(t, dir), 0)
+			if err != nil || !torn {
+				t.Fatalf("TearTail: torn=%v err=%v", torn, err)
+			}
+			return 0
+		}},
+		{"crc-bit-flip", func(t *testing.T, dir string) int {
+			// Flip a bit somewhere in the last quarter of the file: every
+			// frame at or after the flip is discarded.
+			path := lastSegmentPath(t, dir)
+			fi, _ := os.Stat(path)
+			site := inj.NewSite(2)
+			hit, err := site.CorruptByte(path, fi.Size()*3/4)
+			if err != nil || !hit {
+				t.Fatalf("CorruptByte: hit=%v err=%v", hit, err)
+			}
+			return 0
+		}},
+		{"length-field-garbage", func(t *testing.T, dir string) int {
+			// Overwrite the final frame's length with an implausible value.
+			path := lastSegmentPath(t, dir)
+			fi, _ := os.Stat(path)
+			f, err := os.OpenFile(path, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if _, err := f.WriteAt([]byte{0xff, 0xff, 0xff, 0xff}, fi.Size()-frameSize); err != nil {
+				t.Fatal(err)
+			}
+			return n - 1
+		}},
+		{"zeroed-fsync-region", func(t *testing.T, dir string) int {
+			path := lastSegmentPath(t, dir)
+			fi, _ := os.Stat(path)
+			site := inj.NewSite(3)
+			hit, err := site.ZeroRange(path, fi.Size()/2, 64)
+			if err != nil || !hit {
+				t.Fatalf("ZeroRange: hit=%v err=%v", hit, err)
+			}
+			return 0
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			want := appendN(t, dir, Options{}, n)
+			minSurvive := tc.corrupt(t, dir)
+
+			got, res := collect(t, dir, Position{})
+			if len(got) >= n {
+				t.Fatalf("corruption did not lose any entries (%d)", len(got))
+			}
+			if len(got) < minSurvive {
+				t.Fatalf("only %d entries survived, want at least %d", len(got), minSurvive)
+			}
+			if !res.Torn {
+				t.Error("replay did not report the tear")
+			}
+			checkEntries(t, got, want[:len(got)])
+
+			// The log must remain appendable at the recovered end, and the
+			// new entry must follow the surviving prefix seamlessly.
+			l, err := OpenAt(dir, Options{}, res.End)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, recs := testPacket(1000)
+			ts := time.Unix(1800000000, 0)
+			if err := l.Append(ts, h, recs); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got2, res2 := collect(t, dir, Position{})
+			if res2.Torn {
+				t.Error("second replay still torn after OpenAt truncation")
+			}
+			checkEntries(t, got2, append(append([]entry{}, want[:len(got)]...), entry{ts, h, recs}))
+		})
+	}
+}
+
+// TestCorruptionMidSegmentDiscardsLaterSegments pins the contiguous-
+// prefix rule: damage in an early segment discards every later segment,
+// even intact ones — a hole in the log would otherwise let replay
+// fabricate a state the live window never held.
+func TestCorruptionMidSegmentDiscardsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, Options{SegmentBytes: 512}, 40)
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need 3+ segments, got %d", len(segs))
+	}
+	// Corrupt the FIRST segment's second frame.
+	first := filepath.Join(dir, segmentName(segs[0]))
+	f, err := os.OpenFile(first, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xde, 0xad}, 170); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, res := collect(t, dir, Position{})
+	if !res.Torn {
+		t.Fatal("mid-log corruption not reported torn")
+	}
+	if len(got) != 1 {
+		t.Fatalf("replayed %d entries past corruption, want 1", len(got))
+	}
+	if res.End.Segment != segs[0] {
+		t.Fatalf("replay end in segment %d, want %d", res.End.Segment, segs[0])
+	}
+}
+
+func TestReplayCallbackErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	appendN(t, dir, Options{}, 3)
+	sentinel := fmt.Errorf("boom")
+	_, err := Replay(dir, Position{}, func(time.Time, netflow.Header, []netflow.Record) error {
+		return sentinel
+	})
+	if err == nil {
+		t.Fatal("callback error swallowed")
+	}
+}
+
+func TestReplayEmptyAndMissingDir(t *testing.T) {
+	got, res := collect(t, filepath.Join(t.TempDir(), "nonesuch"), Position{})
+	if len(got) != 0 || res.Torn || res.Entries != 0 {
+		t.Fatalf("missing dir: %d entries, torn=%v", len(got), res.Torn)
+	}
+}
+
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	want := appendN(t, dir, Options{}, 5)
+	path := lastSegmentPath(t, dir)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	// Open (not OpenAt) must scan, drop the torn final frame, and resume.
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err = os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res := collect(t, dir, Position{})
+	if res.Torn {
+		t.Error("tail still torn after Open")
+	}
+	checkEntries(t, got, want[:4])
+	if want := res.End.Offset; fi.Size() != want {
+		t.Errorf("file size %d after Open, want %d", fi.Size(), want)
+	}
+}
+
+func TestStatsAndPos(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	h, recs := testPacket(0)
+	for i := 0; i < 4; i++ {
+		if err := l.Append(time.Unix(int64(i), 0), h, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := l.Stats()
+	if s.Entries != 4 || s.Fsyncs != 4 || s.Bytes == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.FsyncP99Ns <= 0 || s.FsyncSumNs <= 0 {
+		t.Errorf("fsync latency summary empty: %+v", s)
+	}
+	pos := l.Pos()
+	if pos.Segment != 1 || pos.Offset != int64(s.Bytes) {
+		t.Errorf("pos = %+v, stats bytes %d", pos, s.Bytes)
+	}
+	if !(Position{1, 0}).Before(pos) || pos.Before(Position{1, 0}) {
+		t.Error("Position.Before inconsistent")
+	}
+}
