@@ -35,6 +35,23 @@
 #                        parity matrix and the kill -9 e2e at every
 #                        pinned seed (RECOVER_SEEDS, default
 #                        "1 7 99 4242 31337").
+#   ./ci.sh tenants    — multi-tenant gate alone: fleet-vs-solo tier
+#                        table parity (one 3-tenant tierd against three
+#                        single-tenant tierds over partitioned traces,
+#                        byte-identical before and after kill -9 of all
+#                        four; TENANTS_SEED pins the trace and kill
+#                        schedule), WFQ fairness (a heavy tenant cannot
+#                        push a light tenant's quote p99 past 2× its
+#                        solo baseline; runs without the race detector —
+#                        the bound is latency), tenant isolation under
+#                        the race detector, the internal/tenant unit
+#                        suite, and the fleet-mode loadgen e2e.
+#   ./ci.sh docs       — documentation lint alone (cmd/docscheck):
+#                        every relative markdown link resolves, the
+#                        README repo-layout map names every cmd/ and
+#                        internal/ package, and every tierd_* metric
+#                        minted in internal/server is documented in
+#                        docs/OPERATIONS.md.
 #
 # Gate steps, in order (each must pass):
 #   1. go vet        — static analysis across every package
@@ -52,11 +69,13 @@
 #   5. recover stage — crash-recovery parity (in-process fault matrix +
 #                      out-of-process kill -9) replayed at every pinned
 #                      seed in RECOVER_SEEDS
-#   6. benchmarks    — every benchmark compiles and runs one iteration
+#   6. tenants stage — the multi-tenant gate (see ./ci.sh tenants)
+#   7. docs stage    — the documentation lint (see ./ci.sh docs)
+#   8. benchmarks    — every benchmark compiles and runs one iteration
 #                      (catches bit-rotted benchmark code without paying
 #                      for a timed run; use `./ci.sh bench` for real
 #                      numbers)
-#   7. fuzz smoke    — every netflow/bgp fuzz target actually fuzzes for
+#   9. fuzz smoke    — every netflow/bgp fuzz target actually fuzzes for
 #                      a short budget (FUZZTIME, default 10s each), not
 #                      just replays its seed corpus
 set -eu
@@ -155,6 +174,28 @@ recover() {
     done
 }
 
+tenants() {
+    # The fleet parity/WFQ pair runs without -race: parity is a
+    # multi-process e2e the detector cannot see across, and the WFQ
+    # bound is a latency assertion the detector's slowdown turns into
+    # noise (the test skips itself under -race). Isolation is the
+    # concurrency test, so it runs under the detector.
+    seed="${TENANTS_SEED:-4242}"
+    echo "==> tenants stage: RECOVER_SEED=${seed} go test -run 'TestTenantParityKill9|TestTenantWFQFairness' ./cmd/tierd"
+    RECOVER_SEED="$seed" go test -count=1 -run 'TestTenantParityKill9|TestTenantWFQFairness' ./cmd/tierd
+    echo "==> tenants stage: go test -race -run TestTenantIsolation ./cmd/tierd"
+    go test -race -count=1 -run 'TestTenantIsolation' ./cmd/tierd
+    echo "==> tenants stage: go test -race ./internal/tenant"
+    go test -race -count=1 ./internal/tenant
+    echo "==> tenants stage: go test -run TestLoadgenFleetEndToEnd ./cmd/loadgen"
+    go test -count=1 -run 'TestLoadgenFleetEndToEnd' ./cmd/loadgen
+}
+
+docs() {
+    echo "==> docs stage: go run ./cmd/docscheck"
+    go run ./cmd/docscheck
+}
+
 fuzz_smoke() {
     # `go test -fuzz` accepts only one target per run, so iterate.
     for target in FuzzDecodePacket FuzzUDPDatagramPath FuzzReader; do
@@ -187,6 +228,16 @@ if [ "${1:-}" = "recover" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "tenants" ]; then
+    tenants
+    exit 0
+fi
+
+if [ "${1:-}" = "docs" ]; then
+    docs
+    exit 0
+fi
+
 FUZZTIME="${FUZZTIME:-10s}"
 
 echo "==> go vet ./..."
@@ -203,6 +254,10 @@ echo "==> chaos stage: CHAOS_SEED=${CHAOS_SEED} go test -race -run TestTierdChao
 CHAOS_SEED="$CHAOS_SEED" go test -race -count=1 -run 'TestTierdChaos' ./cmd/tierd
 
 recover
+
+tenants
+
+docs
 
 echo "==> go test -run='^$' -bench=. -benchtime=1x ./..."
 go test -run='^$' -bench=. -benchtime=1x ./...

@@ -18,7 +18,11 @@ const sloPkgPrefix = "slo/"
 // one row per latency quantile (ns_per_op carries the quantile, so the
 // existing ns/op regression rule gates each of them), with the run-level
 // SLO metrics attached to every row so absolute floors (error rate,
-// achieved-vs-target QPS) can be checked row-locally.
+// achieved-vs-target QPS) can be checked row-locally. Fleet-mode reports
+// additionally yield one quantile-row set per tenant under
+// "slo/<profile>/<tenant>", so a single tenant's tail regression fails
+// the diff even when the aggregate stays flat; single-tenant reports
+// emit exactly the rows they always did.
 func sloResults(r *sloreport.Report) []Result {
 	metrics := map[string]float64{
 		"target-qps":   r.TargetQPS,
@@ -33,24 +37,40 @@ func sloResults(r *sloreport.Report) []Result {
 		metrics["max-rss-bytes"] = float64(r.Proc.MaxRSSBytes)
 		metrics["cpu-seconds"] = r.Proc.CPUSeconds
 	}
+	results := quantileRows(sloPkgPrefix+r.Profile, r.Latency, int64(r.Requests), metrics, r.Build)
+	for _, tn := range r.Tenants {
+		tmetrics := map[string]float64{
+			"requests":   float64(tn.Requests),
+			"err-rate":   tn.ErrorRate,
+			"stale-rate": tn.StaleRate,
+		}
+		results = append(results, quantileRows(
+			sloPkgPrefix+r.Profile+"/"+tn.ID, tn.Latency, int64(tn.Requests), tmetrics, r.Build)...)
+	}
+	return results
+}
+
+// quantileRows renders one latency distribution into the four gated
+// quantile rows under pkg.
+func quantileRows(pkg string, l sloreport.Latency, iters int64, metrics map[string]float64, build string) []Result {
 	quantiles := []struct {
 		name string
 		ns   int64
 	}{
-		{"SLOQuoteLatencyP50", r.Latency.P50Ns},
-		{"SLOQuoteLatencyP90", r.Latency.P90Ns},
-		{"SLOQuoteLatencyP99", r.Latency.P99Ns},
-		{"SLOQuoteLatencyP999", r.Latency.P999Ns},
+		{"SLOQuoteLatencyP50", l.P50Ns},
+		{"SLOQuoteLatencyP90", l.P90Ns},
+		{"SLOQuoteLatencyP99", l.P99Ns},
+		{"SLOQuoteLatencyP999", l.P999Ns},
 	}
 	results := make([]Result, 0, len(quantiles))
 	for _, q := range quantiles {
 		results = append(results, Result{
-			Pkg:        sloPkgPrefix + r.Profile,
+			Pkg:        pkg,
 			Name:       q.name,
-			Iterations: int64(r.Requests),
+			Iterations: iters,
 			NsPerOp:    float64(q.ns),
 			Metrics:    metrics,
-			Build:      r.Build,
+			Build:      build,
 		})
 	}
 	return results

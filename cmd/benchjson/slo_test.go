@@ -48,6 +48,80 @@ func TestSLOResultRows(t *testing.T) {
 	}
 }
 
+// fleetReport extends the sample run with two tenant rows partitioning
+// its requests.
+func fleetReport() *sloreport.Report {
+	r := sampleReport()
+	r.Tenants = []sloreport.Tenant{
+		{
+			ID: "net-a", Requests: 1000, OK: 1000,
+			Latency: sloreport.Latency{P50Ns: 70_000, P90Ns: 120_000, P99Ns: 300_000,
+				P999Ns: 700_000, MaxNs: 1_000_000, MeanNs: 80_000},
+		},
+		{
+			ID: "net-b", Requests: 993, OK: 983, Errors: 10,
+			ErrorRate: 10.0 / 993,
+			Latency: sloreport.Latency{P50Ns: 90_000, P90Ns: 180_000, P99Ns: 500_000,
+				P999Ns: 1_100_000, MaxNs: 1_500_000, MeanNs: 110_000},
+		},
+	}
+	r.Requests, r.OK, r.Errors = 1993, 1983, 10
+	r.ErrorRate = 10.0 / 1993
+	return r
+}
+
+// TestSLOTenantRows: a fleet-mode report emits one quantile-row set per
+// tenant under slo/<profile>/<tenant>, carrying that tenant's own
+// latency and error rate, on top of the unchanged run-level rows.
+func TestSLOTenantRows(t *testing.T) {
+	rows := sloResults(fleetReport())
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 4 run-level + 2×4 tenant", len(rows))
+	}
+	byPkg := map[string]int{}
+	for _, r := range rows {
+		byPkg[r.Pkg]++
+	}
+	for _, pkg := range []string{"slo/smoke", "slo/smoke/net-a", "slo/smoke/net-b"} {
+		if byPkg[pkg] != 4 {
+			t.Errorf("pkg %s: %d rows, want 4", pkg, byPkg[pkg])
+		}
+	}
+	for _, r := range rows {
+		switch r.Pkg {
+		case "slo/smoke/net-a":
+			if r.Name == "SLOQuoteLatencyP99" && r.NsPerOp != 300_000 {
+				t.Errorf("net-a p99 %g, want tenant's own 300000", r.NsPerOp)
+			}
+			if r.Metrics["err-rate"] != 0 {
+				t.Errorf("net-a err-rate %g, want 0", r.Metrics["err-rate"])
+			}
+		case "slo/smoke/net-b":
+			if r.Name == "SLOQuoteLatencyP99" && r.NsPerOp != 500_000 {
+				t.Errorf("net-b p99 %g, want tenant's own 500000", r.NsPerOp)
+			}
+			if r.Metrics["err-rate"] != 10.0/993 {
+				t.Errorf("net-b err-rate %g, want %g", r.Metrics["err-rate"], 10.0/993)
+			}
+		}
+	}
+
+	// A single tenant's p99 regression fails the diff even when the
+	// run-level p99 is flat.
+	degraded := fleetReport()
+	degraded.Tenants[1].Latency.P99Ns = 900_000 // +80% on net-b only
+	_, regressed := Diff(sloResults(fleetReport()), sloResults(degraded), 0.15)
+	if !regressed {
+		t.Error("per-tenant p99 regression not flagged")
+	}
+
+	// The per-tenant error-rate floor binds on the tenant's own rate:
+	// 0.0075 passes the run level (10/1993) but fails net-b (10/993).
+	if v := CheckSLO(sloResults(fleetReport()), 0.0075, 0.90); len(v) != 1 {
+		t.Errorf("net-b error rate %.4f above floor: got %v, want one violation", 10.0/993, v)
+	}
+}
+
 // TestSLODiffP99Regression is the gate's core contract: a p99
 // quote-latency degradation beyond threshold must fail the diff, an
 // improvement (or a within-threshold wobble) must pass.
@@ -162,5 +236,26 @@ func TestReportValidate(t *testing.T) {
 	miscounted.OK--
 	if err := miscounted.Validate(); err == nil {
 		t.Error("requests != ok + errors accepted")
+	}
+
+	// Fleet-mode invariants.
+	if err := fleetReport().Validate(); err != nil {
+		t.Fatalf("healthy fleet report rejected: %v", err)
+	}
+	unbalanced := fleetReport()
+	unbalanced.Tenants[0].Requests += 5
+	unbalanced.Tenants[0].OK += 5
+	if err := unbalanced.Validate(); err == nil {
+		t.Error("tenant rows not partitioning the run accepted")
+	}
+	dup := fleetReport()
+	dup.Tenants[1].ID = dup.Tenants[0].ID
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate tenant row accepted")
+	}
+	badTail := fleetReport()
+	badTail.Tenants[0].Latency.P99Ns = badTail.Tenants[0].Latency.P999Ns + 1
+	if err := badTail.Validate(); err == nil {
+		t.Error("non-monotone tenant quantiles accepted")
 	}
 }

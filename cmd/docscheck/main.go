@@ -1,0 +1,242 @@
+// Command docscheck is the repo's documentation lint, run by
+// `./ci.sh docs`. It enforces three invariants that otherwise rot
+// silently:
+//
+//  1. Every relative markdown link in the repo's .md files resolves to
+//     a file or directory that exists (external URLs and pure anchors
+//     are skipped).
+//  2. README.md's repo-layout map names every cmd/ and internal/
+//     package, so a new package cannot land without an entry in the
+//     map a newcomer reads first.
+//  3. Every exported Prometheus-style metric name minted in
+//     internal/server (the tierd_* families) appears in
+//     docs/OPERATIONS.md, so the operator manual cannot drift behind
+//     the exposition.
+//
+// Violations are listed one per line on stderr; any violation exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	violations, err := check(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "docscheck:", v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// check runs every lint against the tree at root and returns the
+// violation messages in deterministic order.
+func check(root string) ([]string, error) {
+	var violations []string
+
+	mds, err := markdownFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, md := range mds {
+		v, err := checkLinks(root, md)
+		if err != nil {
+			return nil, err
+		}
+		violations = append(violations, v...)
+	}
+
+	v, err := checkLayoutMap(root)
+	if err != nil {
+		return nil, err
+	}
+	violations = append(violations, v...)
+
+	v, err = checkMetricsDocumented(root)
+	if err != nil {
+		return nil, err
+	}
+	violations = append(violations, v...)
+
+	return violations, nil
+}
+
+// markdownFiles lists every .md file under root, skipping VCS and
+// build-output directories.
+func markdownFiles(root string) ([]string, error) {
+	var mds []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			mds = append(mds, path)
+		}
+		return nil
+	})
+	sort.Strings(mds)
+	return mds, err
+}
+
+// linkRE matches markdown inline links and images: [text](target) /
+// ![alt](target). Reference-style links are rare here and not checked.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// checkLinks verifies every relative link in one markdown file points
+// at an existing file or directory.
+func checkLinks(root, md string) ([]string, error) {
+	b, err := os.ReadFile(md)
+	if err != nil {
+		return nil, err
+	}
+	var violations []string
+	for _, m := range linkRE.FindAllStringSubmatch(string(b), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue // external
+		}
+		target, _, _ = strings.Cut(target, "#")
+		if target == "" {
+			continue // pure in-page anchor
+		}
+		resolved := filepath.Join(filepath.Dir(md), target)
+		if _, err := os.Stat(resolved); err != nil {
+			rel, rerr := filepath.Rel(root, md)
+			if rerr != nil {
+				rel = md
+			}
+			violations = append(violations, fmt.Sprintf("%s: broken link %q", rel, m[1]))
+		}
+	}
+	return violations, nil
+}
+
+// goPackages lists the immediate subdirectories of dir that contain .go
+// files — the packages the layout map must cover.
+func goPackages(root, dir string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, dir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(root, dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range sub {
+			if strings.HasSuffix(f.Name(), ".go") {
+				pkgs = append(pkgs, dir+"/"+e.Name())
+				break
+			}
+		}
+	}
+	return pkgs, nil
+}
+
+// checkLayoutMap verifies README.md mentions every cmd/ and internal/
+// package by its path.
+func checkLayoutMap(root string) ([]string, error) {
+	b, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return nil, err
+	}
+	readme := string(b)
+	var violations []string
+	for _, dir := range []string{"cmd", "internal"} {
+		pkgs, err := goPackages(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, pkg := range pkgs {
+			if !strings.Contains(readme, pkg) {
+				violations = append(violations,
+					fmt.Sprintf("README.md: repo-layout map does not mention %s", pkg))
+			}
+		}
+	}
+	return violations, nil
+}
+
+// metricRE matches the tierd_* metric names internal/server mints in
+// its exposition writers.
+var metricRE = regexp.MustCompile(`tierd_[a-z0-9_]+`)
+
+// checkMetricsDocumented extracts every tierd_* metric name from
+// internal/server's non-test sources and requires each to appear in
+// docs/OPERATIONS.md.
+func checkMetricsDocumented(root string) ([]string, error) {
+	srcDir := filepath.Join(root, "internal", "server")
+	entries, err := os.ReadDir(srcDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range metricRE.FindAllString(string(b), -1) {
+			names[m] = true
+		}
+	}
+	opsPath := filepath.Join(root, "docs", "OPERATIONS.md")
+	b, err := os.ReadFile(opsPath)
+	if err != nil {
+		if os.IsNotExist(err) && len(names) > 0 {
+			return []string{"docs/OPERATIONS.md: missing (required to document exported metrics)"}, nil
+		}
+		return nil, err
+	}
+	ops := string(b)
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	var violations []string
+	for _, n := range sorted {
+		if !strings.Contains(ops, n) {
+			violations = append(violations,
+				fmt.Sprintf("docs/OPERATIONS.md: exported metric %s undocumented", n))
+		}
+	}
+	return violations, nil
+}

@@ -45,6 +45,12 @@ type Options struct {
 	Warmup        bool
 	WarmupTimeout time.Duration // 0 = 30s
 
+	// Tenants switches the run into fleet mode: the quote mix targets
+	// each tenant's /v1/t/{id}/quote endpoint using its own Pairs (from
+	// PartitionStream, which also stamps Datagrams' engine IDs), and the
+	// report carries per-tenant rows. Empty = single-tenant legacy paths.
+	Tenants []TenantMix
+
 	// Seed orders the quote mix deterministically.
 	Seed int64
 	// PID, when non-zero, samples that process's RSS and CPU from /proc
@@ -92,10 +98,45 @@ func LoadStream(r io.Reader) (datagrams [][]byte, pairs []Pair, err error) {
 }
 
 // worker accumulates one goroutine's observations; merged after the run
-// so recording stays lock-free.
+// so recording stays lock-free. In fleet mode each worker also keeps a
+// sub-accumulator per tenant, so the per-tenant rows come from the same
+// lock-free merge as the run totals.
 type worker struct {
 	hist                              *hist.Histogram
 	requests, ok, errs, misses, stale uint64
+	tenants                           []*worker
+}
+
+// observe records one finished request. latNs is measured from the
+// scheduled send time; it only lands in the histogram when the request
+// completed at the HTTP layer (transport failures have no meaningful
+// service latency).
+func (wk *worker) observe(latNs int64, status int, isStale bool, err error) {
+	wk.requests++
+	if err != nil {
+		wk.errs++
+		return
+	}
+	wk.hist.Record(latNs)
+	switch {
+	case status == http.StatusOK:
+		wk.ok++
+		if isStale {
+			wk.stale++
+		}
+	case status == http.StatusNotFound:
+		wk.errs++
+		wk.misses++
+	default:
+		wk.errs++
+	}
+}
+
+// quoteTarget is one URL of the quote mix and the tenant it belongs to
+// (-1 outside fleet mode).
+type quoteTarget struct {
+	url    string
+	tenant int
 }
 
 // Run executes the load test: an open-loop constant-rate schedule
@@ -110,7 +151,7 @@ func Run(ctx context.Context, opts Options) (*sloreport.Report, error) {
 	if opts.QPS <= 0 || opts.Duration <= 0 {
 		return nil, errors.New("loadgen: qps and duration must be positive")
 	}
-	if len(opts.Pairs) == 0 {
+	if len(opts.Tenants) == 0 && len(opts.Pairs) == 0 {
 		return nil, errors.New("loadgen: no endpoint pairs to quote")
 	}
 	if opts.Workers <= 0 {
@@ -133,18 +174,36 @@ func Run(ctx context.Context, opts Options) (*sloreport.Report, error) {
 	}
 	defer client.CloseIdleConnections()
 
-	// Pre-build the quote URLs in a seed-shuffled order; request i takes
-	// urls[i % len], so the mix is the same multiset every run.
-	urls := make([]string, len(opts.Pairs))
-	for i, p := range opts.Pairs {
-		urls[i] = opts.Target + "/v1/quote?src=" + p.Src + "&dst=" + p.Dst
+	// Pre-build the quote mix in a seed-shuffled order; request i takes
+	// targets[i % len], so the mix is the same multiset every run. Fleet
+	// mode interleaves every tenant's pairs on its own scoped endpoint.
+	var targets []quoteTarget
+	if len(opts.Tenants) > 0 {
+		for ti, tn := range opts.Tenants {
+			if len(tn.Pairs) == 0 {
+				return nil, fmt.Errorf("loadgen: tenant %q has no quotable pairs", tn.ID)
+			}
+			for _, p := range tn.Pairs {
+				targets = append(targets, quoteTarget{
+					url:    opts.Target + "/v1/t/" + tn.ID + "/quote?src=" + p.Src + "&dst=" + p.Dst,
+					tenant: ti,
+				})
+			}
+		}
+	} else {
+		for _, p := range opts.Pairs {
+			targets = append(targets, quoteTarget{
+				url:    opts.Target + "/v1/quote?src=" + p.Src + "&dst=" + p.Dst,
+				tenant: -1,
+			})
+		}
 	}
-	rand.New(rand.NewSource(opts.Seed)).Shuffle(len(urls), func(i, j int) {
-		urls[i], urls[j] = urls[j], urls[i]
+	rand.New(rand.NewSource(opts.Seed)).Shuffle(len(targets), func(i, j int) {
+		targets[i], targets[j] = targets[j], targets[i]
 	})
 
 	if opts.Warmup {
-		if err := warmup(ctx, client, opts, urls); err != nil {
+		if err := warmup(ctx, client, opts, targets); err != nil {
 			return nil, err
 		}
 	}
@@ -195,30 +254,24 @@ func Run(ctx context.Context, opts Options) (*sloreport.Report, error) {
 	var next atomic.Uint64
 	var wg sync.WaitGroup
 	for w := range workers {
-		workers[w] = &worker{hist: hist.New()}
+		wk := &worker{hist: hist.New()}
+		if n := len(opts.Tenants); n > 0 {
+			wk.tenants = make([]*worker, n)
+			for i := range wk.tenants {
+				wk.tenants[i] = &worker{hist: hist.New()}
+			}
+		}
+		workers[w] = wk
 		wg.Add(1)
 		go func(wk *worker) {
 			defer wg.Done()
 			for sched := range due {
-				url := urls[int(next.Add(1)-1)%len(urls)]
-				wk.requests++
-				status, isStale, err := fire(runCtx, client, url)
-				if err != nil {
-					wk.errs++
-					continue
-				}
-				wk.hist.Record(int64(time.Since(sched)))
-				switch {
-				case status == http.StatusOK:
-					wk.ok++
-					if isStale {
-						wk.stale++
-					}
-				case status == http.StatusNotFound:
-					wk.errs++
-					wk.misses++
-				default:
-					wk.errs++
+				tgt := targets[int(next.Add(1)-1)%len(targets)]
+				status, isStale, err := fire(runCtx, client, tgt.url)
+				latNs := int64(time.Since(sched))
+				wk.observe(latNs, status, isStale, err)
+				if tgt.tenant >= 0 {
+					wk.tenants[tgt.tenant].observe(latNs, status, isStale, err)
 				}
 			}
 		}(workers[w])
@@ -278,13 +331,30 @@ sched:
 	report.AchievedQPS = float64(report.Requests) / elapsed.Seconds()
 	report.ErrorRate = float64(report.Errors) / float64(report.Requests)
 	report.StaleRate = float64(report.Stale) / float64(report.Requests)
-	report.Latency = sloreport.Latency{
-		P50Ns:  merged.Quantile(0.50),
-		P90Ns:  merged.Quantile(0.90),
-		P99Ns:  merged.Quantile(0.99),
-		P999Ns: merged.Quantile(0.999),
-		MaxNs:  merged.Max(),
-		MeanNs: merged.Mean(),
+	report.Latency = latencyFrom(merged)
+	if n := len(opts.Tenants); n > 0 {
+		report.Tenants = make([]sloreport.Tenant, n)
+		for ti := range opts.Tenants {
+			row := &report.Tenants[ti]
+			row.ID = opts.Tenants[ti].ID
+			th := hist.New()
+			for _, wk := range workers {
+				sub := wk.tenants[ti]
+				if err := th.Merge(sub.hist); err != nil {
+					return nil, err
+				}
+				row.Requests += sub.requests
+				row.OK += sub.ok
+				row.Errors += sub.errs
+				row.Misses += sub.misses
+				row.Stale += sub.stale
+			}
+			if row.Requests > 0 {
+				row.ErrorRate = float64(row.Errors) / float64(row.Requests)
+				row.StaleRate = float64(row.Stale) / float64(row.Requests)
+			}
+			row.Latency = latencyFrom(th)
+		}
 	}
 	report.Netflow = sloreport.Netflow{
 		Datagrams:   nfSent,
@@ -298,6 +368,18 @@ sched:
 		return nil, err
 	}
 	return report, nil
+}
+
+// latencyFrom snapshots a merged histogram into report form.
+func latencyFrom(h *hist.Histogram) sloreport.Latency {
+	return sloreport.Latency{
+		P50Ns:  h.Quantile(0.50),
+		P90Ns:  h.Quantile(0.90),
+		P99Ns:  h.Quantile(0.99),
+		P999Ns: h.Quantile(0.999),
+		MaxNs:  h.Max(),
+		MeanNs: h.Mean(),
+	}
 }
 
 // fetchBuild reads the daemon's build identity from /healthz's
@@ -362,7 +444,7 @@ func pushNetflow(ctx context.Context, addr string, datagrams [][]byte, pps float
 // every pair in the quote mix is priced. The daemon picks up re-sent
 // data only at its next re-price, so the loop replays, probes, and backs
 // off until the deadline.
-func warmup(ctx context.Context, client *http.Client, opts Options, urls []string) error {
+func warmup(ctx context.Context, client *http.Client, opts Options, targets []quoteTarget) error {
 	if opts.NetflowAddr == "" {
 		return errors.New("loadgen: -warmup needs a netflow address to replay into")
 	}
@@ -377,7 +459,7 @@ func warmup(ctx context.Context, client *http.Client, opts Options, urls []strin
 	}
 	defer conn.Close()
 
-	missing := len(urls)
+	missing := len(targets)
 	for attempt := 0; ; attempt++ {
 		// Replay the full trace; pacing keeps the loopback socket buffer
 		// from shedding most of it.
@@ -395,8 +477,8 @@ func warmup(ctx context.Context, client *http.Client, opts Options, urls []strin
 				return ctx.Err()
 			}
 			missing = 0
-			for _, url := range urls {
-				status, _, err := fire(ctx, client, url)
+			for _, tgt := range targets {
+				status, _, err := fire(ctx, client, tgt.url)
 				if err != nil || status != http.StatusOK {
 					missing++
 				}
@@ -410,7 +492,7 @@ func warmup(ctx context.Context, client *http.Client, opts Options, urls []strin
 			}
 		}
 		if !time.Now().Before(deadline) {
-			return fmt.Errorf("loadgen: warm-up deadline: %d of %d pairs still unpriced", missing, len(urls))
+			return fmt.Errorf("loadgen: warm-up deadline: %d of %d pairs still unpriced", missing, len(targets))
 		}
 	}
 }

@@ -51,6 +51,8 @@ func main() {
 		warmup        = flag.Bool("warmup", false, "replay the trace and wait until every pair quotes 200 before measuring")
 		warmupTimeout = flag.Duration("warmup-timeout", 30*time.Second, "warm-up deadline")
 
+		tenants = flag.String("tenants", "", "fleet mode: comma-separated tenant=engineID pairs (e.g. net-a=1,net-b=2); deals the stream round-robin across tenants, stamps engine IDs for fleet routing, quotes /v1/t/{tenant}/quote, and adds per-tenant report rows")
+
 		seed    = flag.Int64("seed", 1, "quote-mix shuffle seed")
 		pid     = flag.Int("pid", 0, "tierd PID for /proc RSS/CPU sampling (0 disables)")
 		profile = flag.String("profile", "adhoc", "profile name recorded in the report")
@@ -68,14 +70,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
-	datagrams, pairs, err := LoadStream(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen:", err)
-		os.Exit(1)
+	var (
+		datagrams [][]byte
+		pairs     []Pair
+		mix       []TenantMix
+	)
+	if *tenants != "" {
+		tms, err := ParseTenants(*tenants)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		datagrams, mix, err = PartitionStream(f, tms)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, tn := range mix {
+			fmt.Fprintf(os.Stderr, "loadgen: tenant %s (engine %d): %d quotable pairs\n",
+				tn.ID, tn.Engine, len(tn.Pairs))
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: %d datagrams across %d tenants, %s at %.0f qps\n",
+			len(datagrams), len(mix), *dur, *qps)
+	} else {
+		datagrams, pairs, err = LoadStream(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: %d datagrams, %d quotable pairs, %s at %.0f qps\n",
+			len(datagrams), len(pairs), *dur, *qps)
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %d datagrams, %d quotable pairs, %s at %.0f qps\n",
-		len(datagrams), len(pairs), *dur, *qps)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -92,6 +119,7 @@ func main() {
 		NetflowPPS:    *netflowPPS,
 		Warmup:        *warmup,
 		WarmupTimeout: *warmupTimeout,
+		Tenants:       mix,
 		Seed:          *seed,
 		PID:           *pid,
 		Profile:       *profile,

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tieredpricing/internal/netflow"
+)
+
+// TenantMix is one tenant's share of a fleet-mode run: the export
+// datagrams dealt to it are stamped with its engine ID so the fleet's
+// registry routes them there, and its quote mix targets
+// /v1/t/{ID}/quote with the pairs those datagrams carried.
+type TenantMix struct {
+	ID     string
+	Engine uint8
+	// Pairs are the tenant's quotable endpoint pairs, filled by
+	// PartitionStream in first-appearance order, deduplicated per tenant.
+	Pairs []Pair
+}
+
+// ParseTenants parses the -tenants flag: comma-separated id=engine
+// pairs, e.g. "net-a=1,net-b=2,net-c=3". Engine IDs are the NetFlow v5
+// header engine IDs a fleet tierd's router table keys on; they and the
+// tenant IDs must be distinct.
+func ParseTenants(spec string) ([]TenantMix, error) {
+	parts := strings.Split(spec, ",")
+	tenants := make([]TenantMix, 0, len(parts))
+	ids := make(map[string]bool, len(parts))
+	engines := make(map[uint8]bool, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		id, eng, ok := strings.Cut(part, "=")
+		if !ok || id == "" {
+			return nil, fmt.Errorf("loadgen: tenant %q: want id=engine", part)
+		}
+		n, err := strconv.ParseUint(eng, 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: tenant %q: engine ID must be 0..255: %v", part, err)
+		}
+		if ids[id] {
+			return nil, fmt.Errorf("loadgen: duplicate tenant %q", id)
+		}
+		if engines[uint8(n)] {
+			return nil, fmt.Errorf("loadgen: tenant %q: engine ID %d already assigned", id, n)
+		}
+		ids[id] = true
+		engines[uint8(n)] = true
+		tenants = append(tenants, TenantMix{ID: id, Engine: uint8(n)})
+	}
+	return tenants, nil
+}
+
+// PartitionStream is LoadStream for fleet mode: it deals the stream's
+// export datagrams round-robin across the tenants, rewrites each
+// packet's header engine ID to its tenant's (tracegen stamps engine 0
+// everywhere, which a fleet routes to the default tenant), and collects
+// each tenant's quotable pairs from the records dealt to it. Pair
+// ownership follows the deal — a pair is only quotable on the tenant
+// whose window actually priced its flows — so the returned mix is
+// consistent with how a fleet tierd will route the datagrams.
+func PartitionStream(r io.Reader, tenants []TenantMix) (datagrams [][]byte, mix []TenantMix, err error) {
+	if len(tenants) == 0 {
+		return nil, nil, errors.New("loadgen: no tenants to partition across")
+	}
+	mix = make([]TenantMix, len(tenants))
+	copy(mix, tenants)
+	seen := make([]map[Pair]bool, len(mix))
+	for i := range seen {
+		seen[i] = map[Pair]bool{}
+	}
+	rd := netflow.NewReader(r)
+	for i := 0; ; i++ {
+		h, recs, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		k := i % len(mix)
+		h.EngineID = mix[k].Engine
+		pkt, err := netflow.EncodePacket(h, recs)
+		if err != nil {
+			return nil, nil, err
+		}
+		datagrams = append(datagrams, pkt)
+		for _, rec := range recs {
+			p := Pair{Src: rec.SrcAddr.String(), Dst: rec.DstAddr.String()}
+			if !seen[k][p] {
+				seen[k][p] = true
+				mix[k].Pairs = append(mix[k].Pairs, p)
+			}
+		}
+	}
+	if len(datagrams) == 0 {
+		return nil, nil, errors.New("loadgen: stream holds no export packets")
+	}
+	for _, tn := range mix {
+		if len(tn.Pairs) == 0 {
+			return nil, nil, fmt.Errorf("loadgen: tenant %q drew no quotable pairs: stream too small for %d-way partition",
+				tn.ID, len(mix))
+		}
+	}
+	return datagrams, mix, nil
+}

@@ -36,6 +36,7 @@ type durability struct {
 	dataDir  string
 	walDir   string
 	ckptDir  string
+	tenantID string // stamps checkpoints in multi-tenant namespaces ("" = legacy layout)
 	retain   int
 	interval time.Duration
 	now      func() time.Time
@@ -59,16 +60,20 @@ type durability struct {
 	lastEpoch int64 // newest epoch recorded in history
 }
 
-// openDurability recovers state from dataDir and returns the live
+// openDurability recovers state from dir and returns the live
 // subsystem: window and repricer are restored (newest valid checkpoint
 // + WAL-tail replay through the window's own ingest path), the WAL is
 // open for appending at the recovered end, and the checkpoint loop is
-// ready to start.
-func openDurability(cfg config, w *stream.Window, rp *stream.Repricer) (*durability, error) {
+// ready to start. Single-tenant daemons pass dir = cfg.dataDir and an
+// empty tenantID (the original <data-dir>/{wal,checkpoint} layout);
+// fleet daemons pass each tenant's namespace directory and ID, which
+// stamps checkpoints so a namespace mix-up is refused at boot.
+func openDurability(cfg config, dir, tenantID string, w *stream.Window, rp *stream.Repricer) (*durability, error) {
 	d := &durability{
-		dataDir:  cfg.dataDir,
-		walDir:   filepath.Join(cfg.dataDir, "wal"),
-		ckptDir:  filepath.Join(cfg.dataDir, "checkpoint"),
+		dataDir:  dir,
+		walDir:   filepath.Join(dir, "wal"),
+		ckptDir:  filepath.Join(dir, "checkpoint"),
+		tenantID: tenantID,
 		retain:   cfg.ckptRetain,
 		interval: cfg.ckptInterval,
 		now:      cfg.now,
@@ -87,6 +92,10 @@ func openDurability(cfg config, w *stream.Window, rp *stream.Repricer) (*durabil
 	}
 	var from wal.Position
 	if st != nil {
+		if st.Tenant != "" && tenantID != "" && st.Tenant != tenantID {
+			return nil, fmt.Errorf("checkpoint %s belongs to tenant %q, not %q — wrong namespace?",
+				ckptPath, st.Tenant, tenantID)
+		}
 		if err := w.Import(st.Window); err != nil {
 			return nil, fmt.Errorf("restoring window from %s: %w", ckptPath, err)
 		}
@@ -174,7 +183,7 @@ func (d *durability) checkpoint() error {
 	ws := d.window.Export()
 	d.mu.Unlock()
 
-	st := &checkpoint.State{CreatedAt: d.now(), WAL: pos, Window: ws}
+	st := &checkpoint.State{CreatedAt: d.now(), Tenant: d.tenantID, WAL: pos, Window: ws}
 	if snap := d.repricer.Current(); snap != nil {
 		st.Epoch = snap.Epoch
 		table, err := snap.Table.Marshal()

@@ -83,12 +83,20 @@ type config struct {
 	maxSnapAge time.Duration // staleness threshold; 0 = 4× reprice interval
 	drainGrace time.Duration // bound on the shutdown drain (final re-price and HTTP)
 
+	// Multi-tenant fleet mode: a -tenants spec file turns the daemon
+	// into a per-network pricing fleet (see cmd/tierd/tenants.go).
+	tenantsFile  string
+	schedWorkers int           // reprice jobs running concurrently across tenants
+	starveAfter  time.Duration // WFQ starvation bound; 0 = 2× the re-price interval
+
 	// Test hooks, settable only by in-package tests (the chaos e2e):
 	// they interpose fault injection between the daemon's components
 	// without changing production wiring. Flags never populate these.
 	wrapSink     func(netflow.Sink) netflow.Sink
 	wrapResolver func(demandfit.EndpointResolver) demandfit.EndpointResolver
-	now          func() time.Time
+	// wrapTenantResolver interposes per tenant in fleet mode.
+	wrapTenantResolver func(id string, rv demandfit.EndpointResolver) demandfit.EndpointResolver
+	now                func() time.Time
 }
 
 func main() {
@@ -120,6 +128,12 @@ func main() {
 		"durable state directory: WAL + checkpoints, recover-on-boot (empty = memory-only)")
 	flag.DurationVar(&cfg.ckptInterval, "checkpoint-interval", time.Minute, "how often to checkpoint the window (needs -data-dir)")
 	flag.IntVar(&cfg.ckptRetain, "checkpoint-retain", 3, "checkpoints kept on disk (newest first; older are fallbacks for corruption)")
+	flag.StringVar(&cfg.tenantsFile, "tenants", "",
+		"tenant spec file (JSON) enabling multi-tenant fleet mode: per-tenant windows, repricers, quotas and durability namespaces")
+	flag.IntVar(&cfg.schedWorkers, "reprice-workers", 1,
+		"re-price jobs running concurrently across tenants (fleet mode; each job still fans out over -parallel workers)")
+	flag.DurationVar(&cfg.starveAfter, "reprice-starve", 0,
+		"dispatch a queued re-price regardless of its fair-queue tag after waiting this long (fleet mode; 0 = 2x the re-price interval)")
 	walSyncFlag := flag.String("wal-sync", "batch", "WAL fsync policy: batch (group commit), always, or none")
 	flag.Int64Var(&cfg.walSegBytes, "wal-segment-bytes", 4<<20, "WAL segment rotation size in bytes")
 	showVersion := flag.Bool("version", false, "print build info and exit")
@@ -134,7 +148,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tierd:", err)
 		os.Exit(2)
 	}
-	if cfg.trace == "" {
+	if cfg.trace == "" && cfg.tenantsFile == "" {
 		fmt.Fprintln(os.Stderr, "tierd: -trace is required")
 		flag.Usage()
 		os.Exit(2)
@@ -175,6 +189,7 @@ type daemon struct {
 	durable  *durability  // nil when running memory-only (no -data-dir)
 	repricer *stream.Repricer
 	metrics  *server.Metrics
+	fleet    *fleet // non-nil in multi-tenant mode (-tenants); most fields above stay nil
 	udp      *netflow.CollectorServer
 	httpSrv  *http.Server
 	ln       net.Listener
@@ -182,22 +197,56 @@ type daemon struct {
 	pprofLn  net.Listener
 }
 
-// startDaemon loads the trace metadata, builds the window → repricer →
-// server chain, and starts the UDP and HTTP listeners. It does not
-// block; call run to serve until cancelled.
-func startDaemon(cfg config) (*daemon, error) {
-	meta, err := traces.ReadMetaFile(filepath.Join(cfg.trace, "meta.txt"))
-	if err != nil {
-		return nil, err
+// engineSpec is one pricing instance's effective configuration: the
+// daemon flags for a single-tenant daemon, or those flags overlaid with
+// a tenant's spec overrides in fleet mode.
+type engineSpec struct {
+	trace     string
+	model     string
+	alpha     float64
+	s0        float64
+	theta     float64
+	strategy  string
+	tiers     int
+	blended   float64
+	demandSec float64
+}
+
+// engineFromConfig is the single-tenant engine: the flags verbatim.
+func engineFromConfig(cfg config) engineSpec {
+	return engineSpec{
+		trace:     cfg.trace,
+		model:     cfg.model,
+		alpha:     cfg.alpha,
+		s0:        cfg.s0,
+		theta:     cfg.theta,
+		strategy:  cfg.strategy,
+		tiers:     cfg.tiers,
+		blended:   cfg.blended,
+		demandSec: cfg.demandSec,
 	}
-	geoFile, err := os.Open(filepath.Join(cfg.trace, "geoip.csv"))
+}
+
+// buildEngine loads the trace metadata and builds one window → repricer
+// pricing engine. wrapResolver, when non-nil, interposes on the
+// endpoint resolver (fault-injection test hook).
+func buildEngine(cfg config, es engineSpec,
+	wrapResolver func(demandfit.EndpointResolver) demandfit.EndpointResolver) (*stream.Window, *stream.Repricer, error) {
+	if es.trace == "" {
+		return nil, nil, errors.New("no trace directory (set -trace or the tenant's \"trace\")")
+	}
+	meta, err := traces.ReadMetaFile(filepath.Join(es.trace, "meta.txt"))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	geoFile, err := os.Open(filepath.Join(es.trace, "geoip.csv"))
+	if err != nil {
+		return nil, nil, err
 	}
 	geo, err := geoip.ReadCSV(geoFile)
 	geoFile.Close()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var rv demandfit.EndpointResolver
 	base := &demandfit.Resolver{Geo: geo, DistanceRegions: meta.Dataset == "euisp"}
@@ -205,28 +254,28 @@ func startDaemon(cfg config) (*daemon, error) {
 		base.Topo = topology.Internet2()
 	}
 	rv = base
-	if cfg.wrapResolver != nil {
-		rv = cfg.wrapResolver(rv)
+	if wrapResolver != nil {
+		rv = wrapResolver(rv)
 	}
 
 	var dm econ.Model
-	switch cfg.model {
+	switch es.model {
 	case "ced":
-		dm = econ.CED{Alpha: cfg.alpha}
+		dm = econ.CED{Alpha: es.alpha}
 	case "logit":
-		dm = econ.Logit{Alpha: cfg.alpha, S0: cfg.s0}
+		dm = econ.Logit{Alpha: es.alpha, S0: es.s0}
 	default:
-		return nil, fmt.Errorf("unknown demand model %q", cfg.model)
+		return nil, nil, fmt.Errorf("unknown demand model %q", es.model)
 	}
-	strategy, err := bundling.ByName(cfg.strategy)
+	strategy, err := bundling.ByName(es.strategy)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p0 := meta.P0
-	if cfg.blended > 0 {
-		p0 = cfg.blended
+	if es.blended > 0 {
+		p0 = es.blended
 	}
-	durationSec := cfg.demandSec
+	durationSec := es.demandSec
 	if durationSec == 0 {
 		// Replaying a capture: the octets in the window represent the
 		// capture duration, not the window span.
@@ -234,11 +283,11 @@ func startDaemon(cfg config) (*daemon, error) {
 	}
 
 	if cfg.slot <= 0 || cfg.window < cfg.slot {
-		return nil, fmt.Errorf("window %v must be at least one slot %v", cfg.window, cfg.slot)
+		return nil, nil, fmt.Errorf("window %v must be at least one slot %v", cfg.window, cfg.slot)
 	}
 	w, err := stream.NewWindow(traces.AggregateKey, cfg.slot, int(cfg.window/cfg.slot))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cfg.now != nil {
 		w.SetClock(cfg.now)
@@ -247,15 +296,30 @@ func startDaemon(cfg config) (*daemon, error) {
 		Window:      w,
 		Resolver:    rv,
 		Demand:      dm,
-		Cost:        cost.Linear{Theta: cfg.theta},
+		Cost:        cost.Linear{Theta: es.theta},
 		P0:          p0,
 		Strategy:    strategy,
-		Tiers:       cfg.tiers,
+		Tiers:       es.tiers,
 		DurationSec: durationSec,
 		Workers:     cfg.workers,
 		DrainGrace:  cfg.drainGrace,
 		Now:         cfg.now,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, rp, nil
+}
+
+// startDaemon loads the trace metadata, builds the window → repricer →
+// server chain, and starts the UDP and HTTP listeners. It does not
+// block; call run to serve until cancelled. A -tenants file swaps the
+// single engine for a fleet of them (tenants.go).
+func startDaemon(cfg config) (*daemon, error) {
+	if cfg.tenantsFile != "" {
+		return startFleet(cfg)
+	}
+	w, rp, err := buildEngine(cfg, engineFromConfig(cfg), cfg.wrapResolver)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +335,7 @@ func startDaemon(cfg config) (*daemon, error) {
 		// Recover before serving: restore the newest checkpoint, replay
 		// the WAL tail through the window, and publish a warm snapshot so
 		// a restart resumes quoting where the crash left off.
-		if d.durable, err = openDurability(cfg, w, rp); err != nil {
+		if d.durable, err = openDurability(cfg, cfg.dataDir, "", w, rp); err != nil {
 			return nil, err
 		}
 		d.sink = d.durable.sink()
@@ -307,9 +371,21 @@ func startDaemon(cfg config) (*daemon, error) {
 	if d.durable != nil {
 		d.durable.start()
 	}
+	if err := d.startListeners(srv.Handler()); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// startListeners starts the daemon's UDP collector (feeding d.sink) and
+// the HTTP and pprof servers. On failure everything already listening
+// is torn down.
+func (d *daemon) startListeners(handler http.Handler) error {
+	cfg := d.cfg
+	var err error
 	if cfg.udp != "" {
 		if d.udp, err = netflow.NewCollectorServer(cfg.udp, d.sink); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	d.ln, err = net.Listen("tcp", cfg.listen)
@@ -317,9 +393,9 @@ func startDaemon(cfg config) (*daemon, error) {
 		if d.udp != nil {
 			d.udp.Close()
 		}
-		return nil, fmt.Errorf("http listen: %w", err)
+		return fmt.Errorf("http listen: %w", err)
 	}
-	d.httpSrv = &http.Server{Handler: srv.Handler()}
+	d.httpSrv = &http.Server{Handler: handler}
 	go func() {
 		if err := d.httpSrv.Serve(d.ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "tierd: http:", err)
@@ -337,7 +413,7 @@ func startDaemon(cfg config) (*daemon, error) {
 		d.pprofLn, err = net.Listen("tcp", cfg.pprofAddr)
 		if err != nil {
 			d.close()
-			return nil, fmt.Errorf("pprof listen: %w", err)
+			return fmt.Errorf("pprof listen: %w", err)
 		}
 		d.pprofSrv = &http.Server{Handler: mux}
 		go func() {
@@ -346,7 +422,7 @@ func startDaemon(cfg config) (*daemon, error) {
 			}
 		}()
 	}
-	return d, nil
+	return nil
 }
 
 // close tears down the listeners of a partially-started daemon.
@@ -405,6 +481,9 @@ func (d *daemon) onTick(snap *stream.Snapshot, elapsed time.Duration, err error)
 // stopped first, the repricer performs its final pass over everything
 // received, and the HTTP server completes in-flight requests.
 func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
+	if d.fleet != nil {
+		return d.runFleet(ctx, stdin)
+	}
 	// The reprice loop outlives ctx on purpose: its final drain pass must
 	// run after ingest has stopped, so it gets its own cancellation.
 	repCtx, repCancel := context.WithCancel(context.Background())

@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in, so
+// latency-bound tests can skip themselves (the detector slows the
+// serving path by an order of magnitude and the bounds become noise).
+const raceEnabled = true

@@ -1,0 +1,435 @@
+// Multi-tenant fleet mode: a -tenants spec file turns tierd into a
+// per-network pricing fleet. Every tenant owns a full pricing engine —
+// sliding window, repricer, demand-model configuration, quote quota and
+// durability namespace — while sharing the process, the UDP collector
+// (datagrams route by the exporting router's engine ID) and the HTTP
+// listener (/v1/t/{tenant}/...). Re-prices across tenants are scheduled
+// by a weighted-fair queue so one tenant's expensive re-fit cannot
+// starve the others' pricing freshness.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"tieredpricing/internal/demandfit"
+	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/server"
+	"tieredpricing/internal/stream"
+	"tieredpricing/internal/tenant"
+)
+
+// member is one tenant's runtime state inside the fleet.
+type member struct {
+	spec     tenant.Spec
+	tn       *tenant.Tenant
+	window   *stream.Window
+	repricer *stream.Repricer
+	metrics  *server.Metrics
+	durable  *durability // nil without -data-dir
+
+	// lastFailed marks the tenant for the tick loop's fast retry lane
+	// (the fleet equivalent of the single-tenant reprice backoff).
+	lastFailed atomic.Bool
+}
+
+// fleet owns the tenant fleet: the ingest router, the weighted-fair
+// reprice scheduler, and the members in spec-file order.
+type fleet struct {
+	registry *tenant.Registry
+	sched    *tenant.Scheduler
+	members  []*member
+	interval time.Duration
+}
+
+// tenantDir is a tenant's durability namespace under the data dir.
+func tenantDir(dataDir, id string) string {
+	return filepath.Join(dataDir, "tenants", id)
+}
+
+// startFleet builds the multi-tenant daemon: one pricing engine per
+// spec, the engine-ID router in front of them, per-tenant recovery from
+// <data-dir>/tenants/<id>, the WFQ scheduler, and the tenant-aware HTTP
+// server.
+func startFleet(cfg config) (*daemon, error) {
+	specs, defaultID, err := tenant.LoadSpecFile(cfg.tenantsFile)
+	if err != nil {
+		return nil, err
+	}
+	maxAge := cfg.maxSnapAge
+	if maxAge == 0 {
+		maxAge = 4 * cfg.reprice
+	}
+	starve := cfg.starveAfter
+	if starve == 0 {
+		starve = 2 * cfg.reprice
+	}
+
+	f := &fleet{interval: cfg.reprice}
+	closeAll := func() {
+		for _, m := range f.members {
+			if m.durable != nil {
+				m.durable.log.Close()
+			}
+		}
+	}
+	tenants := make([]*tenant.Tenant, 0, len(specs))
+	srvTenants := make([]*server.Tenant, 0, len(specs))
+	for _, sp := range specs {
+		resolverWrap := cfg.wrapResolver
+		if cfg.wrapTenantResolver != nil {
+			id := sp.ID
+			resolverWrap = func(rv demandfit.EndpointResolver) demandfit.EndpointResolver {
+				return cfg.wrapTenantResolver(id, rv)
+			}
+		}
+		w, rp, err := buildEngine(cfg, engineFromSpec(cfg, sp), resolverWrap)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("tenant %q: %w", sp.ID, err)
+		}
+		m := &member{spec: sp, window: w, repricer: rp, metrics: server.NewMetrics()}
+		var sink netflow.Sink = w
+		if cfg.dataDir != "" {
+			if m.durable, err = openDurability(cfg, tenantDir(cfg.dataDir, sp.ID), sp.ID, w, rp); err != nil {
+				closeAll()
+				return nil, fmt.Errorf("tenant %q: %w", sp.ID, err)
+			}
+			sink = m.durable.sink()
+		}
+		m.tn = &tenant.Tenant{
+			Spec:     sp,
+			Window:   w,
+			Repricer: rp,
+			Limiter:  tenant.NewBucket(sp.RateQPS, sp.RateBurst, cfg.now),
+			Sink:     sink,
+		}
+		f.members = append(f.members, m)
+		tenants = append(tenants, m.tn)
+
+		st := &server.Tenant{
+			ID:             sp.ID,
+			Snapshots:      rp,
+			Metrics:        m.metrics,
+			Ingest:         m.ingestStats,
+			MaxSnapshotAge: maxAge,
+			Weight:         m.tn.Weight(),
+			RateQPS:        m.tn.Limiter.Rate(),
+			RateBurst:      m.tn.Limiter.Burst(),
+		}
+		if m.tn.Limiter != nil {
+			st.Limiter = m.tn.Limiter
+		}
+		if m.durable != nil {
+			st.Durability = m.durable.stats
+			st.History = m.durable.historySnapshot
+		}
+		srvTenants = append(srvTenants, st)
+	}
+	if f.registry, err = tenant.NewRegistry(tenants, defaultID); err != nil {
+		closeAll()
+		return nil, err
+	}
+	warnOrphanNamespaces(cfg.dataDir, specs)
+
+	// Warm restart: publish each recovered tenant's snapshot before
+	// serving, same policy as the single-tenant daemon.
+	for _, m := range f.members {
+		if m.durable == nil {
+			continue
+		}
+		if err := m.durable.warmReprice(cfg.drainGrace); err != nil {
+			fmt.Fprintf(os.Stderr, "tierd: tenant %s: %v\n", m.spec.ID, err)
+		}
+	}
+
+	f.sched = tenant.NewScheduler(cfg.schedWorkers, starve, cfg.now)
+
+	d := &daemon{cfg: cfg, fleet: f, sink: f.registry}
+	if cfg.wrapSink != nil {
+		d.sink = cfg.wrapSink(d.sink)
+	}
+	srv, err := server.New(server.Config{
+		Tenants:       srvTenants,
+		DefaultTenant: defaultID,
+		Metrics:       server.NewMetrics(),
+		Ingest:        d.collectorStats,
+		Sched:         f.schedStats,
+		Now:           cfg.now,
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	for _, m := range f.members {
+		if m.durable != nil {
+			m.durable.start()
+		}
+	}
+	if err := d.startListeners(srv.Handler()); err != nil {
+		closeAll()
+		return nil, err
+	}
+	return d, nil
+}
+
+// engineFromSpec overlays a tenant's overrides on the daemon flags:
+// zero-valued spec fields inherit the flag.
+func engineFromSpec(cfg config, sp tenant.Spec) engineSpec {
+	es := engineFromConfig(cfg)
+	if sp.Trace != "" {
+		es.trace = sp.Trace
+	}
+	if sp.Model != "" {
+		es.model = sp.Model
+	}
+	if sp.Alpha != 0 {
+		es.alpha = sp.Alpha
+	}
+	if sp.S0 != 0 {
+		es.s0 = sp.S0
+	}
+	if sp.Theta != 0 {
+		es.theta = sp.Theta
+	}
+	if sp.Strategy != "" {
+		es.strategy = sp.Strategy
+	}
+	if sp.Tiers != 0 {
+		es.tiers = sp.Tiers
+	}
+	if sp.Blended != 0 {
+		es.blended = sp.Blended
+	}
+	if sp.DemandSec != 0 {
+		es.demandSec = sp.DemandSec
+	}
+	return es
+}
+
+// warnOrphanNamespaces flags on-disk tenant namespaces no configured
+// tenant owns: likely a renamed or removed tenant whose durable state
+// would otherwise rot silently.
+func warnOrphanNamespaces(dataDir string, specs []tenant.Spec) {
+	if dataDir == "" {
+		return
+	}
+	entries, err := os.ReadDir(filepath.Join(dataDir, "tenants"))
+	if err != nil {
+		return // nothing on disk yet
+	}
+	known := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		known[sp.ID] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !known[e.Name()] {
+			fmt.Fprintf(os.Stderr, "tierd: warning: orphan tenant namespace %s (no such tenant configured)\n",
+				tenantDir(dataDir, e.Name()))
+		}
+	}
+}
+
+// collectorStats reports the shared UDP collector's datagram counters;
+// record-level counters live on each tenant.
+func (d *daemon) collectorStats() server.IngestStats {
+	var packets, bad int
+	if d.udp != nil {
+		packets, bad = d.udp.Stats()
+	}
+	return server.IngestStats{Packets: uint64(packets), BadPackets: uint64(bad)}
+}
+
+// ingestStats is one tenant's routed-ingest view: datagrams the
+// registry routed here plus the tenant window's record counters.
+func (m *member) ingestStats() server.IngestStats {
+	records, duplicates, dropped, _ := m.window.Stats()
+	return server.IngestStats{
+		Packets:    m.tn.RoutedPackets(),
+		Records:    uint64(records),
+		Duplicates: uint64(duplicates),
+		Dropped:    uint64(dropped),
+	}
+}
+
+// schedStats adapts the scheduler's telemetry for /metrics.
+func (f *fleet) schedStats() server.SchedStats {
+	st := f.sched.Stats()
+	out := server.SchedStats{
+		QueueDepth: st.QueueDepth,
+		Dispatched: st.Dispatched,
+		Coalesced:  st.Coalesced,
+		Starved:    st.Starved,
+	}
+	for _, fs := range f.sched.FlowStats() {
+		out.Flows = append(out.Flows, server.SchedFlowStats{
+			Tenant:          fs.ID,
+			Weight:          fs.Weight,
+			Dispatched:      fs.Dispatched,
+			Coalesced:       fs.Coalesced,
+			Starved:         fs.Starved,
+			LastWaitSeconds: fs.LastWait.Seconds(),
+			LastRunSeconds:  fs.LastRun.Seconds(),
+			CostSeconds:     fs.CostSeconds,
+		})
+	}
+	return out
+}
+
+// repriceOnce runs one re-price for the member and feeds its telemetry.
+func (m *member) repriceOnce(ctx context.Context) {
+	start := time.Now()
+	snap, err := m.repricer.Reprice(ctx)
+	m.onTick(snap, time.Since(start), err)
+}
+
+// onTick is the member's re-price telemetry hook — the per-tenant
+// mirror of the single-tenant daemon's onTick.
+func (m *member) onTick(snap *stream.Snapshot, elapsed time.Duration, err error) {
+	m.metrics.ConsecutiveFailures.Set(m.repricer.ConsecutiveFailures())
+	if errors.Is(err, stream.ErrEmptyWindow) && m.repricer.Current() == nil {
+		// Warm-up: no traffic yet is the normal initial state.
+		m.lastFailed.Store(false)
+		return
+	}
+	m.metrics.ObserveReprice(elapsed.Seconds(), err != nil)
+	m.lastFailed.Store(err != nil)
+	if snap != nil {
+		m.metrics.RepriceFlows.Set(int64(snap.Table.Flows))
+		if m.durable != nil {
+			m.durable.recordSnapshot(snap)
+		}
+	}
+	if err != nil && !errors.Is(err, stream.ErrEmptyWindow) {
+		fmt.Fprintf(os.Stderr, "tierd: tenant %s: reprice: %v\n", m.spec.ID, err)
+	}
+}
+
+// submit queues one re-price for the member on the fair scheduler.
+func (f *fleet) submit(m *member) {
+	f.sched.Submit(m.spec.ID, m.tn.Weight(), m.repriceOnce)
+}
+
+// tickLoop submits every tenant's re-price each interval, plus a fast
+// retry lane (interval/8, the single-tenant backoff floor) for tenants
+// whose last attempt failed. Coalescing in the scheduler makes the
+// retry lane free for healthy tenants: a pending job absorbs resubmits.
+func (f *fleet) tickLoop(ctx context.Context) {
+	ticker := time.NewTicker(f.interval)
+	defer ticker.Stop()
+	retry := f.interval / 8
+	if retry < 10*time.Millisecond {
+		retry = 10 * time.Millisecond
+	}
+	retryTicker := time.NewTicker(retry)
+	defer retryTicker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			for _, m := range f.members {
+				f.submit(m)
+			}
+		case <-retryTicker.C:
+			for _, m := range f.members {
+				if m.lastFailed.Load() {
+					f.submit(m)
+				}
+			}
+		}
+	}
+}
+
+// ingestStdin feeds a concatenated export stream into the fleet's
+// router; at EOF every tenant re-prices immediately so piped replays
+// serve quotes without waiting out the next tick.
+func (f *fleet) ingestStdin(ctx context.Context, d *daemon, stdin io.Reader) {
+	rd := netflow.NewReader(bufio.NewReader(stdin))
+	for ctx.Err() == nil {
+		h, recs, err := rd.Next()
+		if err == io.EOF {
+			for _, m := range f.members {
+				m.repriceOnce(ctx)
+			}
+			fmt.Fprintln(os.Stderr, "tierd: stdin stream complete, fleet snapshots published")
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tierd: stdin:", err)
+			return
+		}
+		d.sink.Ingest(h, recs)
+	}
+}
+
+// runFleet serves the fleet until ctx is cancelled, then drains: ingest
+// stops, the scheduler finishes in-flight jobs, every tenant runs one
+// final re-price over everything received, durability closes with a
+// covering checkpoint per tenant, and HTTP completes in-flight
+// requests.
+func (d *daemon) runFleet(ctx context.Context, stdin io.Reader) error {
+	f := d.fleet
+	schedCtx, schedCancel := context.WithCancel(context.Background())
+	schedDone := make(chan struct{})
+	go func() {
+		defer close(schedDone)
+		f.sched.Run(schedCtx)
+	}()
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		f.tickLoop(ctx)
+	}()
+	stdinDone := make(chan struct{})
+	if d.cfg.stdin {
+		go func() {
+			defer close(stdinDone)
+			f.ingestStdin(ctx, d, stdin)
+		}()
+	} else {
+		close(stdinDone)
+	}
+
+	<-ctx.Done()
+
+	// Drain order mirrors the single-tenant daemon: stop ingest, stop
+	// scheduling, final re-price per tenant, close durability, then HTTP.
+	if d.udp != nil {
+		d.udp.Close() // blocks until the receive loop exits
+	}
+	<-stdinDone
+	<-tickDone
+	schedCancel()
+	<-schedDone
+	grace := d.cfg.drainGrace
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	for _, m := range f.members {
+		drainCtx, cancel := context.WithTimeout(context.Background(), grace)
+		m.repriceOnce(drainCtx)
+		cancel()
+	}
+	for _, m := range f.members {
+		if m.durable == nil {
+			continue
+		}
+		if err := m.durable.close(); err != nil {
+			fmt.Fprintf(os.Stderr, "tierd: tenant %s: durability: %v\n", m.spec.ID, err)
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if d.pprofSrv != nil {
+		_ = d.pprofSrv.Shutdown(shutdownCtx)
+	}
+	return d.httpSrv.Shutdown(shutdownCtx)
+}

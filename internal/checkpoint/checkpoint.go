@@ -71,6 +71,12 @@ type State struct {
 	WAL wal.Position `json:"wal"`
 	// Window is the full exported window state.
 	Window stream.WindowState `json:"window"`
+	// Tenant names the durability namespace that wrote the checkpoint
+	// (multi-tenant daemons), so recovery can refuse a checkpoint that
+	// was copied into the wrong tenant's directory. Empty in
+	// single-tenant namespaces — and in every pre-fleet checkpoint,
+	// which therefore stays loadable.
+	Tenant string `json:"tenant,omitempty"`
 	// Table is the serving snapshot's canonical TierTable bytes, empty
 	// before the first successful re-price.
 	Table json.RawMessage `json:"table,omitempty"`

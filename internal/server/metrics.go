@@ -79,23 +79,33 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
-// write renders the histogram in Prometheus exposition format.
-func (h *Histogram) write(w io.Writer, name string) error {
+// write renders the histogram in Prometheus exposition format. labels,
+// when non-empty, is a rendered label pair list (e.g. `tenant="a"`)
+// prefixed onto every sample's label set — the multi-tenant exposition
+// shares one HELP/TYPE header across tenants' histograms.
+func (h *Histogram) write(w io.Writer, name, labels string) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, math.Float64frombits(h.sum.Load())); err != nil {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, math.Float64frombits(h.sum.Load())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.count.Load())
 	return err
 }
 
@@ -115,6 +125,9 @@ type Metrics struct {
 	// staleness policy (the X-Tierd-Stale responses), so a load test can
 	// distinguish "served fast from old data" from healthy serving.
 	QuoteStale Counter
+	// QuoteRateLimited counts quote requests rejected with 429 by the
+	// tenant's token bucket (always zero when no quota is configured).
+	QuoteRateLimited Counter
 	// QuoteSeconds is the server-side quote latency — request arrival to
 	// response written — the daemon-side complement of the load
 	// generator's client-observed histogram.
@@ -174,6 +187,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"tierd_health_requests_total", "Health checks served.", &m.HealthRequests},
 		{"tierd_metrics_requests_total", "Metric scrapes served.", &m.MetricsRequests},
 		{"tierd_quote_stale_total", "Quotes served from a snapshot beyond the staleness policy.", &m.QuoteStale},
+		{"tierd_quote_rate_limited_total", "Quote requests rejected by the tenant's rate limit (429s).", &m.QuoteRateLimited},
 		{"tierd_reprices_total", "Re-price attempts.", &m.Reprices},
 		{"tierd_reprice_failures_total", "Re-price attempts that failed (retries and ingest gaps included).", &m.RepriceFailures},
 	}
@@ -192,11 +206,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "# HELP tierd_quote_seconds Server-side quote latency.\n# TYPE tierd_quote_seconds histogram\n"); err != nil {
 		return err
 	}
-	if err := m.QuoteSeconds.write(w, "tierd_quote_seconds"); err != nil {
+	if err := m.QuoteSeconds.write(w, "tierd_quote_seconds", ""); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "# HELP tierd_reprice_seconds Re-price latency.\n# TYPE tierd_reprice_seconds histogram\n"); err != nil {
 		return err
 	}
-	return m.RepriceSeconds.write(w, "tierd_reprice_seconds")
+	return m.RepriceSeconds.write(w, "tierd_reprice_seconds", "")
 }

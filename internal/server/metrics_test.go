@@ -18,7 +18,7 @@ func TestHistogramBuckets(t *testing.T) {
 		t.Fatalf("count = %d, want 4", h.Count())
 	}
 	var b strings.Builder
-	if err := h.write(&b, "x"); err != nil {
+	if err := h.write(&b, "x", ""); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()

@@ -63,9 +63,9 @@ func TestMetricsScrapeVsSwapRace(t *testing.T) {
 			} else {
 				src.p.Store(snapA)
 			}
-			s.metrics.ObserveReprice(0.001, i%5 == 0)
-			s.metrics.RepriceFlows.Set(int64(i))
-			s.metrics.ConsecutiveFailures.Set(int64(i % 3))
+			s.proc.ObserveReprice(0.001, i%5 == 0)
+			s.proc.RepriceFlows.Set(int64(i))
+			s.proc.ConsecutiveFailures.Set(int64(i % 3))
 		}
 	}()
 
@@ -96,13 +96,13 @@ func TestMetricsScrapeVsSwapRace(t *testing.T) {
 
 	// At quiescence the per-request counter and the latency histogram
 	// must have seen exactly the same requests.
-	if got, want := s.metrics.QuoteSeconds.Count(), s.metrics.QuoteRequests.Value(); got != want {
+	if got, want := s.proc.QuoteSeconds.Count(), s.proc.QuoteRequests.Value(); got != want {
 		t.Errorf("quote latency histogram saw %d requests, counter saw %d", got, want)
 	}
-	if s.metrics.QuoteStale.Value() == 0 {
+	if s.proc.QuoteStale.Value() == 0 {
 		t.Error("staleness policy never fired despite 1ns bound")
 	}
-	if s.metrics.QuoteRequests.Value() == 0 || s.metrics.MetricsRequests.Value() == 0 {
+	if s.proc.QuoteRequests.Value() == 0 || s.proc.MetricsRequests.Value() == 0 {
 		t.Error("hammers did not run")
 	}
 }

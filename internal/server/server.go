@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/netip"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,7 +23,8 @@ type SnapshotSource interface {
 
 // IngestStats is a point-in-time view of the ingest pipeline for the
 // /metrics endpoint: UDP datagrams and their decode failures, plus the
-// window's record counters.
+// window's record counters. Per-tenant views reuse the shape with
+// Packets meaning "datagrams routed to this tenant".
 type IngestStats struct {
 	Packets    uint64
 	BadPackets uint64
@@ -66,13 +69,26 @@ type HistoryEntry struct {
 }
 
 // Config wires a Server to its snapshot source and policies.
+//
+// Two shapes are supported. Single-tenant (the original): set
+// Snapshots plus the optional policy fields, and the server synthesizes
+// one tenant named "default" — the exposition stays unlabeled and
+// byte-compatible with prior releases. Fleet: set Tenants (and
+// DefaultTenant), and the per-request fields move onto each Tenant
+// handle; Snapshots/MaxSnapshotAge/Durability/History must be unset.
 type Config struct {
-	// Snapshots supplies the serving snapshot (required).
+	// Snapshots supplies the serving snapshot (required in
+	// single-tenant mode; must be nil when Tenants is set).
 	Snapshots SnapshotSource
-	// Metrics receives request telemetry; nil builds a fresh set.
+	// Metrics receives request telemetry; nil builds a fresh set. In
+	// fleet mode this set carries only the process-wide counters
+	// (health checks, metric scrapes) — per-tenant sets live on the
+	// Tenant handles.
 	Metrics *Metrics
 	// Ingest reports the ingest pipeline's counters for /metrics; nil
-	// when no live ingest is attached.
+	// when no live ingest is attached. In fleet mode only the datagram
+	// counters are read here (the socket is shared); record counters
+	// come from each tenant's Ingest callback.
 	Ingest func() IngestStats
 	// MaxSnapshotAge is the staleness policy: once the serving snapshot
 	// is older, /healthz reports degraded (503) and /v1/quote tags
@@ -92,49 +108,108 @@ type Config struct {
 	// Build identifies the running binary; the zero value is filled
 	// from the embedded build metadata.
 	Build buildinfo.Info
+
+	// Tenants, when non-empty, serves a multi-tenant fleet: every
+	// tenant gets /v1/t/{id}/... routes and labeled metrics, and the
+	// legacy un-prefixed paths alias DefaultTenant.
+	Tenants []*Tenant
+	// DefaultTenant names the tenant the legacy paths alias; empty
+	// selects the first entry of Tenants.
+	DefaultTenant string
+	// Sched reports the weighted-fair reprice scheduler's counters for
+	// /metrics (fleet mode only); nil omits the scheduler block.
+	Sched func() SchedStats
 }
 
-// Server serves tier quotes out of immutable pricing snapshots.
+// Server serves tier quotes out of immutable pricing snapshots, one
+// tenant or a fleet of them.
 type Server struct {
-	snapshots  SnapshotSource
-	metrics    *Metrics
-	ingest     func() IngestStats      // optional
-	durability func() DurabilityStats  // optional
-	history    func() []HistoryEntry   // optional
-	maxAge     time.Duration           // 0 = staleness policy disabled
-	now        func() time.Time
-	build      buildinfo.Info
-	buildTag   string // precomputed Info.String() for the X-Tierd-Build header
+	tenants []*Tenant
+	byID    map[string]*Tenant
+	def     *Tenant
+	fleet   bool // multi-tenant: tenant routes + labeled exposition
+
+	proc   *Metrics           // process-wide counters (health, metrics scrapes)
+	ingest func() IngestStats // optional; process-wide datagram counters
+	sched  func() SchedStats  // optional; fleet mode only
+
+	now      func() time.Time
+	build    buildinfo.Info
+	buildTag string // precomputed Info.String() for the X-Tierd-Build header
 }
 
-// New wires the API to its snapshot source.
+// New wires the API to its snapshot source(s).
 func New(cfg Config) (*Server, error) {
-	if cfg.Snapshots == nil {
-		return nil, errors.New("server: nil snapshot source")
-	}
-	if cfg.Metrics == nil {
-		cfg.Metrics = NewMetrics()
-	}
-	if cfg.MaxSnapshotAge < 0 {
-		return nil, fmt.Errorf("server: max snapshot age must not be negative, got %v", cfg.MaxSnapshotAge)
-	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
 	if cfg.Build == (buildinfo.Info{}) {
 		cfg.Build = buildinfo.Get()
 	}
-	return &Server{
-		snapshots:  cfg.Snapshots,
-		metrics:    cfg.Metrics,
-		ingest:     cfg.Ingest,
-		durability: cfg.Durability,
-		history:    cfg.History,
-		maxAge:     cfg.MaxSnapshotAge,
-		now:        cfg.Now,
-		build:      cfg.Build,
-		buildTag:   cfg.Build.String(),
-	}, nil
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	s := &Server{
+		fleet:    len(cfg.Tenants) > 0,
+		proc:     cfg.Metrics,
+		ingest:   cfg.Ingest,
+		sched:    cfg.Sched,
+		now:      cfg.Now,
+		build:    cfg.Build,
+		buildTag: cfg.Build.String(),
+	}
+	if !s.fleet {
+		// Single-tenant: the legacy Config fields become the one tenant.
+		if cfg.Snapshots == nil {
+			return nil, errors.New("server: nil snapshot source")
+		}
+		if cfg.MaxSnapshotAge < 0 {
+			return nil, fmt.Errorf("server: max snapshot age must not be negative, got %v", cfg.MaxSnapshotAge)
+		}
+		s.tenants = []*Tenant{{
+			ID:             "default",
+			Snapshots:      cfg.Snapshots,
+			Metrics:        cfg.Metrics,
+			Durability:     cfg.Durability,
+			History:        cfg.History,
+			MaxSnapshotAge: cfg.MaxSnapshotAge,
+			Weight:         1,
+		}}
+	} else {
+		if cfg.Snapshots != nil || cfg.Durability != nil || cfg.History != nil {
+			return nil, errors.New("server: Tenants excludes the single-tenant Snapshots/Durability/History fields")
+		}
+		s.tenants = cfg.Tenants
+	}
+	s.byID = make(map[string]*Tenant, len(s.tenants))
+	for _, t := range s.tenants {
+		if t.ID == "" {
+			return nil, errors.New("server: tenant with empty ID")
+		}
+		if _, dup := s.byID[t.ID]; dup {
+			return nil, fmt.Errorf("server: duplicate tenant %q", t.ID)
+		}
+		if t.Snapshots == nil {
+			return nil, fmt.Errorf("server: tenant %q: nil snapshot source", t.ID)
+		}
+		if t.MaxSnapshotAge < 0 {
+			return nil, fmt.Errorf("server: tenant %q: max snapshot age must not be negative, got %v", t.ID, t.MaxSnapshotAge)
+		}
+		if t.Metrics == nil {
+			t.Metrics = NewMetrics()
+		}
+		s.byID[t.ID] = t
+	}
+	defID := cfg.DefaultTenant
+	if defID == "" {
+		defID = s.tenants[0].ID
+	}
+	def, ok := s.byID[defID]
+	if !ok {
+		return nil, fmt.Errorf("server: default tenant %q is not configured", defID)
+	}
+	s.def = def
+	return s, nil
 }
 
 // snapshotAge is the age of snap on the server's clock.
@@ -142,20 +217,46 @@ func (s *Server) snapshotAge(snap *stream.Snapshot) time.Duration {
 	return s.now().Sub(snap.FittedAt)
 }
 
-// stale reports whether the staleness policy considers snap too old.
-func (s *Server) stale(snap *stream.Snapshot) bool {
-	return s.maxAge > 0 && s.snapshotAge(snap) > s.maxAge
+// staleFor reports whether the tenant's staleness policy considers snap
+// too old.
+func (s *Server) staleFor(t *Tenant, snap *stream.Snapshot) bool {
+	return t.MaxSnapshotAge > 0 && s.snapshotAge(snap) > t.MaxSnapshotAge
 }
 
-// Handler builds the route table.
+// Handler builds the route table. The un-prefixed /v1 paths serve the
+// default tenant; /v1/t/{tenant}/... scopes the same handlers to any
+// configured tenant (including "default" in single-tenant mode).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/quote", s.handleQuote)
-	mux.HandleFunc("/v1/tiers", s.handleTiers)
-	mux.HandleFunc("/v1/history", s.handleHistory)
+	mux.HandleFunc("/v1/quote", s.forDefault(s.handleQuote))
+	mux.HandleFunc("/v1/tiers", s.forDefault(s.handleTiers))
+	mux.HandleFunc("/v1/history", s.forDefault(s.handleHistory))
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/t/{tenant}/quote", s.forTenant(s.handleQuote))
+	mux.HandleFunc("/v1/t/{tenant}/tiers", s.forTenant(s.handleTiers))
+	mux.HandleFunc("/v1/t/{tenant}/history", s.forTenant(s.handleHistory))
+	mux.HandleFunc("/v1/t/{tenant}/healthz", s.forTenant(s.handleTenantHealth))
 	return mux
+}
+
+// forDefault binds a tenant-scoped handler to the default tenant (the
+// legacy un-prefixed routes).
+func (s *Server) forDefault(h func(*Tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) { h(s.def, w, r) }
+}
+
+// forTenant resolves the {tenant} path segment and binds the handler to
+// that tenant; unknown IDs answer 404.
+func (s *Server) forTenant(h func(*Tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.byID[r.PathValue("tenant")]
+		if !ok {
+			writeJSON(w, http.StatusNotFound, errorResponse{fmt.Sprintf("unknown tenant %q", r.PathValue("tenant"))})
+			return
+		}
+		h(t, w, r)
+	}
 }
 
 // quoteResponse is the /v1/quote body.
@@ -213,36 +314,55 @@ func parseFlow(r *http.Request) (src, dst netip.Addr, err error) {
 	return src, dst, nil
 }
 
-func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
+// retryAfterSeconds rounds the limiter's hint up to whole seconds for
+// the Retry-After header (minimum 1 — the header has no sub-second
+// syntax and 0 would invite an immediate retry storm).
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handleQuote(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	// Server-side latency on the real clock (s.now is a policy clock that
 	// tests freeze; freezing it must not zero the histogram).
 	start := time.Now()
-	defer func() { s.metrics.QuoteSeconds.Observe(time.Since(start).Seconds()) }()
-	s.metrics.QuoteRequests.Inc()
+	defer func() { t.Metrics.QuoteSeconds.Observe(time.Since(start).Seconds()) }()
+	t.Metrics.QuoteRequests.Inc()
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
 		return
+	}
+	if t.Limiter != nil {
+		if ok, retry := t.Limiter.Allow(); !ok {
+			t.Metrics.QuoteRateLimited.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{"rate limit exceeded"})
+			return
+		}
 	}
 	src, dst, err := parseFlow(r)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
 		return
 	}
-	snap := s.snapshots.Current()
+	snap := t.Snapshots.Current()
 	if snap == nil {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"no pricing snapshot yet"})
 		return
 	}
-	if s.stale(snap) {
+	if s.staleFor(t, snap) {
 		// Degraded mode: the snapshot outlived the staleness policy but
 		// quoting stays up on it — the caller sees the age, not a 5xx.
-		s.metrics.QuoteStale.Inc()
+		t.Metrics.QuoteStale.Inc()
 		w.Header().Set("X-Tierd-Stale", "true")
 		w.Header().Set("X-Tierd-Snapshot-Age", fmt.Sprintf("%.3f", s.snapshotAge(snap).Seconds()))
 	}
 	q, ok := snap.Quote(src, dst)
 	if !ok {
-		s.metrics.QuoteMisses.Inc()
+		t.Metrics.QuoteMisses.Inc()
 		writeJSON(w, http.StatusNotFound, errorResponse{"flow matches no tier"})
 		return
 	}
@@ -256,13 +376,13 @@ func (s *Server) handleQuote(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleTiers(w http.ResponseWriter, r *http.Request) {
-	s.metrics.TiersRequests.Inc()
+func (s *Server) handleTiers(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	t.Metrics.TiersRequests.Inc()
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
 		return
 	}
-	snap := s.snapshots.Current()
+	snap := t.Snapshots.Current()
 	if snap == nil {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{"no pricing snapshot yet"})
 		return
@@ -290,35 +410,83 @@ type historyResponse struct {
 // answers from the daemon's in-memory ring (restored from the newest
 // checkpoint at boot), so history survives restarts along with the
 // window.
-func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	s.metrics.HistoryRequests.Inc()
+func (s *Server) handleHistory(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	t.Metrics.HistoryRequests.Inc()
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
 		return
 	}
 	entries := []HistoryEntry{}
-	if s.history != nil {
-		if got := s.history(); got != nil {
+	if t.History != nil {
+		if got := t.History(); got != nil {
 			entries = got
 		}
 	}
 	writeJSON(w, http.StatusOK, historyResponse{Entries: entries})
 }
 
+// healthLine summarizes one tenant's serving health for /healthz: ok,
+// warming up (no snapshot yet), or degraded (snapshot beyond the
+// staleness policy).
+func (s *Server) healthLine(t *Tenant) (ok bool, line string) {
+	snap := t.Snapshots.Current()
+	if snap == nil {
+		return false, "warming up: no pricing snapshot yet"
+	}
+	if s.staleFor(t, snap) {
+		return false, fmt.Sprintf("degraded: snapshot age %v exceeds %v",
+			s.snapshotAge(snap).Round(time.Millisecond), t.MaxSnapshotAge)
+	}
+	return true, "ok"
+}
+
+// handleHealth is the process-wide probe. Single-tenant keeps the
+// original body and semantics. In fleet mode the body carries one
+// "<tenant>: <status>" line per tenant and the status code is 200 only
+// when every tenant serves a fresh snapshot — a load balancer drains
+// the whole process only when no tenant is healthy enough to matter,
+// so the per-tenant probe is the better signal for tenant-level
+// automation.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.metrics.HealthRequests.Inc()
+	s.proc.HealthRequests.Inc()
 	// Build attribution rides on every health response — including the
 	// 503s — so probes and load generators can always tell which binary
 	// answered. Headers must be set before any WriteHeader.
 	w.Header().Set("X-Tierd-Build", s.buildTag)
-	snap := s.snapshots.Current()
-	if snap == nil {
-		http.Error(w, "warming up: no pricing snapshot yet", http.StatusServiceUnavailable)
+	if !s.fleet {
+		ok, line := s.healthLine(s.def)
+		if !ok {
+			http.Error(w, line, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
 		return
 	}
-	if s.stale(snap) {
-		http.Error(w, fmt.Sprintf("degraded: snapshot age %v exceeds %v",
-			s.snapshotAge(snap).Round(time.Millisecond), s.maxAge), http.StatusServiceUnavailable)
+	allOK := true
+	var b strings.Builder
+	for _, t := range s.tenants {
+		ok, line := s.healthLine(t)
+		if !ok {
+			allOK = false
+		}
+		fmt.Fprintf(&b, "%s: %s\n", t.ID, line)
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !allOK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// handleTenantHealth probes one tenant: the single-tenant /healthz
+// semantics scoped to the tenant in the path.
+func (s *Server) handleTenantHealth(t *Tenant, w http.ResponseWriter, r *http.Request) {
+	s.proc.HealthRequests.Inc()
+	w.Header().Set("X-Tierd-Build", s.buildTag)
+	ok, line := s.healthLine(t)
+	if !ok {
+		http.Error(w, line, http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -326,9 +494,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.metrics.MetricsRequests.Inc()
+	s.proc.MetricsRequests.Inc()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.metrics.WritePrometheus(w); err != nil {
+	if s.fleet {
+		s.writeFleetMetrics(w)
+		return
+	}
+	// Single-tenant exposition: unlabeled, byte-compatible with prior
+	// releases (s.proc and the default tenant's set are one instance).
+	if err := s.proc.WritePrometheus(w); err != nil {
 		return
 	}
 	if s.ingest != nil {
@@ -341,8 +515,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	fmt.Fprintf(w, "# HELP tierd_build_info Build metadata of the running binary (value is always 1).\n# TYPE tierd_build_info gauge\ntierd_build_info{revision=%q,go_version=%q} 1\n",
 		s.build.Revision, s.build.GoVersion)
-	if s.durability != nil {
-		d := s.durability()
+	if s.def.Durability != nil {
+		d := s.def.Durability()
 		fmt.Fprintf(w, "# HELP tierd_wal_bytes_total Bytes appended to the write-ahead log.\n# TYPE tierd_wal_bytes_total counter\ntierd_wal_bytes_total %d\n", d.WALBytes)
 		fmt.Fprintf(w, "# HELP tierd_wal_entries_total Entries appended to the write-ahead log.\n# TYPE tierd_wal_entries_total counter\ntierd_wal_entries_total %d\n", d.WALEntries)
 		fmt.Fprintf(w, "# HELP tierd_wal_fsyncs_total WAL fsync syscalls issued.\n# TYPE tierd_wal_fsyncs_total counter\ntierd_wal_fsyncs_total %d\n", d.WALFsyncs)
@@ -359,13 +533,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP tierd_recovery_replayed_total WAL entries replayed during boot recovery.\n# TYPE tierd_recovery_replayed_total counter\ntierd_recovery_replayed_total %d\n", d.RecoveryReplayed)
 		fmt.Fprintf(w, "# HELP tierd_recovery_torn_bytes_total Trailing WAL bytes recovery distrusted and discarded.\n# TYPE tierd_recovery_torn_bytes_total counter\ntierd_recovery_torn_bytes_total %d\n", d.RecoveryTornBytes)
 	}
-	if snap := s.snapshots.Current(); snap != nil {
+	if snap := s.def.Snapshots.Current(); snap != nil {
 		fmt.Fprintf(w, "# HELP tierd_snapshot_epoch Epoch of the serving snapshot.\n# TYPE tierd_snapshot_epoch gauge\ntierd_snapshot_epoch %d\n", snap.Epoch)
 		fmt.Fprintf(w, "# HELP tierd_snapshot_flows Flows priced in the serving snapshot.\n# TYPE tierd_snapshot_flows gauge\ntierd_snapshot_flows %d\n", snap.Table.Flows)
 		fmt.Fprintf(w, "# HELP tierd_snapshot_tiers Tiers in the serving snapshot.\n# TYPE tierd_snapshot_tiers gauge\ntierd_snapshot_tiers %d\n", len(snap.Table.Tiers))
 		fmt.Fprintf(w, "# HELP tierd_snapshot_age_seconds Age of the serving snapshot.\n# TYPE tierd_snapshot_age_seconds gauge\ntierd_snapshot_age_seconds %g\n", s.snapshotAge(snap).Seconds())
 		stale := 0
-		if s.stale(snap) {
+		if s.staleFor(s.def, snap) {
 			stale = 1
 		}
 		fmt.Fprintf(w, "# HELP tierd_snapshot_stale Whether the serving snapshot exceeds the staleness policy (1 = degraded).\n# TYPE tierd_snapshot_stale gauge\ntierd_snapshot_stale %d\n", stale)

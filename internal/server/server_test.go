@@ -148,8 +148,8 @@ func TestQuoteEndpoint(t *testing.T) {
 	if code, _ := get(t, ts.URL+"/v1/quote?src=203.0.113.1&dst=198.51.100.1"); code != http.StatusNotFound {
 		t.Errorf("unmatched flow: status %d, want 404", code)
 	}
-	if srv.metrics.QuoteMisses.Value() != 1 {
-		t.Errorf("quote misses = %d, want 1", srv.metrics.QuoteMisses.Value())
+	if srv.proc.QuoteMisses.Value() != 1 {
+		t.Errorf("quote misses = %d, want 1", srv.proc.QuoteMisses.Value())
 	}
 
 	resp, err := http.Post(ts.URL+"/v1/quote", "text/plain", nil)
@@ -190,7 +190,7 @@ func TestHealthAndMetrics(t *testing.T) {
 	srv, ts := newTestServer(t, &fakeSource{snap: snap}, func() IngestStats {
 		return IngestStats{Packets: 5, BadPackets: 1, Records: 60, Duplicates: 30, Dropped: 2}
 	})
-	srv.metrics.ObserveReprice(0.02, false)
+	srv.proc.ObserveReprice(0.02, false)
 
 	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || !strings.Contains(string(body), "ok") {
 		t.Errorf("healthz: status %d body %q", code, body)

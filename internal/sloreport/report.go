@@ -46,6 +46,31 @@ type Report struct {
 	Latency Latency `json:"latency"`
 	Netflow Netflow `json:"netflow"`
 	Proc    Proc    `json:"proc"`
+
+	// Tenants carries one row per tenant when the run drove a
+	// multi-tenant fleet (loadgen -tenants): each row is that tenant's
+	// slice of the same open-loop schedule, quoted through its own
+	// /v1/t/{id}/quote endpoint. Present only in fleet-mode runs, so
+	// single-tenant reports are byte-identical to the pre-fleet schema.
+	// Fairness regressions — one tenant's tail growing while the
+	// aggregate stays flat — are visible here and nowhere else.
+	Tenants []Tenant `json:"tenants,omitempty"`
+}
+
+// Tenant is one tenant's slice of a fleet-mode run.
+type Tenant struct {
+	ID string `json:"id"`
+
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Errors   uint64 `json:"errors"`
+	Misses   uint64 `json:"misses"`
+	Stale    uint64 `json:"stale"`
+
+	ErrorRate float64 `json:"error_rate"`
+	StaleRate float64 `json:"stale_rate"`
+
+	Latency Latency `json:"latency"`
 }
 
 // Latency carries the quote-latency distribution in nanoseconds,
@@ -89,7 +114,39 @@ func (r *Report) Validate() error {
 	if r.Requests != r.OK+r.Errors {
 		return fmt.Errorf("sloreport: requests %d != ok %d + errors %d", r.Requests, r.OK, r.Errors)
 	}
-	l := r.Latency
+	if err := r.Latency.validate(); err != nil {
+		return err
+	}
+	if len(r.Tenants) > 0 {
+		seen := make(map[string]bool, len(r.Tenants))
+		var sum uint64
+		for _, tn := range r.Tenants {
+			if tn.ID == "" {
+				return fmt.Errorf("sloreport: tenant row with empty id")
+			}
+			if seen[tn.ID] {
+				return fmt.Errorf("sloreport: duplicate tenant row %q", tn.ID)
+			}
+			seen[tn.ID] = true
+			if tn.Requests != tn.OK+tn.Errors {
+				return fmt.Errorf("sloreport: tenant %s: requests %d != ok %d + errors %d",
+					tn.ID, tn.Requests, tn.OK, tn.Errors)
+			}
+			if err := tn.Latency.validate(); err != nil {
+				return fmt.Errorf("tenant %s: %w", tn.ID, err)
+			}
+			sum += tn.Requests
+		}
+		// Fleet mode routes every request to exactly one tenant, so the
+		// rows partition the run.
+		if sum != r.Requests {
+			return fmt.Errorf("sloreport: tenant requests sum %d != run total %d", sum, r.Requests)
+		}
+	}
+	return nil
+}
+
+func (l Latency) validate() error {
 	if l.P50Ns > l.P90Ns || l.P90Ns > l.P99Ns || l.P99Ns > l.P999Ns || l.P999Ns > l.MaxNs {
 		return fmt.Errorf("sloreport: latency quantiles not monotone: p50=%d p90=%d p99=%d p999=%d max=%d",
 			l.P50Ns, l.P90Ns, l.P99Ns, l.P999Ns, l.MaxNs)

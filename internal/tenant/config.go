@@ -1,0 +1,169 @@
+// Package tenant turns tierd into a multi-tenant pricing fleet: many
+// networks (ISPs) priced from one process, each with its own sliding
+// window, repricer, demand-model configuration, durability namespace
+// and API quota. The paper prices a single provider; its premise — each
+// provider choosing a tier structure for its own demand profile —
+// implies a fleet of pricing instances, and one process per network
+// does not scale to the ROADMAP's millions of users.
+//
+// The package owns three mechanisms:
+//
+//   - Registry: the tenant table and the NetFlow ingest router. Export
+//     datagrams carry the exporting router's engine ID; the registry
+//     maps engine IDs to tenants so core routers belonging to different
+//     networks can share one collector port.
+//   - Bucket: a token-bucket rate limiter guarding each tenant's quote
+//     path, so one tenant's client storm cannot consume the API.
+//   - Scheduler: a weighted-fair reprice scheduler with a starvation
+//     bound, so N tenants share the reprice worker pool proportionally
+//     to weight and one tenant's expensive re-fit cannot starve the
+//     others' pricing freshness.
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Spec is one tenant's configuration, as read from the -tenants file.
+// Zero-valued model fields inherit the daemon's global flags, so a spec
+// can be as small as {"id": "x", "trace": "/path"}.
+type Spec struct {
+	// ID names the tenant on the API (/v1/t/{id}/...) and on disk
+	// (<data-dir>/tenants/<id>). Lowercase letters, digits, '-', '_',
+	// '.' only, so the ID is safe in URLs and file names.
+	ID string `json:"id"`
+	// Trace is the tenant's trace directory (geoip.csv + meta.txt): the
+	// endpoint resolver and blended-rate anchor are per-tenant. Empty
+	// inherits the daemon's -trace directory.
+	Trace string `json:"trace,omitempty"`
+	// Default marks the tenant the legacy (un-prefixed) API paths alias.
+	// At most one tenant may set it; with none set, the first tenant in
+	// the file is the default.
+	Default bool `json:"default,omitempty"`
+
+	// Weight is the tenant's share of the reprice worker pool (WFQ);
+	// zero means 1. A weight-2 tenant gets twice the reprice throughput
+	// of a weight-1 tenant when the pool is contended.
+	Weight float64 `json:"weight,omitempty"`
+
+	// RateQPS and RateBurst configure the quote-path token bucket:
+	// sustained quotes per second and the burst capacity. RateQPS 0
+	// disables limiting for the tenant; RateBurst 0 defaults to RateQPS.
+	RateQPS   float64 `json:"rate_qps,omitempty"`
+	RateBurst float64 `json:"rate_burst,omitempty"`
+
+	// Routers lists the NetFlow engine IDs (Header.EngineID) whose
+	// export datagrams route to this tenant. IDs must be unique across
+	// the file. Datagrams from unlisted engines route to the default
+	// tenant.
+	Routers []uint8 `json:"routers,omitempty"`
+
+	// Demand-model overrides; zero values inherit the daemon flags.
+	Model    string  `json:"model,omitempty"`    // "ced" or "logit"
+	Alpha    float64 `json:"alpha,omitempty"`    // price sensitivity α
+	S0       float64 `json:"s0,omitempty"`       // logit no-purchase share
+	Theta    float64 `json:"theta,omitempty"`    // linear cost base fraction θ
+	Strategy string  `json:"strategy,omitempty"` // bundling strategy name
+	Tiers    int     `json:"tiers,omitempty"`    // tier count
+	Blended  float64 `json:"blended,omitempty"`  // blended-rate override $/Mbps/month
+	// DemandSec overrides the octets→Mbps conversion window (seconds);
+	// zero inherits -demand-sec / the trace meta's capture duration.
+	DemandSec float64 `json:"demand_sec,omitempty"`
+}
+
+// configFile is the -tenants file shape.
+type configFile struct {
+	Tenants []Spec `json:"tenants"`
+}
+
+// validID reports whether id is safe for URLs and directory names.
+func validID(id string) bool {
+	if id == "" || id == "." || id == ".." {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidateSpecs checks cross-tenant invariants: at least one tenant,
+// unique well-formed IDs, unique router assignments, non-negative
+// weights and rates, at most one explicit default. It returns the
+// default tenant's ID (the explicit one, else the first).
+func ValidateSpecs(specs []Spec) (defaultID string, err error) {
+	if len(specs) == 0 {
+		return "", fmt.Errorf("tenant: no tenants configured")
+	}
+	ids := make(map[string]bool, len(specs))
+	routers := make(map[uint8]string)
+	for i, s := range specs {
+		if !validID(s.ID) {
+			return "", fmt.Errorf("tenant: invalid id %q (lowercase letters, digits, '-', '_', '.')", s.ID)
+		}
+		if ids[s.ID] {
+			return "", fmt.Errorf("tenant: duplicate id %q", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Weight < 0 {
+			return "", fmt.Errorf("tenant %q: negative weight %v", s.ID, s.Weight)
+		}
+		if s.RateQPS < 0 || s.RateBurst < 0 {
+			return "", fmt.Errorf("tenant %q: negative rate limit", s.ID)
+		}
+		if s.Tiers < 0 {
+			return "", fmt.Errorf("tenant %q: negative tier count", s.ID)
+		}
+		for _, r := range s.Routers {
+			if prev, taken := routers[r]; taken {
+				return "", fmt.Errorf("tenant %q: router %d already routed to %q", s.ID, r, prev)
+			}
+			routers[r] = s.ID
+		}
+		if s.Default {
+			if defaultID != "" {
+				return "", fmt.Errorf("tenant %q: default already claimed by %q", s.ID, defaultID)
+			}
+			defaultID = s.ID
+		}
+		_ = i
+	}
+	if defaultID == "" {
+		defaultID = specs[0].ID
+	}
+	return defaultID, nil
+}
+
+// LoadSpecFile reads and validates a -tenants JSON file.
+func LoadSpecFile(path string) (specs []Spec, defaultID string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("tenant: %w", err)
+	}
+	var f configFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, "", fmt.Errorf("tenant: parsing %s: %w", path, err)
+	}
+	if defaultID, err = ValidateSpecs(f.Tenants); err != nil {
+		return nil, "", fmt.Errorf("tenant: %s: %w", path, err)
+	}
+	return f.Tenants, defaultID, nil
+}
+
+// SortedIDs returns the spec IDs in lexical order (stable iteration for
+// recovery, metrics and tests).
+func SortedIDs(specs []Spec) []string {
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
+	}
+	sort.Strings(ids)
+	return ids
+}

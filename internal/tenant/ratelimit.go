@@ -1,0 +1,94 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token-bucket rate limiter: capacity `burst` tokens,
+// refilled at `rate` tokens per second. Each admitted request costs one
+// token; a drained bucket answers how long until the next token
+// accrues, which the API surfaces as Retry-After on its 429s.
+//
+// A nil *Bucket admits everything — tenants without a configured quota
+// carry a nil limiter.
+type Bucket struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+
+	denied uint64 // lifetime count of rejected requests
+}
+
+// NewBucket builds a bucket that admits `rate` requests per second with
+// bursts up to `burst` (burst <= 0 selects rate). The bucket starts
+// full. rate <= 0 returns nil: no limiting.
+func NewBucket(rate, burst float64, now func() time.Time) *Bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// Allow spends one token. When the bucket is empty it reports false and
+// how long until a full token has accrued (the Retry-After hint).
+func (b *Bucket) Allow() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	elapsed := t.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+elapsed*b.rate)
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	b.denied++
+	missing := 1 - b.tokens
+	return false, time.Duration(missing / b.rate * float64(time.Second))
+}
+
+// Denied reports the lifetime count of rejected requests.
+func (b *Bucket) Denied() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}
+
+// Rate reports the configured sustained rate (0 for a nil bucket).
+func (b *Bucket) Rate() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.rate
+}
+
+// Burst reports the configured burst capacity (0 for a nil bucket).
+func (b *Bucket) Burst() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.burst
+}

@@ -1,0 +1,129 @@
+package tenant
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tieredpricing/internal/netflow"
+	"tieredpricing/internal/stream"
+)
+
+// Tenant is one network's live pricing state inside a multi-tenant
+// tierd: its sliding window, repricer, quote quota and ingest sink.
+// The daemon wires Sink to the window — possibly behind the tenant's
+// durability layer — and the Registry routes export datagrams into it.
+type Tenant struct {
+	Spec Spec
+
+	Window   *stream.Window
+	Repricer *stream.Repricer
+	// Limiter guards the tenant's quote path (nil = unlimited).
+	Limiter *Bucket
+	// Sink receives the tenant's routed export packets. It defaults to
+	// Window; durable daemons interpose the WAL here.
+	Sink netflow.Sink
+
+	// routedPackets counts export datagrams the registry routed here.
+	routedPackets atomic.Uint64
+}
+
+// ID is the tenant's API and on-disk name.
+func (t *Tenant) ID() string { return t.Spec.ID }
+
+// Weight is the tenant's WFQ share (zero-valued specs weigh 1).
+func (t *Tenant) Weight() float64 {
+	if t.Spec.Weight <= 0 {
+		return 1
+	}
+	return t.Spec.Weight
+}
+
+// RoutedPackets reports how many export datagrams routed to the tenant.
+func (t *Tenant) RoutedPackets() uint64 { return t.routedPackets.Load() }
+
+// Registry is the tenant table and the ingest router. It implements
+// netflow.Sink: an export datagram routes to the tenant owning the
+// packet header's engine ID (the exporting router), falling back to the
+// default tenant for unmapped engines. Lookup and routing are
+// read-only after construction, so ingest needs no locking here.
+type Registry struct {
+	tenants  []*Tenant // registration order (stable for metrics, recovery)
+	byID     map[string]*Tenant
+	byRouter map[uint8]*Tenant
+	def      *Tenant
+
+	unrouted atomic.Uint64
+}
+
+// NewRegistry indexes the tenants. defaultID selects the tenant the
+// legacy API paths and unmapped routers fall back to; it must name a
+// registered tenant. Every tenant must carry a distinct, valid ID and
+// disjoint router sets (ValidateSpecs enforces the same rules on specs
+// before runtime construction).
+func NewRegistry(tenants []*Tenant, defaultID string) (*Registry, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("tenant: registry needs at least one tenant")
+	}
+	r := &Registry{
+		tenants:  tenants,
+		byID:     make(map[string]*Tenant, len(tenants)),
+		byRouter: make(map[uint8]*Tenant),
+	}
+	for _, t := range tenants {
+		if !validID(t.ID()) {
+			return nil, fmt.Errorf("tenant: invalid id %q", t.ID())
+		}
+		if _, dup := r.byID[t.ID()]; dup {
+			return nil, fmt.Errorf("tenant: duplicate id %q", t.ID())
+		}
+		if t.Sink == nil {
+			t.Sink = t.Window
+		}
+		if t.Sink == nil {
+			return nil, fmt.Errorf("tenant %q: no ingest sink", t.ID())
+		}
+		r.byID[t.ID()] = t
+		for _, router := range t.Spec.Routers {
+			if prev, taken := r.byRouter[router]; taken {
+				return nil, fmt.Errorf("tenant %q: router %d already routed to %q", t.ID(), router, prev.ID())
+			}
+			r.byRouter[router] = t
+		}
+	}
+	def, ok := r.byID[defaultID]
+	if !ok {
+		return nil, fmt.Errorf("tenant: default %q is not a registered tenant", defaultID)
+	}
+	r.def = def
+	return r, nil
+}
+
+var _ netflow.Sink = (*Registry)(nil)
+
+// Ingest routes one export packet to its tenant by the header's engine
+// ID. Unmapped engines go to the default tenant, so a single-router
+// deployment needs no router table at all.
+func (r *Registry) Ingest(h netflow.Header, recs []netflow.Record) {
+	t, ok := r.byRouter[h.EngineID]
+	if !ok {
+		t = r.def
+	}
+	t.routedPackets.Add(1)
+	t.Sink.Ingest(h, recs)
+}
+
+// Lookup resolves a tenant by ID; the empty ID resolves the default.
+func (r *Registry) Lookup(id string) (*Tenant, bool) {
+	if id == "" {
+		return r.def, true
+	}
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Default returns the tenant legacy API paths alias.
+func (r *Registry) Default() *Tenant { return r.def }
+
+// All returns the tenants in registration order. Callers must not
+// mutate the returned slice.
+func (r *Registry) All() []*Tenant { return r.tenants }
