@@ -31,6 +31,21 @@
 #                        Knobs: SLO_QPS (400), SLO_DURATION (5s),
 #                        SLO_SEED (7), SLO_THRESHOLD, SLO_HTTP_PORT
 #                        (18080), SLO_UDP_PORT (12055).
+#   ./ci.sh ingest     — ingest-scaling gate: benchmarks the sharded
+#                        ingest path (window shard routing + merge, and
+#                        the full UDP receive path with batched reads)
+#                        at shards=1 through 8 plus NumCPU, and the
+#                        zero-alloc packet decode; converts the runs to
+#                        rows via cmd/benchjson, diffs ns/op against
+#                        the newest committed BENCH_*.json
+#                        (INGEST_THRESHOLD, default 0.5 = +50% — ingest
+#                        benches on shared CI boxes are noisy), and
+#                        merges the fresh rows into that file so the
+#                        shards=1 vs shards=N scaling curve travels
+#                        with the repo. With no committed baseline the
+#                        rows are written to a fresh BENCH_<date>.json
+#                        instead of diffed. INGEST_BENCHTIME (default
+#                        300ms) trades precision for wall time.
 #   ./ci.sh recover    — durability gate alone: the crash-recovery
 #                        parity matrix and the kill -9 e2e at every
 #                        pinned seed (RECOVER_SEEDS, default
@@ -163,6 +178,32 @@ slo() {
     echo "==> slo: record merged into $base"
 }
 
+ingest() {
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp" "$tmp.merged"' EXIT
+    bt="${INGEST_BENCHTIME:-300ms}"
+    echo "==> ingest stage: go test -bench 'ShardedWindowIngest|UDPIngestShards' -benchmem -benchtime $bt ./internal/stream"
+    {
+        go test -run='^$' -bench='BenchmarkShardedWindowIngest|BenchmarkUDPIngestShards' \
+            -benchmem -benchtime "$bt" ./internal/stream
+        echo "==> ingest stage: go test -bench DecodePacketInto ./internal/netflow" >&2
+        go test -run='^$' -bench='BenchmarkDecodePacketInto' \
+            -benchmem -benchtime "$bt" ./internal/netflow
+    } | go run ./cmd/benchjson > "$tmp"
+    base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1)
+    if [ -z "$base" ]; then
+        out="BENCH_$(date +%F).json"
+        echo "ingest: WARNING: no committed BENCH_*.json baseline; writing fresh $out" >&2
+        cp "$tmp" "$out"
+        exit 0
+    fi
+    echo "==> benchjson diff -threshold ${INGEST_THRESHOLD:-0.5} $base <ingest rows>"
+    go run ./cmd/benchjson diff -threshold "${INGEST_THRESHOLD:-0.5}" "$base" "$tmp"
+    go run ./cmd/benchjson merge "$base" "$tmp" > "$tmp.merged"
+    mv "$tmp.merged" "$base"
+    echo "==> ingest: scaling rows merged into $base"
+}
+
 recover() {
     # Durability gate: the in-process recovery parity matrix (clean,
     # torn WAL tail, corrupt WAL tail, corrupt checkpoint) plus the
@@ -220,6 +261,11 @@ fi
 
 if [ "${1:-}" = "slo" ]; then
     slo
+    exit 0
+fi
+
+if [ "${1:-}" = "ingest" ]; then
+    ingest
     exit 0
 fi
 

@@ -35,6 +35,9 @@ type Options struct {
 	// NetflowAddr, when set, receives the trace's datagrams over UDP at
 	// NetflowPPS for the whole measured window, cycling through the
 	// trace, so reprice churn and quote serving are measured together.
+	// NetflowPPS 0 disables the push; a negative rate pushes unthrottled
+	// (ingest-throughput profiling — read the achieved rate back from
+	// the report).
 	NetflowAddr string
 	NetflowPPS  float64
 
@@ -231,7 +234,7 @@ func Run(ctx context.Context, opts Options) (*sloreport.Report, error) {
 		nfErr  error
 		nfWG   sync.WaitGroup
 	)
-	if opts.NetflowAddr != "" && opts.NetflowPPS > 0 {
+	if opts.NetflowAddr != "" && opts.NetflowPPS != 0 {
 		nfWG.Add(1)
 		go func() {
 			defer nfWG.Done()
@@ -418,13 +421,31 @@ func fire(ctx context.Context, client *http.Client, url string) (status int, isS
 // rate, cycling through the trace until ctx is cancelled. Re-sent
 // datagrams are idempotent: the window's cross-router dedup suppresses
 // them, so the push exercises ingest and reprice churn without inflating
-// demand.
+// demand. pps <= 0 pushes unthrottled — as fast as the socket accepts —
+// for ingest-throughput profiling against a sharded collector; the
+// achieved rate lands in the report's netflow section.
 func pushNetflow(ctx context.Context, addr string, datagrams [][]byte, pps float64) (sent uint64, err error) {
 	conn, err := net.Dial("udp", addr)
 	if err != nil {
 		return 0, err
 	}
 	defer conn.Close()
+	if pps <= 0 {
+		for i := 0; ; i++ {
+			// Poll for cancellation between bursts, not every datagram.
+			if i%256 == 0 {
+				select {
+				case <-ctx.Done():
+					return sent, nil
+				default:
+				}
+			}
+			if _, err := conn.Write(datagrams[i%len(datagrams)]); err != nil {
+				return sent, err
+			}
+			sent++
+		}
+	}
 	ticker := time.NewTicker(time.Duration(float64(time.Second) / pps))
 	defer ticker.Stop()
 	for i := 0; ; i++ {

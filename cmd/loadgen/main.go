@@ -46,7 +46,7 @@ func main() {
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request timeout")
 
 		netflowAddr = flag.String("netflow", "", "UDP address to push the trace's datagrams at during the run (empty disables)")
-		netflowPPS  = flag.Float64("netflow-pps", 200, "NetFlow datagram push rate")
+		netflowPPS  = flag.Float64("netflow-pps", 200, "NetFlow datagram push rate (0 = none, negative = unthrottled)")
 
 		warmup        = flag.Bool("warmup", false, "replay the trace and wait until every pair quotes 200 before measuring")
 		warmupTimeout = flag.Duration("warmup-timeout", 30*time.Second, "warm-up deadline")

@@ -25,13 +25,19 @@ const maxHistory = 512
 // accepted datagram goes through, the periodic checkpoints that bound
 // replay time, and the tier-table history ring served by /v1/history.
 //
-// The central invariant is the pairing lock (mu): an ingest holds it
-// across {WAL append; window apply}, and the checkpoint loop holds it
-// across {WAL position read; window export}. A checkpoint therefore
-// covers exactly the WAL prefix its window state contains — never an
-// entry the window hasn't applied, never an applied entry the WAL
-// position excludes — which is what makes "restore checkpoint, replay
-// WAL tail" reproduce the pre-crash window byte for byte.
+// The central invariant is the pairing discipline: every logged
+// sub-batch is applied to its window shard under the same per-shard
+// lock that appended it, and the checkpoint loop quiesces all of them
+// (the ckpt side of mu is exclusive; ingest holds it shared) across
+// {WAL position read; window export}. A checkpoint therefore covers
+// exactly the WAL prefix its window state contains — never an entry the
+// window hasn't applied, never an applied entry the WAL position
+// excludes — which is what makes "restore checkpoint, replay WAL tail"
+// reproduce the pre-crash window byte for byte. Sharding preserves the
+// invariant without a global ingest lock because entries for different
+// shards commute: they touch disjoint shard state and every read is a
+// commutative merge, so any interleaving of the per-shard append/apply
+// sequences replays to the same merged window.
 type durability struct {
 	dataDir  string
 	walDir   string
@@ -42,10 +48,15 @@ type durability struct {
 	now      func() time.Time
 
 	log      *wal.Log
-	window   *stream.Window
+	window   *stream.ShardedWindow
 	repricer *stream.Repricer
 
-	mu sync.Mutex // the pairing lock (see above)
+	// mu is the checkpoint quiesce: ingests hold it shared, a checkpoint
+	// holds it exclusively while capturing {WAL position, window export}.
+	mu sync.RWMutex
+	// shardMu[i] pairs {WAL append; shard apply} for shard i, making the
+	// apply order within a shard equal to its WAL order (see above).
+	shardMu []sync.Mutex
 
 	stopCh chan struct{}
 	doneCh chan struct{}
@@ -68,7 +79,7 @@ type durability struct {
 // empty tenantID (the original <data-dir>/{wal,checkpoint} layout);
 // fleet daemons pass each tenant's namespace directory and ID, which
 // stamps checkpoints so a namespace mix-up is refused at boot.
-func openDurability(cfg config, dir, tenantID string, w *stream.Window, rp *stream.Repricer) (*durability, error) {
+func openDurability(cfg config, dir, tenantID string, w *stream.ShardedWindow, rp *stream.Repricer) (*durability, error) {
 	d := &durability{
 		dataDir:  dir,
 		walDir:   filepath.Join(dir, "wal"),
@@ -79,6 +90,7 @@ func openDurability(cfg config, dir, tenantID string, w *stream.Window, rp *stre
 		now:      cfg.now,
 		window:   w,
 		repricer: rp,
+		shardMu:  make([]sync.Mutex, w.NumShards()),
 		stopCh:   make(chan struct{}),
 		doneCh:   make(chan struct{}),
 	}
@@ -136,7 +148,11 @@ func openDurability(cfg config, dir, tenantID string, w *stream.Window, rp *stre
 // sink wraps the window as a netflow.Sink that logs before it applies:
 // the arrival timestamp is captured once and used for both the WAL
 // entry and the window slotting, so replaying the entry reproduces the
-// original slotting decision exactly.
+// original slotting decision exactly. The datagram is dealt into its
+// per-shard sub-batches first, and each sub-batch is logged and applied
+// under that shard's pairing lock — concurrent readers ingesting into
+// different shards never serialize against each other, only against a
+// checkpoint's quiesce.
 func (d *durability) sink() netflow.Sink { return durableSink{d} }
 
 type durableSink struct{ d *durability }
@@ -144,14 +160,18 @@ type durableSink struct{ d *durability }
 func (s durableSink) Ingest(h netflow.Header, recs []netflow.Record) {
 	d := s.d
 	ts := d.now()
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.log.Append(ts, h, recs); err != nil {
-		// Keep serving on the in-memory window; the gap means recovery
-		// would under-replay, which the operator is told about.
-		fmt.Fprintln(os.Stderr, "tierd: wal append:", err)
-	}
-	d.window.IngestAt(ts, h, recs)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.window.Deal(recs, func(shard int, sub []netflow.Record) {
+		d.shardMu[shard].Lock()
+		defer d.shardMu[shard].Unlock()
+		if err := d.log.Append(ts, h, sub); err != nil {
+			// Keep serving on the in-memory window; the gap means recovery
+			// would under-replay, which the operator is told about.
+			fmt.Fprintln(os.Stderr, "tierd: wal append:", err)
+		}
+		d.window.IngestShardAt(shard, ts, h, sub)
+	})
 }
 
 // start launches the periodic checkpoint loop.
@@ -174,7 +194,8 @@ func (d *durability) start() {
 }
 
 // checkpoint takes one snapshot: WAL position and window state are
-// captured atomically under the pairing lock, framed with the serving
+// captured atomically under the exclusive side of the quiesce lock
+// (draining all in-flight ingests first), framed with the serving
 // epoch, current table, and history ring, written atomically, and old
 // checkpoints and fully-covered WAL segments are pruned.
 func (d *durability) checkpoint() error {

@@ -75,9 +75,11 @@ type config struct {
 	walSync      wal.SyncMode
 	walSegBytes  int64
 
-	window     time.Duration
-	slot       time.Duration
-	reprice    time.Duration
+	window       time.Duration
+	slot         time.Duration
+	ingestShards int // window shards (1 = the classic single-lock window)
+	udpRcvbuf    int // SO_RCVBUF request per collector socket (0 = OS default)
+	reprice      time.Duration
 	demandSec  float64 // demand divisor override; 0 = capture duration from meta
 	workers    int
 	maxSnapAge time.Duration // staleness threshold; 0 = 4× reprice interval
@@ -116,6 +118,10 @@ func main() {
 	flag.Float64Var(&cfg.blended, "blended", 0, "blended rate override $/Mbps/month (default: meta.txt)")
 	flag.DurationVar(&cfg.window, "window", 10*time.Minute, "sliding window length")
 	flag.DurationVar(&cfg.slot, "slot", time.Minute, "window slot granularity")
+	flag.IntVar(&cfg.ingestShards, "ingest-shards", 1,
+		"ingest/window shards and UDP reader sockets; records route to shards by flow-key hash, so any count yields byte-identical pricing (try NumCPU for line-rate ingest)")
+	flag.IntVar(&cfg.udpRcvbuf, "udp-rcvbuf", 0,
+		"kernel receive buffer (SO_RCVBUF) requested per UDP collector socket in bytes (0 = OS default; kernel drops on overflow surface as tierd_ingest_socket_drops_total)")
 	flag.DurationVar(&cfg.reprice, "reprice", 30*time.Second, "re-price interval")
 	flag.Float64Var(&cfg.demandSec, "demand-sec", 0,
 		"seconds of traffic the window represents when converting octets to Mbps (0 = capture duration from meta.txt)")
@@ -184,7 +190,7 @@ func main() {
 // daemon owns the wired-together subsystems of one tierd instance.
 type daemon struct {
 	cfg      config
-	window   *stream.Window
+	window   *stream.ShardedWindow
 	sink     netflow.Sink // the window, possibly behind durability and/or a fault-injection wrapper
 	durable  *durability  // nil when running memory-only (no -data-dir)
 	repricer *stream.Repricer
@@ -231,7 +237,7 @@ func engineFromConfig(cfg config) engineSpec {
 // pricing engine. wrapResolver, when non-nil, interposes on the
 // endpoint resolver (fault-injection test hook).
 func buildEngine(cfg config, es engineSpec,
-	wrapResolver func(demandfit.EndpointResolver) demandfit.EndpointResolver) (*stream.Window, *stream.Repricer, error) {
+	wrapResolver func(demandfit.EndpointResolver) demandfit.EndpointResolver) (*stream.ShardedWindow, *stream.Repricer, error) {
 	if es.trace == "" {
 		return nil, nil, errors.New("no trace directory (set -trace or the tenant's \"trace\")")
 	}
@@ -285,7 +291,11 @@ func buildEngine(cfg config, es engineSpec,
 	if cfg.slot <= 0 || cfg.window < cfg.slot {
 		return nil, nil, fmt.Errorf("window %v must be at least one slot %v", cfg.window, cfg.slot)
 	}
-	w, err := stream.NewWindow(traces.AggregateKey, cfg.slot, int(cfg.window/cfg.slot))
+	shards := cfg.ingestShards
+	if shards < 1 {
+		shards = 1
+	}
+	w, err := stream.NewShardedWindow(traces.AggregateKey, cfg.slot, int(cfg.window/cfg.slot), shards)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -384,7 +394,11 @@ func (d *daemon) startListeners(handler http.Handler) error {
 	cfg := d.cfg
 	var err error
 	if cfg.udp != "" {
-		if d.udp, err = netflow.NewCollectorServer(cfg.udp, d.sink); err != nil {
+		d.udp, err = netflow.NewCollectorServerOpts(cfg.udp, d.sink, netflow.ServerOptions{
+			Sockets: cfg.ingestShards,
+			RcvBuf:  cfg.udpRcvbuf,
+		})
+		if err != nil {
 			return err
 		}
 	}
@@ -443,16 +457,20 @@ func (d *daemon) udpAddr() string { return d.udp.Addr() }
 // /metrics endpoint.
 func (d *daemon) ingestStats() server.IngestStats {
 	var packets, bad int
+	var socketDrops uint64
 	if d.udp != nil {
 		packets, bad = d.udp.Stats()
+		socketDrops = d.udp.SocketDrops()
 	}
 	records, duplicates, dropped, _ := d.window.Stats()
 	return server.IngestStats{
-		Packets:    uint64(packets),
-		BadPackets: uint64(bad),
-		Records:    uint64(records),
-		Duplicates: uint64(duplicates),
-		Dropped:    uint64(dropped),
+		Packets:      uint64(packets),
+		BadPackets:   uint64(bad),
+		Records:      uint64(records),
+		Duplicates:   uint64(duplicates),
+		Dropped:      uint64(dropped),
+		SocketDrops:  socketDrops,
+		ShardRecords: d.window.ShardRecords(),
 	}
 }
 

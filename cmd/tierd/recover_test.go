@@ -105,7 +105,7 @@ func recoverConfig(trace, dataDir string, now func() time.Time) config {
 
 // shadowTable prices a window the batch way the repricer would: same
 // resolver, models and strategy over the same aggregates.
-func shadowTable(t *testing.T, ds *traces.Dataset, w *stream.Window, now func() time.Time) []byte {
+func shadowTable(t *testing.T, ds *traces.Dataset, w stream.AggregateSource, now func() time.Time) []byte {
 	t.Helper()
 	rp, err := stream.NewRepricer(stream.Config{
 		Window:      w,
@@ -133,8 +133,10 @@ func shadowTable(t *testing.T, ds *traces.Dataset, w *stream.Window, now func() 
 	return table
 }
 
-// exportJSON serializes a window state for byte comparison.
-func exportJSON(t *testing.T, w *stream.Window) []byte {
+// exportJSON serializes a window state for byte comparison; it accepts
+// the plain and the sharded window alike, whose canonical exports are
+// byte-identical for the same traffic.
+func exportJSON(t *testing.T, w interface{ Export() stream.WindowState }) []byte {
 	t.Helper()
 	b, err := json.Marshal(w.Export())
 	if err != nil {

@@ -30,7 +30,7 @@ import (
 type member struct {
 	spec     tenant.Spec
 	tn       *tenant.Tenant
-	window   *stream.Window
+	window   *stream.ShardedWindow
 	repricer *stream.Repricer
 	metrics  *server.Metrics
 	durable  *durability // nil without -data-dir
@@ -241,10 +241,12 @@ func warnOrphanNamespaces(dataDir string, specs []tenant.Spec) {
 // record-level counters live on each tenant.
 func (d *daemon) collectorStats() server.IngestStats {
 	var packets, bad int
+	var socketDrops uint64
 	if d.udp != nil {
 		packets, bad = d.udp.Stats()
+		socketDrops = d.udp.SocketDrops()
 	}
-	return server.IngestStats{Packets: uint64(packets), BadPackets: uint64(bad)}
+	return server.IngestStats{Packets: uint64(packets), BadPackets: uint64(bad), SocketDrops: socketDrops}
 }
 
 // ingestStats is one tenant's routed-ingest view: datagrams the
@@ -252,10 +254,11 @@ func (d *daemon) collectorStats() server.IngestStats {
 func (m *member) ingestStats() server.IngestStats {
 	records, duplicates, dropped, _ := m.window.Stats()
 	return server.IngestStats{
-		Packets:    m.tn.RoutedPackets(),
-		Records:    uint64(records),
-		Duplicates: uint64(duplicates),
-		Dropped:    uint64(dropped),
+		Packets:      m.tn.RoutedPackets(),
+		Records:      uint64(records),
+		Duplicates:   uint64(duplicates),
+		Dropped:      uint64(dropped),
+		ShardRecords: m.window.ShardRecords(),
 	}
 }
 

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package netflow
+
+// Portable fallbacks for platforms without SO_REUSEPORT steering,
+// recvmmsg, or /proc socket statistics: one socket shared by all reader
+// goroutines, one datagram per read, no kernel drop visibility.
+
+import "net"
+
+const reuseportAvailable = false
+
+func listenConfig(bool) net.ListenConfig { return net.ListenConfig{} }
+
+func newBatchReader(pc net.PacketConn, _ int) datagramReader { return newSingleReader(pc) }
+
+func socketDrops(_, _ int) uint64 { return 0 }

@@ -57,11 +57,49 @@ type Aggregate struct {
 	// Records is the number of distinct records accumulated.
 	Records int
 	// SrcAddr and DstAddr sample one record's endpoints for later
-	// resolution (all records in a bucket share their resolution).
+	// resolution (all records in a bucket share their resolution). The
+	// sample is canonical — the minimum (SrcAddr, DstAddr, Input, Output)
+	// tuple over the bucket's records — so a bucket accumulated in any
+	// order, or in pieces later merged, ends with the same sample.
 	SrcAddr netip.Addr
 	DstAddr netip.Addr
 	// Input and Output sample the SNMP interface indices.
 	Input, Output uint16
+}
+
+// sampleBefore orders two endpoint-sample tuples lexicographically by
+// (SrcAddr, DstAddr, Input, Output). It is the total order behind the
+// canonical sample: commutative accumulation (shards, slots, merges)
+// needs a sample rule with no dependence on arrival order.
+func sampleBefore(s1, d1 netip.Addr, i1, o1 uint16, s2, d2 netip.Addr, i2, o2 uint16) bool {
+	if c := s1.Compare(s2); c != 0 {
+		return c < 0
+	}
+	if c := d1.Compare(d2); c != 0 {
+		return c < 0
+	}
+	if i1 != i2 {
+		return i1 < i2
+	}
+	return o1 < o2
+}
+
+// TakeSample folds r's endpoints into a's canonical sample, keeping the
+// minimum tuple.
+func (a *Aggregate) TakeSample(r Record) {
+	if sampleBefore(r.SrcAddr, r.DstAddr, r.Input, r.Output,
+		a.SrcAddr, a.DstAddr, a.Input, a.Output) {
+		a.SrcAddr, a.DstAddr, a.Input, a.Output = r.SrcAddr, r.DstAddr, r.Input, r.Output
+	}
+}
+
+// MergeSample folds another partial aggregate's sample into a's, keeping
+// the minimum tuple.
+func (a *Aggregate) MergeSample(b Aggregate) {
+	if sampleBefore(b.SrcAddr, b.DstAddr, b.Input, b.Output,
+		a.SrcAddr, a.DstAddr, a.Input, a.Output) {
+		a.SrcAddr, a.DstAddr, a.Input, a.Output = b.SrcAddr, b.DstAddr, b.Input, b.Output
+	}
 }
 
 // Collector ingests export packets from multiple routers, de-duplicates
@@ -135,6 +173,8 @@ func (c *Collector) Ingest(h Header, recs []Record) {
 				Output:  r.Output,
 			}
 			c.aggs[bucket] = agg
+		} else {
+			agg.TakeSample(r)
 		}
 		agg.Octets += uint64(r.Octets) * sampling
 		agg.Records++

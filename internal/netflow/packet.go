@@ -204,16 +204,38 @@ func DecodePacket(b []byte) (Header, []Record, error) {
 	if h.Count == 0 || h.Count > MaxRecordsPerPacket {
 		return Header{}, nil, fmt.Errorf("netflow: bad record count %d", h.Count)
 	}
+	recs := make([]Record, 0, h.Count)
+	return decodeRecords(b, h, recs)
+}
+
+// DecodePacketInto is DecodePacket decoding into recs's backing array:
+// the returned slice aliases recs when it has capacity for the packet's
+// records, so a read loop that reuses one buffer across datagrams
+// performs no per-datagram allocation. recs's length is ignored (the
+// decode starts from recs[:0]).
+func DecodePacketInto(b []byte, recs []Record) (Header, []Record, error) {
+	h, err := parseHeader(b)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if h.Count == 0 || h.Count > MaxRecordsPerPacket {
+		return Header{}, nil, fmt.Errorf("netflow: bad record count %d", h.Count)
+	}
+	return decodeRecords(b, h, recs[:0])
+}
+
+func decodeRecords(b []byte, h Header, recs []Record) (Header, []Record, error) {
 	want := HeaderSize + int(h.Count)*RecordSize
 	if len(b) < want {
 		return Header{}, nil, errShort
 	}
-	recs := make([]Record, h.Count)
-	for i := range recs {
+	for i := 0; i < int(h.Count); i++ {
 		off := HeaderSize + i*RecordSize
-		if recs[i], err = parseRecord(b[off:]); err != nil {
+		r, err := parseRecord(b[off:])
+		if err != nil {
 			return Header{}, nil, err
 		}
+		recs = append(recs, r)
 	}
 	return h, recs, nil
 }

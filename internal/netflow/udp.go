@@ -1,10 +1,12 @@
 package netflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -87,61 +89,152 @@ func (e *Exporter) Close() error {
 
 // Sink consumes decoded export packets. Collector is the batch
 // implementation; the stream package's sliding window is the online one.
-// Implementations must be safe for concurrent Ingest calls.
+// Implementations must be safe for concurrent Ingest calls, and must not
+// retain recs past the call's return: the server reuses the backing
+// array for the next datagram.
 type Sink interface {
 	Ingest(h Header, recs []Record)
 }
 
-// CollectorServer receives export datagrams on a UDP socket and feeds
-// them to a Sink.
-type CollectorServer struct {
-	pc   net.PacketConn
-	sink Sink
+// maxDatagram is the largest valid export packet on the wire.
+const maxDatagram = HeaderSize + MaxRecordsPerPacket*RecordSize
 
-	mu      sync.Mutex
-	packets int
-	bad     int
-	closed  bool
-	done    chan struct{}
+// ServerOptions tunes a CollectorServer. The zero value reproduces the
+// historical single-socket, single-reader server.
+type ServerOptions struct {
+	// Sockets is the number of UDP sockets (and reader goroutines) to
+	// bind to the same port. On Linux, sockets beyond the first bind
+	// with SO_REUSEPORT so the kernel flow-steers datagrams across them;
+	// where REUSEPORT is unavailable the extra readers share one socket
+	// (user-space dispatch). Values < 1 mean 1.
+	Sockets int
+	// RcvBuf requests SO_RCVBUF bytes of kernel socket buffer per
+	// socket (0 = OS default). The kernel may clamp the request; drops
+	// that occur when the buffer overflows are visible via SocketDrops.
+	RcvBuf int
+	// Batch is the number of datagrams read per syscall where batched
+	// receive (recvmmsg) is available (0 = a sensible default). Each
+	// reader goroutine owns Batch reusable packet buffers.
+	Batch int
 }
 
-// NewCollectorServer starts listening on addr (use "127.0.0.1:0" for an
-// ephemeral test port) and ingesting into sink in a background
-// goroutine. Callers must Close it.
+// defaultBatch is the per-reader datagram batch when none is requested.
+const defaultBatch = 32
+
+// CollectorServer receives export datagrams on one or more UDP sockets
+// bound to the same port and feeds them to a Sink. Reads are batched
+// (one recvmmsg syscall drains many datagrams on Linux) into per-reader
+// reusable buffers, so the receive path performs no per-datagram
+// allocation.
+type CollectorServer struct {
+	conns []net.PacketConn
+	sink  Sink
+	batch int
+	port  int
+
+	packets atomic.Uint64
+	bad     atomic.Uint64
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+}
+
+// NewCollectorServer starts a single-socket server listening on addr
+// (use "127.0.0.1:0" for an ephemeral test port) and ingesting into sink
+// in a background goroutine. Callers must Close it.
 func NewCollectorServer(addr string, sink Sink) (*CollectorServer, error) {
+	return NewCollectorServerOpts(addr, sink, ServerOptions{})
+}
+
+// NewCollectorServerOpts starts a server with explicit socket, buffer
+// and batching options.
+func NewCollectorServerOpts(addr string, sink Sink, opts ServerOptions) (*CollectorServer, error) {
 	if sink == nil {
 		return nil, errors.New("netflow: nil sink")
 	}
-	pc, err := net.ListenPacket("udp", addr)
+	sockets := opts.Sockets
+	if sockets < 1 {
+		sockets = 1
+	}
+	batch := opts.Batch
+	if batch < 1 {
+		batch = defaultBatch
+	}
+	s := &CollectorServer{sink: sink, batch: batch}
+	reuse := sockets > 1 && reuseportAvailable
+	first, err := listenUDP(addr, opts.RcvBuf, reuse)
 	if err != nil {
 		return nil, fmt.Errorf("netflow: listen: %w", err)
 	}
-	s := &CollectorServer{pc: pc, sink: sink, done: make(chan struct{})}
-	go s.loop()
+	s.conns = append(s.conns, first)
+	s.port = localPort(first)
+	if reuse {
+		// Additional sockets bind the resolved address of the first, so
+		// an ephemeral ":0" request lands every socket on the same port.
+		bound := first.LocalAddr().String()
+		for i := 1; i < sockets; i++ {
+			pc, err := listenUDP(bound, opts.RcvBuf, true)
+			if err != nil {
+				s.closeConns()
+				return nil, fmt.Errorf("netflow: listen (reuseport socket %d): %w", i, err)
+			}
+			s.conns = append(s.conns, pc)
+		}
+	}
+	readers := s.conns
+	if len(readers) == 1 && sockets > 1 {
+		// No REUSEPORT: user-space dispatch — several readers drain the
+		// one socket and the sink's shard hash spreads the records.
+		for i := 1; i < sockets; i++ {
+			readers = append(readers, first)
+		}
+	}
+	s.wg.Add(len(readers))
+	for _, pc := range readers {
+		go s.loop(pc)
+	}
 	return s, nil
 }
 
 // Addr returns the bound listen address.
-func (s *CollectorServer) Addr() string { return s.pc.LocalAddr().String() }
+func (s *CollectorServer) Addr() string { return s.conns[0].LocalAddr().String() }
+
+// Sockets reports how many UDP sockets the server bound.
+func (s *CollectorServer) Sockets() int { return len(s.conns) }
 
 // Stats reports datagrams received and datagrams that failed to decode.
 func (s *CollectorServer) Stats() (packets, bad int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.packets, s.bad
+	return int(s.packets.Load()), int(s.bad.Load())
 }
 
-// Close stops the receive loop and closes the socket.
+// SocketDrops reports the kernel's receive-queue drop count summed over
+// the server's sockets — datagrams that arrived but found the socket
+// buffer full, invisible to user space except through kernel stats.
+// Returns 0 where the platform exposes no counter.
+func (s *CollectorServer) SocketDrops() uint64 {
+	return socketDrops(s.port, len(s.conns))
+}
+
+// Close stops the receive loops and closes the sockets.
 func (s *CollectorServer) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.closeMu.Lock()
+	defer s.closeMu.Unlock()
+	if s.closed.Load() {
 		return nil
 	}
-	s.closed = true
-	s.mu.Unlock()
-	err := s.pc.Close()
-	<-s.done
+	s.closed.Store(true)
+	err := s.closeConns()
+	s.wg.Wait()
+	return err
+}
+
+func (s *CollectorServer) closeConns() error {
+	var err error
+	for _, pc := range s.conns {
+		if cerr := pc.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -151,7 +244,7 @@ func (s *CollectorServer) Close() error {
 func (s *CollectorServer) Drain(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		packets, _ := func() (int, int) { return s.Stats() }()
+		packets, _ := s.Stats()
 		if packets >= n {
 			return nil
 		}
@@ -162,33 +255,88 @@ func (s *CollectorServer) Drain(n int, timeout time.Duration) error {
 	}
 }
 
-func (s *CollectorServer) loop() {
-	defer close(s.done)
-	buf := make([]byte, HeaderSize+MaxRecordsPerPacket*RecordSize)
+// loop is one reader goroutine: batched reads into reusable buffers,
+// decode into a reusable record slice, synchronous hand-off to the sink.
+func (s *CollectorServer) loop(pc net.PacketConn) {
+	defer s.wg.Done()
+	br := newBatchReader(pc, s.batch)
+	recs := make([]Record, 0, MaxRecordsPerPacket)
 	for {
-		n, _, err := s.pc.ReadFrom(buf)
+		n, err := br.read()
 		if err != nil {
 			// Closed socket ends the loop; transient errors are counted.
-			s.mu.Lock()
-			closed := s.closed
-			if !closed {
-				s.bad++
-			}
-			s.mu.Unlock()
-			if closed {
+			if s.closed.Load() {
 				return
 			}
+			s.bad.Add(1)
 			continue
 		}
-		h, recs, err := DecodePacket(buf[:n])
-		s.mu.Lock()
-		s.packets++
-		if err != nil {
-			s.bad++
-			s.mu.Unlock()
-			continue
+		for i := 0; i < n; i++ {
+			s.packets.Add(1)
+			h, rs, derr := DecodePacketInto(br.datagram(i), recs)
+			if derr != nil {
+				s.bad.Add(1)
+				continue
+			}
+			s.sink.Ingest(h, rs)
 		}
-		s.mu.Unlock()
-		s.sink.Ingest(h, recs)
 	}
 }
+
+// localPort extracts the bound UDP port for kernel drop-stat lookup.
+func localPort(pc net.PacketConn) int {
+	if ua, ok := pc.LocalAddr().(*net.UDPAddr); ok {
+		return ua.Port
+	}
+	return 0
+}
+
+// listenUDP binds one UDP socket, optionally requesting SO_REUSEPORT
+// (Linux only) and a kernel receive buffer size.
+func listenUDP(addr string, rcvbuf int, reuseport bool) (net.PacketConn, error) {
+	lc := listenConfig(reuseport)
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if rcvbuf > 0 {
+		if uc, ok := pc.(*net.UDPConn); ok {
+			if err := uc.SetReadBuffer(rcvbuf); err != nil {
+				pc.Close()
+				return nil, err
+			}
+		}
+	}
+	return pc, nil
+}
+
+// datagramReader abstracts batched datagram receive: read() blocks until
+// at least one datagram arrives and returns how many, datagram(i) views
+// the i'th payload. Payloads are valid only until the next read().
+type datagramReader interface {
+	read() (int, error)
+	datagram(i int) []byte
+}
+
+// singleReader is the portable batch reader: one ReadFrom per read()
+// into a single reusable buffer.
+type singleReader struct {
+	pc  net.PacketConn
+	buf []byte
+	n   int
+}
+
+func newSingleReader(pc net.PacketConn) *singleReader {
+	return &singleReader{pc: pc, buf: make([]byte, maxDatagram)}
+}
+
+func (r *singleReader) read() (int, error) {
+	n, _, err := r.pc.ReadFrom(r.buf)
+	if err != nil {
+		return 0, err
+	}
+	r.n = n
+	return 1, nil
+}
+
+func (r *singleReader) datagram(int) []byte { return r.buf[:r.n] }

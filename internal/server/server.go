@@ -31,6 +31,14 @@ type IngestStats struct {
 	Records    uint64
 	Duplicates uint64
 	Dropped    uint64
+	// SocketDrops is the kernel's receive-queue drop count across the
+	// collector's UDP sockets (datagrams lost before user space saw
+	// them); zero where the platform exposes no counter.
+	SocketDrops uint64
+	// ShardRecords is each window shard's lifetime record count, indexed
+	// by shard; empty when the pipeline runs unsharded components that
+	// predate sharding.
+	ShardRecords []uint64
 }
 
 // DurabilityStats is a point-in-time view of the durability subsystem
@@ -512,6 +520,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP tierd_ingest_records_total Flow records ingested into the window.\n# TYPE tierd_ingest_records_total counter\ntierd_ingest_records_total %d\n", in.Records)
 		fmt.Fprintf(w, "# HELP tierd_ingest_duplicates_total Cross-router duplicates suppressed.\n# TYPE tierd_ingest_duplicates_total counter\ntierd_ingest_duplicates_total %d\n", in.Duplicates)
 		fmt.Fprintf(w, "# HELP tierd_ingest_dropped_total Records with no aggregation bucket.\n# TYPE tierd_ingest_dropped_total counter\ntierd_ingest_dropped_total %d\n", in.Dropped)
+		fmt.Fprintf(w, "# HELP tierd_ingest_socket_drops_total Datagrams the kernel dropped on full UDP receive buffers.\n# TYPE tierd_ingest_socket_drops_total counter\ntierd_ingest_socket_drops_total %d\n", in.SocketDrops)
+		if len(in.ShardRecords) > 0 {
+			fmt.Fprintf(w, "# HELP tierd_ingest_shard_records_total Flow records ingested per window shard.\n# TYPE tierd_ingest_shard_records_total counter\n")
+			for i, n := range in.ShardRecords {
+				fmt.Fprintf(w, "tierd_ingest_shard_records_total{shard=\"%d\"} %d\n", i, n)
+			}
+		}
 	}
 	fmt.Fprintf(w, "# HELP tierd_build_info Build metadata of the running binary (value is always 1).\n# TYPE tierd_build_info gauge\ntierd_build_info{revision=%q,go_version=%q} 1\n",
 		s.build.Revision, s.build.GoVersion)

@@ -151,6 +151,7 @@ func (s *Server) writeFleetMetrics(w io.Writer) {
 		in := s.ingest()
 		fmt.Fprintf(w, "# HELP tierd_ingest_packets_total Export datagrams received.\n# TYPE tierd_ingest_packets_total counter\ntierd_ingest_packets_total %d\n", in.Packets)
 		fmt.Fprintf(w, "# HELP tierd_ingest_bad_packets_total Datagrams that failed to decode.\n# TYPE tierd_ingest_bad_packets_total counter\ntierd_ingest_bad_packets_total %d\n", in.BadPackets)
+		fmt.Fprintf(w, "# HELP tierd_ingest_socket_drops_total Datagrams the kernel dropped on full UDP receive buffers.\n# TYPE tierd_ingest_socket_drops_total counter\ntierd_ingest_socket_drops_total %d\n", in.SocketDrops)
 	}
 	type tenantIngest struct {
 		t  *Tenant
@@ -178,6 +179,21 @@ func (s *Server) writeFleetMetrics(w io.Writer) {
 		fmt.Fprintf(w, "# HELP tierd_ingest_dropped_total Records with no aggregation bucket.\n# TYPE tierd_ingest_dropped_total counter\n")
 		for _, e := range ti {
 			fmt.Fprintf(w, "tierd_ingest_dropped_total{%s} %d\n", labelFor(e.t), e.in.Dropped)
+		}
+		shards := false
+		for _, e := range ti {
+			if len(e.in.ShardRecords) > 0 {
+				shards = true
+				break
+			}
+		}
+		if shards {
+			fmt.Fprintf(w, "# HELP tierd_ingest_shard_records_total Flow records ingested per window shard.\n# TYPE tierd_ingest_shard_records_total counter\n")
+			for _, e := range ti {
+				for i, n := range e.in.ShardRecords {
+					fmt.Fprintf(w, "tierd_ingest_shard_records_total{%s,shard=\"%d\"} %d\n", labelFor(e.t), i, n)
+				}
+			}
 		}
 	}
 

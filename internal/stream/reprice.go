@@ -24,10 +24,18 @@ import (
 // aggregates yet; the previous snapshot (if any) stays current.
 var ErrEmptyWindow = errors.New("stream: window holds no aggregates")
 
+// AggregateSource supplies the live demand aggregates a Repricer
+// prices: a *Window, a *ShardedWindow, or any equivalent accumulator.
+// Aggregates must return buckets sorted by key.
+type AggregateSource interface {
+	Aggregates() []netflow.Aggregate
+	Span() time.Duration
+}
+
 // Config wires a Repricer to the window it reads and the models it fits.
 type Config struct {
 	// Window supplies the live aggregates.
-	Window *Window
+	Window AggregateSource
 	// Resolver maps aggregate endpoints to distance and region. A
 	// resolver that also implements demandfit.ContextResolver gets the
 	// re-price context, so a wedged lookup cannot outlive a bounded

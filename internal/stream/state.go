@@ -66,7 +66,11 @@ func flowKeyLess(a, b netflow.FlowKey) bool {
 // sorted order, so two windows with equal contents export equal states
 // regardless of map iteration order or ingest interleaving.
 func (w *Window) Export() WindowState {
-	cur := w.slotIndex(w.now())
+	return w.exportAt(w.slotIndex(w.now()))
+}
+
+// exportAt is Export with an explicit current slot (see aggregatesAt).
+func (w *Window) exportAt(cur int64) WindowState {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.evictLocked(cur)

@@ -145,6 +145,8 @@ func (w *Window) ingestAt(cur int64, h netflow.Header, recs []netflow.Record) {
 				Output:  r.Output,
 			}
 			s.aggs[bucket] = agg
+		} else {
+			agg.TakeSample(r)
 		}
 		agg.Octets += uint64(r.Octets) * sampling
 		agg.Records++
@@ -163,21 +165,24 @@ func (w *Window) seenLocked(key netflow.FlowKey) bool {
 
 // Aggregates merges the live slots into the batch collector's output
 // shape: per-bucket aggregates sorted by key, octets and record counts
-// summed across slots, endpoint samples taken from the oldest live slot
-// that saw the bucket (matching the collector's first-record sampling).
+// summed across slots, endpoint samples merged under the canonical
+// minimum-tuple rule (matching the collector exactly). Because every
+// per-bucket operation commutes — sums, counts, minimum samples — the
+// merge is independent of slot order, ingest order, and any sharding of
+// the records upstream.
 func (w *Window) Aggregates() []netflow.Aggregate {
-	cur := w.slotIndex(w.now())
+	return w.aggregatesAt(w.slotIndex(w.now()))
+}
+
+// aggregatesAt is Aggregates with an explicit current slot, so a sharded
+// wrapper can evict every shard against one shared instant.
+func (w *Window) aggregatesAt(cur int64) []netflow.Aggregate {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.evictLocked(cur)
-	idxs := make([]int64, 0, len(w.slots))
-	for idx := range w.slots {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	merged := make(map[string]*netflow.Aggregate)
-	for _, idx := range idxs {
-		for key, a := range w.slots[idx].aggs {
+	for _, s := range w.slots {
+		for key, a := range s.aggs {
 			m, ok := merged[key]
 			if !ok {
 				cp := *a
@@ -186,6 +191,7 @@ func (w *Window) Aggregates() []netflow.Aggregate {
 			}
 			m.Octets += a.Octets
 			m.Records += a.Records
+			m.MergeSample(*a)
 		}
 	}
 	out := make([]netflow.Aggregate, 0, len(merged))
@@ -201,9 +207,20 @@ func (w *Window) Aggregates() []netflow.Aggregate {
 // slots. Counters are lifetime, not windowed, so they are monotonic and
 // exportable as Prometheus counters.
 func (w *Window) Stats() (records, duplicates, dropped, liveSlots int) {
-	cur := w.slotIndex(w.now())
+	records, duplicates, dropped, idxs := w.statsAt(w.slotIndex(w.now()))
+	return records, duplicates, dropped, len(idxs)
+}
+
+// statsAt returns the lifetime counters and the live slot indices after
+// evicting against cur. The sharded wrapper needs the indices themselves
+// to count slots that are live in any shard exactly once.
+func (w *Window) statsAt(cur int64) (records, duplicates, dropped int, live []int64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.evictLocked(cur)
-	return w.records, w.duplicates, w.dropped, len(w.slots)
+	live = make([]int64, 0, len(w.slots))
+	for idx := range w.slots {
+		live = append(live, idx)
+	}
+	return w.records, w.duplicates, w.dropped, live
 }

@@ -15,7 +15,9 @@ import (
 type Tenant struct {
 	Spec Spec
 
-	Window   *stream.Window
+	// Window is the tenant's sliding-window accumulator (a
+	// *stream.Window or *stream.ShardedWindow, held as its sink face).
+	Window   netflow.Sink
 	Repricer *stream.Repricer
 	// Limiter guards the tenant's quote path (nil = unlimited).
 	Limiter *Bucket
