@@ -61,6 +61,25 @@
 #                        the bound is latency), tenant isolation under
 #                        the race detector, the internal/tenant unit
 #                        suite, and the fleet-mode loadgen e2e.
+#   ./ci.sh history    — durable-history + hot-reload gate: the
+#                        internal/histstore unit suite under the race
+#                        detector, the store/ring parity property test
+#                        and the SIGHUP reload-under-load test (zero
+#                        non-200 quote responses, monotone config
+#                        epochs) under -race, the idempotent-restore
+#                        double-append test, and the out-of-process
+#                        kill -9 + SIGHUP e2e (a real tierd with
+#                        -history-store and -config, reloaded, killed,
+#                        restarted; /v1/history must still serve epochs
+#                        older than the ring and every retained
+#                        checkpoint) — each replayed at a pinned seed
+#                        (HISTORY_SEED, default 4242). Then the
+#                        histstore append/scan/open benchmarks run
+#                        (HISTORY_BENCHTIME, default 300ms), diff
+#                        against the newest committed BENCH_*.json
+#                        (HISTORY_THRESHOLD, default 0.5 = +50%), and
+#                        merge in so the append-throughput row travels
+#                        with the repo.
 #   ./ci.sh docs       — documentation lint alone (cmd/docscheck):
 #                        every relative markdown link resolves, the
 #                        README repo-layout map names every cmd/ and
@@ -85,12 +104,16 @@
 #                      out-of-process kill -9) replayed at every pinned
 #                      seed in RECOVER_SEEDS
 #   6. tenants stage — the multi-tenant gate (see ./ci.sh tenants)
-#   7. docs stage    — the documentation lint (see ./ci.sh docs)
-#   8. benchmarks    — every benchmark compiles and runs one iteration
+#   7. history stage — the durable-history + hot-reload tests at the
+#                      pinned seed (the benchmark half of
+#                      `./ci.sh history` stays out of the gate — it
+#                      mutates BENCH_*.json, like slo/ingest)
+#   8. docs stage    — the documentation lint (see ./ci.sh docs)
+#   9. benchmarks    — every benchmark compiles and runs one iteration
 #                      (catches bit-rotted benchmark code without paying
 #                      for a timed run; use `./ci.sh bench` for real
 #                      numbers)
-#   9. fuzz smoke    — every netflow/bgp fuzz target actually fuzzes for
+#  10. fuzz smoke    — every netflow/bgp fuzz target actually fuzzes for
 #                      a short budget (FUZZTIME, default 10s each), not
 #                      just replays its seed corpus
 set -eu
@@ -232,6 +255,41 @@ tenants() {
     go test -count=1 -run 'TestLoadgenFleetEndToEnd' ./cmd/loadgen
 }
 
+history_tests() {
+    seed="${HISTORY_SEED:-4242}"
+    echo "==> history stage: go test -race ./internal/histstore"
+    go test -race -count=1 ./internal/histstore
+    echo "==> history stage: RECOVER_SEED=${seed} go test -race -run 'TestHistoryStoreRingParity|TestReloadUnderLoad|TestFleetHistoryNamespacing' ./cmd/tierd"
+    RECOVER_SEED="$seed" go test -race -count=1 \
+        -run 'TestHistoryStoreRingParity|TestReloadUnderLoad|TestFleetHistoryNamespacing' ./cmd/tierd
+    echo "==> history stage: RECOVER_SEED=${seed} go test -run 'TestHistoryRestoreDoubleAppend|TestTierdHistoryKill9Reload' ./cmd/tierd"
+    RECOVER_SEED="$seed" go test -count=1 \
+        -run 'TestHistoryRestoreDoubleAppend|TestTierdHistoryKill9Reload' ./cmd/tierd
+}
+
+history() {
+    history_tests
+
+    tmp=$(mktemp)
+    trap 'rm -f "$tmp" "$tmp.merged"' EXIT
+    bt="${HISTORY_BENCHTIME:-300ms}"
+    echo "==> history stage: go test -bench 'BenchmarkHistory' -benchmem -benchtime $bt ./internal/histstore"
+    go test -run='^$' -bench='BenchmarkHistory' -benchmem -benchtime "$bt" ./internal/histstore \
+        | go run ./cmd/benchjson > "$tmp"
+    base=$(ls BENCH_*.json 2>/dev/null | sort | tail -1)
+    if [ -z "$base" ]; then
+        out="BENCH_$(date +%F).json"
+        echo "history: WARNING: no committed BENCH_*.json baseline; writing fresh $out" >&2
+        cp "$tmp" "$out"
+        exit 0
+    fi
+    echo "==> benchjson diff -threshold ${HISTORY_THRESHOLD:-0.5} $base <history rows>"
+    go run ./cmd/benchjson diff -threshold "${HISTORY_THRESHOLD:-0.5}" "$base" "$tmp"
+    go run ./cmd/benchjson merge "$base" "$tmp" > "$tmp.merged"
+    mv "$tmp.merged" "$base"
+    echo "==> history: append-throughput rows merged into $base"
+}
+
 docs() {
     echo "==> docs stage: go run ./cmd/docscheck"
     go run ./cmd/docscheck
@@ -279,6 +337,11 @@ if [ "${1:-}" = "tenants" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "history" ]; then
+    history
+    exit 0
+fi
+
 if [ "${1:-}" = "docs" ]; then
     docs
     exit 0
@@ -302,6 +365,8 @@ CHAOS_SEED="$CHAOS_SEED" go test -race -count=1 -run 'TestTierdChaos' ./cmd/tier
 recover
 
 tenants
+
+history_tests
 
 docs
 

@@ -53,6 +53,9 @@ func main() {
 
 		tenants = flag.String("tenants", "", "fleet mode: comma-separated tenant=engineID pairs (e.g. net-a=1,net-b=2); deals the stream round-robin across tenants, stamps engine IDs for fleet routing, quotes /v1/t/{tenant}/quote, and adds per-tenant report rows")
 
+		hupPID   = flag.Int("hup-pid", 0, "reload-under-load profile: send SIGHUP to this tierd PID every -hup-every during the run (0 disables)")
+		hupEvery = flag.Duration("hup-every", 2*time.Second, "SIGHUP interval for -hup-pid")
+
 		seed    = flag.Int64("seed", 1, "quote-mix shuffle seed")
 		pid     = flag.Int("pid", 0, "tierd PID for /proc RSS/CPU sampling (0 disables)")
 		profile = flag.String("profile", "adhoc", "profile name recorded in the report")
@@ -106,6 +109,30 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Reload-under-load: hammer the daemon's SIGHUP hot-reload path for
+	// the whole run so the latency histogram and error rate measure
+	// quote serving *across* config swaps, not between them.
+	if *hupPID > 0 && *hupEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*hupEvery)
+			defer ticker.Stop()
+			sent := 0
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if err := syscall.Kill(*hupPID, syscall.SIGHUP); err != nil {
+						fmt.Fprintln(os.Stderr, "loadgen: hup:", err)
+						return
+					}
+					sent++
+					fmt.Fprintf(os.Stderr, "loadgen: SIGHUP %d -> pid %d\n", sent, *hupPID)
+				}
+			}
+		}()
+	}
 
 	rep, err := Run(ctx, Options{
 		Target:        *target,

@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,13 +16,11 @@ import (
 	"tieredpricing/internal/wal"
 )
 
-// maxHistory bounds the checkpointed tier-table time series carried in
-// memory and in each checkpoint (oldest entries fall off).
-const maxHistory = 512
-
 // durability owns tierd's persistent state: the write-ahead log every
-// accepted datagram goes through, the periodic checkpoints that bound
-// replay time, and the tier-table history ring served by /v1/history.
+// accepted datagram goes through and the periodic checkpoints that
+// bound replay time. The tier-table history ring it used to carry
+// lives in a histRecorder now (history.go); checkpoints embed the
+// recorder's ring so a restore still warms /v1/history instantly.
 //
 // The central invariant is the pairing discipline: every logged
 // sub-batch is applied to its window shard under the same per-shard
@@ -66,9 +63,16 @@ type durability struct {
 	recoveryReplayed  atomic.Uint64
 	recoveryTornBytes atomic.Uint64
 
-	histMu    sync.Mutex
-	history   []server.HistoryEntry
-	lastEpoch int64 // newest epoch recorded in history
+	// hist is the engine's history recorder: checkpoints embed its ring
+	// and a restore seeds it back.
+	hist *histRecorder
+	// configEpoch reads the process-wide pricing-config generation for
+	// checkpoint framing.
+	configEpoch func() int64
+	// restoredConfigEpoch is the generation the restored checkpoint was
+	// taken under (0 when booting fresh); the daemon fast-forwards its
+	// epoch counter to at least this.
+	restoredConfigEpoch int64
 }
 
 // openDurability recovers state from dir and returns the live
@@ -79,20 +83,26 @@ type durability struct {
 // empty tenantID (the original <data-dir>/{wal,checkpoint} layout);
 // fleet daemons pass each tenant's namespace directory and ID, which
 // stamps checkpoints so a namespace mix-up is refused at boot.
-func openDurability(cfg config, dir, tenantID string, w *stream.ShardedWindow, rp *stream.Repricer) (*durability, error) {
+func openDurability(cfg config, dir, tenantID string, w *stream.ShardedWindow, rp *stream.Repricer,
+	rec *histRecorder, configEpoch func() int64) (*durability, error) {
 	d := &durability{
-		dataDir:  dir,
-		walDir:   filepath.Join(dir, "wal"),
-		ckptDir:  filepath.Join(dir, "checkpoint"),
-		tenantID: tenantID,
-		retain:   cfg.ckptRetain,
-		interval: cfg.ckptInterval,
-		now:      cfg.now,
-		window:   w,
-		repricer: rp,
-		shardMu:  make([]sync.Mutex, w.NumShards()),
-		stopCh:   make(chan struct{}),
-		doneCh:   make(chan struct{}),
+		dataDir:     dir,
+		walDir:      filepath.Join(dir, "wal"),
+		ckptDir:     filepath.Join(dir, "checkpoint"),
+		tenantID:    tenantID,
+		retain:      cfg.ckptRetain,
+		interval:    cfg.ckptInterval,
+		now:         cfg.now,
+		window:      w,
+		repricer:    rp,
+		hist:        rec,
+		configEpoch: configEpoch,
+		shardMu:     make([]sync.Mutex, w.NumShards()),
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
+	}
+	if d.configEpoch == nil {
+		d.configEpoch = func() int64 { return 1 }
 	}
 	if d.now == nil {
 		d.now = time.Now
@@ -113,9 +123,12 @@ func openDurability(cfg config, dir, tenantID string, w *stream.ShardedWindow, r
 		}
 		from = st.WAL
 		rp.RestoreEpoch(st.Epoch)
-		d.lastEpoch = st.Epoch
-		for _, he := range st.History {
-			d.history = append(d.history, server.HistoryEntry{At: he.At, Epoch: he.Epoch, Table: he.Table})
+		d.restoredConfigEpoch = st.ConfigEpoch
+		if d.restoredConfigEpoch == 0 {
+			d.restoredConfigEpoch = 1 // pre-reload checkpoint
+		}
+		if d.hist != nil {
+			d.hist.restore(st.History, st.Epoch)
 		}
 		fmt.Fprintf(os.Stderr, "tierd: restored checkpoint %s (epoch %d, %d slots, wal %d/%d)\n",
 			filepath.Base(ckptPath), st.Epoch, len(st.Window.Slots), st.WAL.Segment, st.WAL.Offset)
@@ -204,7 +217,8 @@ func (d *durability) checkpoint() error {
 	ws := d.window.Export()
 	d.mu.Unlock()
 
-	st := &checkpoint.State{CreatedAt: d.now(), Tenant: d.tenantID, WAL: pos, Window: ws}
+	st := &checkpoint.State{CreatedAt: d.now(), Tenant: d.tenantID, WAL: pos, Window: ws,
+		ConfigEpoch: d.configEpoch()}
 	if snap := d.repricer.Current(); snap != nil {
 		st.Epoch = snap.Epoch
 		table, err := snap.Table.Marshal()
@@ -213,11 +227,9 @@ func (d *durability) checkpoint() error {
 		}
 		st.Table = table
 	}
-	d.histMu.Lock()
-	for _, he := range d.history {
-		st.History = append(st.History, checkpoint.HistoryEntry{At: he.At, Epoch: he.Epoch, Table: he.Table})
+	if d.hist != nil {
+		st.History = d.hist.checkpointEntries()
 	}
-	d.histMu.Unlock()
 
 	if _, err := checkpoint.Write(d.ckptDir, st); err != nil {
 		return err
@@ -229,37 +241,6 @@ func (d *durability) checkpoint() error {
 	}
 	// Segments wholly before the covered position are now redundant.
 	return d.log.TruncateBefore(pos)
-}
-
-// recordSnapshot appends a newly published snapshot's table to the
-// history ring (one entry per epoch).
-func (d *durability) recordSnapshot(snap *stream.Snapshot) {
-	if snap == nil {
-		return
-	}
-	table, err := snap.Table.Marshal()
-	if err != nil {
-		return
-	}
-	d.histMu.Lock()
-	defer d.histMu.Unlock()
-	if snap.Epoch <= d.lastEpoch {
-		return
-	}
-	d.lastEpoch = snap.Epoch
-	d.history = append(d.history, server.HistoryEntry{At: snap.FittedAt, Epoch: snap.Epoch, Table: json.RawMessage(table)})
-	if len(d.history) > maxHistory {
-		d.history = d.history[len(d.history)-maxHistory:]
-	}
-}
-
-// historySnapshot copies the ring for /v1/history.
-func (d *durability) historySnapshot() []server.HistoryEntry {
-	d.histMu.Lock()
-	defer d.histMu.Unlock()
-	out := make([]server.HistoryEntry, len(d.history))
-	copy(out, d.history)
-	return out
 }
 
 // stats feeds the /metrics durability section.
@@ -317,6 +298,8 @@ func (d *durability) warmReprice(grace time.Duration) error {
 	if err != nil {
 		return fmt.Errorf("warm re-price after recovery: %w", err)
 	}
-	d.recordSnapshot(snap)
+	if d.hist != nil {
+		d.hist.record(snap)
+	}
 	return nil
 }

@@ -43,6 +43,7 @@ import (
 	"tieredpricing/internal/demandfit"
 	"tieredpricing/internal/econ"
 	"tieredpricing/internal/geoip"
+	"tieredpricing/internal/histstore"
 	"tieredpricing/internal/netflow"
 	"tieredpricing/internal/server"
 	"tieredpricing/internal/stream"
@@ -74,6 +75,13 @@ type config struct {
 	ckptRetain   int
 	walSync      wal.SyncMode
 	walSegBytes  int64
+
+	// Durable tier-table history (outlives checkpoint retention) and
+	// pricing-config hot reload.
+	historyStore  string        // store DSN or path (empty = ring-only)
+	historyRing   int           // in-memory ring entries per engine
+	historyRetain time.Duration // store retention by age (0 = keep forever)
+	configFile    string        // hot-reloadable pricing config (SIGHUP re-reads)
 
 	window       time.Duration
 	slot         time.Duration
@@ -134,6 +142,14 @@ func main() {
 		"durable state directory: WAL + checkpoints, recover-on-boot (empty = memory-only)")
 	flag.DurationVar(&cfg.ckptInterval, "checkpoint-interval", time.Minute, "how often to checkpoint the window (needs -data-dir)")
 	flag.IntVar(&cfg.ckptRetain, "checkpoint-retain", 3, "checkpoints kept on disk (newest first; older are fallbacks for corruption)")
+	flag.StringVar(&cfg.historyStore, "history-store", "",
+		"durable tier-history store path or DSN (e.g. /var/lib/tierd/history.db or sqlite:/var/lib/tierd/history.db; empty = in-memory ring only). Fleet mode shares one store, namespaced per tenant")
+	flag.IntVar(&cfg.historyRing, "history-ring", defaultHistoryRing,
+		"in-memory tier-history ring entries per engine (the cache in front of -history-store, carried in checkpoints)")
+	flag.DurationVar(&cfg.historyRetain, "history-retain", 0,
+		"drop history-store entries older than this (0 = keep forever; pruning compacts the store)")
+	flag.StringVar(&cfg.configFile, "config", "",
+		"hot-reloadable pricing config file (JSON); SIGHUP re-reads and swaps it with zero quoting downtime. Present fields override flags; tenant-spec overrides still win")
 	flag.StringVar(&cfg.tenantsFile, "tenants", "",
 		"tenant spec file (JSON) enabling multi-tenant fleet mode: per-tenant windows, repricers, quotas and durability namespaces")
 	flag.IntVar(&cfg.schedWorkers, "reprice-workers", 1,
@@ -194,8 +210,16 @@ type daemon struct {
 	sink     netflow.Sink // the window, possibly behind durability and/or a fault-injection wrapper
 	durable  *durability  // nil when running memory-only (no -data-dir)
 	repricer *stream.Repricer
+	reloader *engineReloader
+	recorder *histRecorder
 	metrics  *server.Metrics
 	fleet    *fleet // non-nil in multi-tenant mode (-tenants); most fields above stay nil
+
+	// histStore is the shared durable tier-history store (nil without
+	// -history-store); reload is the process-wide hot-reload state.
+	histStore histstore.Store
+	reload    *reloadState
+
 	udp      *netflow.CollectorServer
 	httpSrv  *http.Server
 	ln       net.Listener
@@ -233,26 +257,39 @@ func engineFromConfig(cfg config) engineSpec {
 	}
 }
 
+// engineReloader re-derives and swaps one engine's pricing
+// configuration from a (possibly file-overlaid) engineSpec — the hot
+// reload path. check validates without applying; apply swaps the
+// running repricer's configuration in place. Both close over the
+// engine's trace metadata and resolver, which a reload never rebuilds:
+// a reload re-prices the demand you have under new economics, it does
+// not change where the demand comes from.
+type engineReloader struct {
+	check func(engineSpec) error
+	apply func(engineSpec) error
+}
+
 // buildEngine loads the trace metadata and builds one window → repricer
-// pricing engine. wrapResolver, when non-nil, interposes on the
-// endpoint resolver (fault-injection test hook).
+// pricing engine plus its hot-reload handle. wrapResolver, when
+// non-nil, interposes on the endpoint resolver (fault-injection test
+// hook).
 func buildEngine(cfg config, es engineSpec,
-	wrapResolver func(demandfit.EndpointResolver) demandfit.EndpointResolver) (*stream.ShardedWindow, *stream.Repricer, error) {
+	wrapResolver func(demandfit.EndpointResolver) demandfit.EndpointResolver) (*stream.ShardedWindow, *stream.Repricer, *engineReloader, error) {
 	if es.trace == "" {
-		return nil, nil, errors.New("no trace directory (set -trace or the tenant's \"trace\")")
+		return nil, nil, nil, errors.New("no trace directory (set -trace or the tenant's \"trace\")")
 	}
 	meta, err := traces.ReadMetaFile(filepath.Join(es.trace, "meta.txt"))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	geoFile, err := os.Open(filepath.Join(es.trace, "geoip.csv"))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	geo, err := geoip.ReadCSV(geoFile)
 	geoFile.Close()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var rv demandfit.EndpointResolver
 	base := &demandfit.Resolver{Geo: geo, DistanceRegions: meta.Dataset == "euisp"}
@@ -264,32 +301,51 @@ func buildEngine(cfg config, es engineSpec,
 		rv = wrapResolver(rv)
 	}
 
-	var dm econ.Model
-	switch es.model {
-	case "ced":
-		dm = econ.CED{Alpha: es.alpha}
-	case "logit":
-		dm = econ.Logit{Alpha: es.alpha, S0: es.s0}
-	default:
-		return nil, nil, fmt.Errorf("unknown demand model %q", es.model)
-	}
-	strategy, err := bundling.ByName(es.strategy)
-	if err != nil {
-		return nil, nil, err
-	}
-	p0 := meta.P0
-	if es.blended > 0 {
-		p0 = es.blended
-	}
-	durationSec := es.demandSec
-	if durationSec == 0 {
-		// Replaying a capture: the octets in the window represent the
-		// capture duration, not the window span.
-		durationSec = meta.DurationSec
+	// pricingConfig derives the repricer configuration from a spec: the
+	// one code path construction and every later reload go through, so
+	// the two can't diverge on defaults or validation.
+	pricingConfig := func(es engineSpec) (stream.Config, error) {
+		var dm econ.Model
+		switch es.model {
+		case "ced":
+			dm = econ.CED{Alpha: es.alpha}
+		case "logit":
+			dm = econ.Logit{Alpha: es.alpha, S0: es.s0}
+		default:
+			return stream.Config{}, fmt.Errorf("unknown demand model %q", es.model)
+		}
+		strategy, err := bundling.ByName(es.strategy)
+		if err != nil {
+			return stream.Config{}, err
+		}
+		p0 := meta.P0
+		if es.blended > 0 {
+			p0 = es.blended
+		}
+		durationSec := es.demandSec
+		if durationSec == 0 {
+			// Replaying a capture: the octets in the window represent the
+			// capture duration, not the window span.
+			durationSec = meta.DurationSec
+		}
+		return stream.Config{
+			Resolver:    rv,
+			Demand:      dm,
+			Cost:        cost.Linear{Theta: es.theta},
+			P0:          p0,
+			Strategy:    strategy,
+			Tiers:       es.tiers,
+			DurationSec: durationSec,
+			Workers:     cfg.workers,
+		}, nil
 	}
 
+	scfg, err := pricingConfig(es)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if cfg.slot <= 0 || cfg.window < cfg.slot {
-		return nil, nil, fmt.Errorf("window %v must be at least one slot %v", cfg.window, cfg.slot)
+		return nil, nil, nil, fmt.Errorf("window %v must be at least one slot %v", cfg.window, cfg.slot)
 	}
 	shards := cfg.ingestShards
 	if shards < 1 {
@@ -297,28 +353,35 @@ func buildEngine(cfg config, es engineSpec,
 	}
 	w, err := stream.NewShardedWindow(traces.AggregateKey, cfg.slot, int(cfg.window/cfg.slot), shards)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if cfg.now != nil {
 		w.SetClock(cfg.now)
 	}
-	rp, err := stream.NewRepricer(stream.Config{
-		Window:      w,
-		Resolver:    rv,
-		Demand:      dm,
-		Cost:        cost.Linear{Theta: es.theta},
-		P0:          p0,
-		Strategy:    strategy,
-		Tiers:       es.tiers,
-		DurationSec: durationSec,
-		Workers:     cfg.workers,
-		DrainGrace:  cfg.drainGrace,
-		Now:         cfg.now,
-	})
+	scfg.Window = w
+	scfg.DrainGrace = cfg.drainGrace
+	scfg.Now = cfg.now
+	rp, err := stream.NewRepricer(scfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return w, rp, nil
+	rl := &engineReloader{
+		check: func(es engineSpec) error {
+			c, err := pricingConfig(es)
+			if err != nil {
+				return err
+			}
+			return rp.CheckConfig(c)
+		},
+		apply: func(es engineSpec) error {
+			c, err := pricingConfig(es)
+			if err != nil {
+				return err
+			}
+			return rp.Reconfigure(c)
+		},
+	}
+	return w, rp, rl, nil
 }
 
 // startDaemon loads the trace metadata, builds the window → repricer →
@@ -329,7 +392,18 @@ func startDaemon(cfg config) (*daemon, error) {
 	if cfg.tenantsFile != "" {
 		return startFleet(cfg)
 	}
-	w, rp, err := buildEngine(cfg, engineFromConfig(cfg), cfg.wrapResolver)
+	es := engineFromConfig(cfg)
+	if cfg.configFile != "" {
+		// The boot read of -config is strict: a file the daemon cannot
+		// serve under is a refusal to start, not a silent fallback. Later
+		// SIGHUP re-reads keep serving on error instead.
+		fc, err := loadFileConfig(cfg.configFile)
+		if err != nil {
+			return nil, fmt.Errorf("-config: %w", err)
+		}
+		es = applyFileConfig(es, fc)
+	}
+	w, rp, rl, err := buildEngine(cfg, es, cfg.wrapResolver)
 	if err != nil {
 		return nil, err
 	}
@@ -340,14 +414,28 @@ func startDaemon(cfg config) (*daemon, error) {
 		// intervals means the loop is stuck, not just slow.
 		maxAge = 4 * cfg.reprice
 	}
-	d := &daemon{cfg: cfg, window: w, sink: w, repricer: rp, metrics: server.NewMetrics()}
+	d := &daemon{cfg: cfg, window: w, sink: w, repricer: rp, reloader: rl,
+		metrics: server.NewMetrics(), reload: newReloadState()}
+	if cfg.historyStore != "" {
+		if d.histStore, err = histstore.Open(cfg.historyStore, histstore.Options{}); err != nil {
+			return nil, fmt.Errorf("opening history store: %w", err)
+		}
+	}
+	d.recorder = newHistRecorder("default", cfg.historyRing, d.histStore, d.reload.epoch)
+	fail := func(err error) (*daemon, error) {
+		if d.histStore != nil {
+			d.histStore.Close()
+		}
+		return nil, err
+	}
 	if cfg.dataDir != "" {
 		// Recover before serving: restore the newest checkpoint, replay
 		// the WAL tail through the window, and publish a warm snapshot so
 		// a restart resumes quoting where the crash left off.
-		if d.durable, err = openDurability(cfg, cfg.dataDir, "", w, rp); err != nil {
-			return nil, err
+		if d.durable, err = openDurability(cfg, cfg.dataDir, "", w, rp, d.recorder, d.reload.epoch); err != nil {
+			return fail(err)
 		}
+		d.reload.raise(d.durable.restoredConfigEpoch)
 		d.sink = d.durable.sink()
 		if err := d.durable.warmReprice(cfg.drainGrace); err != nil {
 			// Serve cold rather than refuse to boot; the periodic loop
@@ -361,17 +449,22 @@ func startDaemon(cfg config) (*daemon, error) {
 		Ingest:         d.ingestStats,
 		MaxSnapshotAge: maxAge,
 		Now:            cfg.now,
+		History:        d.recorder.snapshot,
+		Reload:         d.reload.stats,
+	}
+	if d.histStore != nil {
+		srvCfg.HistoryScan = d.recorder.scan
+		srvCfg.HistoryStore = histStoreStats(d.histStore)
 	}
 	if d.durable != nil {
 		srvCfg.Durability = d.durable.stats
-		srvCfg.History = d.durable.historySnapshot
 	}
 	srv, err := server.New(srvCfg)
 	if err != nil {
 		if d.durable != nil {
 			d.durable.log.Close()
 		}
-		return nil, err
+		return fail(err)
 	}
 	if cfg.wrapSink != nil {
 		// Fault injection wraps outside durability: the WAL records what
@@ -382,7 +475,7 @@ func startDaemon(cfg config) (*daemon, error) {
 		d.durable.start()
 	}
 	if err := d.startListeners(srv.Handler()); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return d, nil
 }
@@ -486,9 +579,7 @@ func (d *daemon) onTick(snap *stream.Snapshot, elapsed time.Duration, err error)
 	d.metrics.ObserveReprice(elapsed.Seconds(), err != nil)
 	if snap != nil {
 		d.metrics.RepriceFlows.Set(int64(snap.Table.Flows))
-		if d.durable != nil {
-			d.durable.recordSnapshot(snap)
-		}
+		d.recorder.record(snap)
 	}
 	if err != nil && !errors.Is(err, stream.ErrEmptyWindow) {
 		fmt.Fprintln(os.Stderr, "tierd: reprice:", err)
@@ -499,6 +590,18 @@ func (d *daemon) onTick(snap *stream.Snapshot, elapsed time.Duration, err error)
 // stopped first, the repricer performs its final pass over everything
 // received, and the HTTP server completes in-flight requests.
 func (d *daemon) run(ctx context.Context, stdin io.Reader) error {
+	if d.histStore != nil {
+		// Deferred first so it runs last: /v1/history can hit the store
+		// until the final in-flight HTTP request completes, and the prune
+		// loop must stop before its store disappears.
+		defer d.histStore.Close()
+	}
+	if stop := d.startReloadWatcher(); stop != nil {
+		defer stop()
+	}
+	if stop := d.startPruneLoop(); stop != nil {
+		defer stop()
+	}
 	if d.fleet != nil {
 		return d.runFleet(ctx, stdin)
 	}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"tieredpricing/internal/demandfit"
+	"tieredpricing/internal/histstore"
 	"tieredpricing/internal/netflow"
 	"tieredpricing/internal/server"
 	"tieredpricing/internal/stream"
@@ -32,6 +33,8 @@ type member struct {
 	tn       *tenant.Tenant
 	window   *stream.ShardedWindow
 	repricer *stream.Repricer
+	reloader *engineReloader
+	recorder *histRecorder
 	metrics  *server.Metrics
 	durable  *durability // nil without -data-dir
 
@@ -72,12 +75,35 @@ func startFleet(cfg config) (*daemon, error) {
 		starve = 2 * cfg.reprice
 	}
 
+	base := engineFromConfig(cfg)
+	if cfg.configFile != "" {
+		// Strict boot read, same policy as the single-tenant daemon.
+		fc, err := loadFileConfig(cfg.configFile)
+		if err != nil {
+			return nil, fmt.Errorf("-config: %w", err)
+		}
+		base = applyFileConfig(base, fc)
+	}
+	rs := newReloadState()
+	var store histstore.Store
+	if cfg.historyStore != "" {
+		// One store for the whole fleet: rows are namespaced by the
+		// tenant column, so tenants share the file and its group commits.
+		var err error
+		if store, err = histstore.Open(cfg.historyStore, histstore.Options{}); err != nil {
+			return nil, fmt.Errorf("opening history store: %w", err)
+		}
+	}
+
 	f := &fleet{interval: cfg.reprice}
 	closeAll := func() {
 		for _, m := range f.members {
 			if m.durable != nil {
 				m.durable.log.Close()
 			}
+		}
+		if store != nil {
+			store.Close()
 		}
 	}
 	tenants := make([]*tenant.Tenant, 0, len(specs))
@@ -90,18 +116,20 @@ func startFleet(cfg config) (*daemon, error) {
 				return cfg.wrapTenantResolver(id, rv)
 			}
 		}
-		w, rp, err := buildEngine(cfg, engineFromSpec(cfg, sp), resolverWrap)
+		w, rp, rl, err := buildEngine(cfg, overlaySpec(base, sp), resolverWrap)
 		if err != nil {
 			closeAll()
 			return nil, fmt.Errorf("tenant %q: %w", sp.ID, err)
 		}
-		m := &member{spec: sp, window: w, repricer: rp, metrics: server.NewMetrics()}
+		m := &member{spec: sp, window: w, repricer: rp, reloader: rl, metrics: server.NewMetrics()}
+		m.recorder = newHistRecorder(sp.ID, cfg.historyRing, store, rs.epoch)
 		var sink netflow.Sink = w
 		if cfg.dataDir != "" {
-			if m.durable, err = openDurability(cfg, tenantDir(cfg.dataDir, sp.ID), sp.ID, w, rp); err != nil {
+			if m.durable, err = openDurability(cfg, tenantDir(cfg.dataDir, sp.ID), sp.ID, w, rp, m.recorder, rs.epoch); err != nil {
 				closeAll()
 				return nil, fmt.Errorf("tenant %q: %w", sp.ID, err)
 			}
+			rs.raise(m.durable.restoredConfigEpoch)
 			sink = m.durable.sink()
 		}
 		m.tn = &tenant.Tenant{
@@ -127,9 +155,12 @@ func startFleet(cfg config) (*daemon, error) {
 		if m.tn.Limiter != nil {
 			st.Limiter = m.tn.Limiter
 		}
+		st.History = m.recorder.snapshot
+		if store != nil {
+			st.HistoryScan = m.recorder.scan
+		}
 		if m.durable != nil {
 			st.Durability = m.durable.stats
-			st.History = m.durable.historySnapshot
 		}
 		srvTenants = append(srvTenants, st)
 	}
@@ -152,18 +183,23 @@ func startFleet(cfg config) (*daemon, error) {
 
 	f.sched = tenant.NewScheduler(cfg.schedWorkers, starve, cfg.now)
 
-	d := &daemon{cfg: cfg, fleet: f, sink: f.registry}
+	d := &daemon{cfg: cfg, fleet: f, sink: f.registry, histStore: store, reload: rs}
 	if cfg.wrapSink != nil {
 		d.sink = cfg.wrapSink(d.sink)
 	}
-	srv, err := server.New(server.Config{
+	fleetSrvCfg := server.Config{
 		Tenants:       srvTenants,
 		DefaultTenant: defaultID,
 		Metrics:       server.NewMetrics(),
 		Ingest:        d.collectorStats,
 		Sched:         f.schedStats,
 		Now:           cfg.now,
-	})
+		Reload:        rs.stats,
+	}
+	if store != nil {
+		fleetSrvCfg.HistoryStore = histStoreStats(store)
+	}
+	srv, err := server.New(fleetSrvCfg)
 	if err != nil {
 		closeAll()
 		return nil, err
@@ -180,10 +216,10 @@ func startFleet(cfg config) (*daemon, error) {
 	return d, nil
 }
 
-// engineFromSpec overlays a tenant's overrides on the daemon flags:
-// zero-valued spec fields inherit the flag.
-func engineFromSpec(cfg config, sp tenant.Spec) engineSpec {
-	es := engineFromConfig(cfg)
+// overlaySpec overlays a tenant's overrides on a base engine spec
+// (the flags, possibly already overlaid with -config): zero-valued
+// spec fields inherit the base.
+func overlaySpec(es engineSpec, sp tenant.Spec) engineSpec {
 	if sp.Trace != "" {
 		es.trace = sp.Trace
 	}
@@ -306,9 +342,7 @@ func (m *member) onTick(snap *stream.Snapshot, elapsed time.Duration, err error)
 	m.lastFailed.Store(err != nil)
 	if snap != nil {
 		m.metrics.RepriceFlows.Set(int64(snap.Table.Flows))
-		if m.durable != nil {
-			m.durable.recordSnapshot(snap)
-		}
+		m.recorder.record(snap)
 	}
 	if err != nil && !errors.Is(err, stream.ErrEmptyWindow) {
 		fmt.Fprintf(os.Stderr, "tierd: tenant %s: reprice: %v\n", m.spec.ID, err)

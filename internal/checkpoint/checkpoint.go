@@ -56,6 +56,9 @@ type HistoryEntry struct {
 	At    time.Time       `json:"at"`
 	Epoch int64           `json:"epoch"`
 	Table json.RawMessage `json:"table"`
+	// ConfigEpoch is the pricing-config generation the table was
+	// produced under (0 in pre-reload checkpoints, read as 1).
+	ConfigEpoch int64 `json:"config_epoch,omitempty"`
 }
 
 // State is everything a checkpoint persists.
@@ -80,6 +83,12 @@ type State struct {
 	// Table is the serving snapshot's canonical TierTable bytes, empty
 	// before the first successful re-price.
 	Table json.RawMessage `json:"table,omitempty"`
+	// ConfigEpoch is the process-wide pricing-config generation at
+	// checkpoint time (1 at first boot, +1 per successful hot reload;
+	// 0 in pre-reload checkpoints, restored as 1). Recovery
+	// fast-forwards the daemon's epoch so a restart cannot reuse a
+	// generation number an earlier config already published under.
+	ConfigEpoch int64 `json:"config_epoch,omitempty"`
 	// History is the bounded TierTable time series (oldest first).
 	History []HistoryEntry `json:"history,omitempty"`
 }

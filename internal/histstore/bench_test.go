@@ -1,0 +1,118 @@
+package histstore
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// benchTable is sized like a real published tier table (a handful of
+// tiers with prices and boundaries).
+var benchTable = json.RawMessage(`{"epoch":1,"tiers":[` +
+	`{"lo":0,"hi":10,"price":9.42},{"lo":10,"hi":100,"price":6.18},` +
+	`{"lo":100,"hi":1000,"price":3.77},{"lo":1000,"hi":0,"price":1.93}],` +
+	`"p0":12.5,"duration_sec":300}`)
+
+func BenchmarkHistoryAppend(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "h.db"), Options{FlushInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	at := time.Unix(1700000000, 0).UTC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(Entry{
+			Tenant: "default", Epoch: int64(i + 1), ConfigEpoch: 1,
+			At: at, Table: benchTable,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := s.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkHistoryAppendDurable(b *testing.B) {
+	// Every append group-commits (FlushBytes=1): the per-batch fsync
+	// cost with batch size 1, the worst case for the commit path.
+	s, err := Open(filepath.Join(b.TempDir(), "h.db"), Options{FlushInterval: -1, FlushBytes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	at := time.Unix(1700000000, 0).UTC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(Entry{
+			Tenant: "default", Epoch: int64(i + 1), ConfigEpoch: 1,
+			At: at, Table: benchTable,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHistoryScan(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "h.db"), Options{FlushInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	at := time.Unix(1700000000, 0).UTC()
+	for ep := int64(1); ep <= 10000; ep++ {
+		if err := s.Append(Entry{Tenant: "default", Epoch: ep, ConfigEpoch: 1, At: at, Table: benchTable}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := s.Scan("default", Query{SinceEpoch: 4000, UntilEpoch: 9000, Limit: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != 100 {
+			b.Fatalf("scan returned %d rows", len(got))
+		}
+	}
+}
+
+func BenchmarkHistoryOpen10k(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "h.db")
+	s, err := Open(path, Options{FlushInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := time.Unix(1700000000, 0).UTC()
+	for ep := int64(1); ep <= 10000; ep++ {
+		if err := s.Append(Entry{Tenant: "default", Epoch: ep, ConfigEpoch: 1, At: at, Table: benchTable}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := Open(path, Options{FlushInterval: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := s.Stats(); st.Entries != 10000 {
+			b.Fatalf("Entries = %d", st.Entries)
+		}
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

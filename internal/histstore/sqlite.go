@@ -1,0 +1,707 @@
+package histstore
+
+// The embedded engine: a single-file store in pure Go following
+// SQLite's WAL-mode discipline.
+//
+//	history.db       the main file: header + committed transaction
+//	                 frames, rewritten (compacted) only by Prune
+//	history.db-wal   the write-ahead file: appends group-commit here
+//	                 (one fsync per batch), periodically folded into
+//	                 the main file and truncated
+//
+// A transaction frame is `u32 len | u32 crc32c | payload`, payload a
+// sequence of `u32 rowLen | rowJSON` rows — the frame either commits
+// wholly or, torn by a crash, fails its CRC and is discarded wholly at
+// open (the recovery contract: a torn tail truncates, interior frames
+// are trusted). Folding copies the WAL's committed frames verbatim onto
+// the main file before truncating the WAL, so a crash between the two
+// leaves every row present in at least one file; the (tenant, epoch)
+// key dedup at open keeps exactly one.
+//
+// Reads are served from an in-memory index (tenant → sorted epochs →
+// row location); row bytes stay on disk and are pread on demand, so
+// resident memory is ~48 bytes per row regardless of table size.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// fileMagic pins the on-disk format; a format change bumps the suffix
+// so old readers reject new files instead of misparsing them.
+const fileMagic = "TPHS0001"
+
+const (
+	frameHeaderSize     = 8 // u32 payload len + u32 crc32c
+	defaultFlushEvery   = 200 * time.Millisecond
+	defaultFlushBytes   = 256 << 10
+	defaultFoldBytes    = 4 << 20
+	maxFramePayload     = 16 << 20 // sanity bound when scanning frames
+	compactFramePayload = 512 << 10
+)
+
+var sqliteCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// rowFile says which file (or the pending batch) holds a row's bytes.
+type rowFile uint8
+
+const (
+	inDB rowFile = iota
+	inWAL
+	inPend
+)
+
+// rowLoc locates one committed row's JSON bytes: file + offset + length
+// for durable rows, an index into the pending batch otherwise.
+type rowLoc struct {
+	file rowFile
+	off  int64
+	n    int32
+}
+
+// rowMeta is the resident index entry for one row.
+type rowMeta struct {
+	atNS int64 // Entry.At, for MaxAge pruning without a disk read
+	loc  rowLoc
+}
+
+// pendRow is one staged row: its encoded bytes plus the index entry to
+// re-point at the durable offset once the batch commits.
+type pendRow struct {
+	enc []byte
+	rm  *rowMeta
+}
+
+// tenantIdx is one tenant's slice of the series.
+type tenantIdx struct {
+	epochs []int64 // sorted ascending
+	rows   map[int64]*rowMeta
+	bytes  uint64 // encoded size of live rows
+}
+
+// sqliteStore is the embedded engine behind "sqlite:" DSNs.
+type sqliteStore struct {
+	path    string
+	walPath string
+	opts    Options
+
+	mu      sync.Mutex
+	db      *os.File
+	wal     *os.File
+	dbSize  int64
+	walSize int64
+	idx     map[string]*tenantIdx
+	pend    []pendRow // encoded rows staged for the next commit
+	pendB   int
+	closed  bool
+
+	stats Stats
+
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// openSQLite opens (creating if absent) the embedded store at path and
+// replays both files into the resident index, truncating torn tails.
+func openSQLite(path string, opts Options) (Store, error) {
+	if path == "" {
+		return nil, errors.New("histstore: sqlite DSN needs a file path")
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = defaultFlushEvery
+	}
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = defaultFlushBytes
+	}
+	if opts.FoldBytes <= 0 {
+		opts.FoldBytes = defaultFoldBytes
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("histstore: %w", err)
+	}
+	s := &sqliteStore{
+		path:    path,
+		walPath: path + "-wal",
+		opts:    opts,
+		idx:     make(map[string]*tenantIdx),
+		stopCh:  make(chan struct{}),
+		doneCh:  make(chan struct{}),
+	}
+	// Leftover temp files from a crashed compaction are garbage: the
+	// rename never happened, the live file is authoritative.
+	if matches, _ := filepath.Glob(filepath.Join(filepath.Dir(path), ".history-*.tmp")); len(matches) > 0 {
+		for _, m := range matches {
+			_ = os.Remove(m)
+		}
+	}
+	var err error
+	if s.db, s.dbSize, err = s.openFile(s.path, inDB); err != nil {
+		return nil, err
+	}
+	if s.wal, s.walSize, err = s.openFile(s.walPath, inWAL); err != nil {
+		s.db.Close()
+		return nil, err
+	}
+	if opts.FlushInterval > 0 {
+		go s.flushLoop()
+	} else {
+		close(s.doneCh)
+	}
+	return s, nil
+}
+
+// openFile opens one of the two files, writing the header into a new
+// file and otherwise replaying its frames into the index. A torn or
+// corrupt tail is truncated away; rows whose (tenant, epoch) key is
+// already indexed are skipped (first writer wins — the dedup that makes
+// a crash between fold and WAL-truncate harmless).
+func (s *sqliteStore) openFile(path string, file rowFile) (*os.File, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("histstore: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("histstore: %w", err)
+	}
+	if fi.Size() == 0 {
+		if _, err := f.Write([]byte(fileMagic)); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("histstore: writing header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("histstore: %w", err)
+		}
+		return f, int64(len(fileMagic)), nil
+	}
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != fileMagic {
+		f.Close()
+		return nil, 0, fmt.Errorf("histstore: %s is not a history store (bad magic)", path)
+	}
+	valid, err := s.replay(f, int64(len(fileMagic)), fi.Size(), file)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if valid < fi.Size() {
+		// Torn or corrupt tail: everything before it replayed cleanly,
+		// so truncate to the valid prefix and carry on.
+		s.stats.OpenTornBytes += uint64(fi.Size() - valid)
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("histstore: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, 0, fmt.Errorf("histstore: %w", err)
+		}
+	}
+	return f, valid, nil
+}
+
+// replay scans frames from off to size, indexing each row, and returns
+// the end of the valid prefix.
+func (s *sqliteStore) replay(f *os.File, off, size int64, file rowFile) (int64, error) {
+	hdr := make([]byte, frameHeaderSize)
+	for off+frameHeaderSize <= size {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			return off, nil // unreadable tail: distrust it
+		}
+		n := int64(binary.BigEndian.Uint32(hdr))
+		wantCRC := binary.BigEndian.Uint32(hdr[4:])
+		if n == 0 || n > maxFramePayload || off+frameHeaderSize+n > size {
+			return off, nil // torn frame
+		}
+		payload := make([]byte, n)
+		if _, err := f.ReadAt(payload, off+frameHeaderSize); err != nil {
+			return off, nil
+		}
+		if crc32.Checksum(payload, sqliteCastagnoli) != wantCRC {
+			return off, nil // corrupt frame: stop trusting the file here
+		}
+		if err := s.indexFrame(payload, off+frameHeaderSize, file); err != nil {
+			return off, err
+		}
+		off += frameHeaderSize + n
+	}
+	return off, nil
+}
+
+// indexFrame walks one committed frame's rows and indexes them.
+func (s *sqliteStore) indexFrame(payload []byte, base int64, file rowFile) error {
+	for pos := 0; pos < len(payload); {
+		if pos+4 > len(payload) {
+			return fmt.Errorf("histstore: frame row header overruns payload")
+		}
+		n := int(binary.BigEndian.Uint32(payload[pos:]))
+		pos += 4
+		if n <= 0 || pos+n > len(payload) {
+			return fmt.Errorf("histstore: frame row overruns payload")
+		}
+		var e Entry
+		if err := json.Unmarshal(payload[pos:pos+n], &e); err != nil {
+			return fmt.Errorf("histstore: decoding row: %w", err)
+		}
+		s.indexRow(e, rowLoc{file: file, off: base + int64(pos), n: int32(n)}, len(payload[pos:pos+n]))
+		pos += n
+	}
+	return nil
+}
+
+// indexRow inserts one row if its key is new, returning the index
+// entry; duplicates keep the first-indexed copy and return nil.
+func (s *sqliteStore) indexRow(e Entry, loc rowLoc, encLen int) *rowMeta {
+	ti := s.idx[e.Tenant]
+	if ti == nil {
+		ti = &tenantIdx{rows: make(map[int64]*rowMeta)}
+		s.idx[e.Tenant] = ti
+	}
+	if _, dup := ti.rows[e.Epoch]; dup {
+		return nil
+	}
+	rm := &rowMeta{atNS: e.At.UnixNano(), loc: loc}
+	ti.rows[e.Epoch] = rm
+	i := sort.Search(len(ti.epochs), func(i int) bool { return ti.epochs[i] >= e.Epoch })
+	ti.epochs = append(ti.epochs, 0)
+	copy(ti.epochs[i+1:], ti.epochs[i:])
+	ti.epochs[i] = e.Epoch
+	ti.bytes += uint64(encLen)
+	s.stats.Entries++
+	s.stats.Bytes += uint64(encLen)
+	return rm
+}
+
+// Append stages one row for the next group commit. Idempotent on
+// (Tenant, Epoch): an existing key is counted as a dupe and ignored.
+func (s *sqliteStore) Append(e Entry) error {
+	if e.Tenant == "" {
+		return errors.New("histstore: append needs a tenant")
+	}
+	enc, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("histstore: encoding row: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("histstore: store is closed")
+	}
+	rm := s.indexRow(e, rowLoc{file: inPend, off: int64(len(s.pend)), n: int32(len(enc))}, len(enc))
+	if rm == nil {
+		s.stats.Dupes++
+		return nil
+	}
+	s.stats.Appends++
+	s.pend = append(s.pend, pendRow{enc: enc, rm: rm})
+	s.pendB += len(enc)
+	if s.pendB >= s.opts.FlushBytes {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// flushLocked commits the pending batch as one frame: append to the
+// WAL, one fsync, then re-point the rows at their durable offsets. On
+// failure the batch stays pending for the next attempt.
+func (s *sqliteStore) flushLocked() error {
+	if len(s.pend) == 0 {
+		return nil
+	}
+	payload := make([]byte, 0, s.pendB+4*len(s.pend))
+	for _, pr := range s.pend {
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(pr.enc)))
+		payload = append(payload, pr.enc...)
+	}
+	frame := make([]byte, 0, frameHeaderSize+len(payload))
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(payload, sqliteCastagnoli))
+	frame = append(frame, payload...)
+	if _, err := s.wal.WriteAt(frame, s.walSize); err != nil {
+		s.stats.AppendErrors++
+		return fmt.Errorf("histstore: wal append: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.stats.AppendErrors++
+		return fmt.Errorf("histstore: wal fsync: %w", err)
+	}
+	// The frame is durable: re-point every pending row at its on-disk
+	// bytes (a row pruned while pending just repoints a dead rowMeta —
+	// its bytes stay dead until the next compaction).
+	base := s.walSize + frameHeaderSize
+	pos := int64(0)
+	for _, pr := range s.pend {
+		pr.rm.loc = rowLoc{file: inWAL, off: base + pos + 4, n: int32(len(pr.enc))}
+		pos += 4 + int64(len(pr.enc))
+	}
+	s.walSize += int64(len(frame))
+	s.pend = s.pend[:0]
+	s.pendB = 0
+	s.stats.Flushes++
+	if s.walSize >= s.opts.FoldBytes {
+		return s.foldLocked()
+	}
+	return nil
+}
+
+// foldLocked checkpoints the WAL into the main file: the WAL's frames
+// are copied verbatim onto the main file's tail, the main file is
+// fsynced, and only then is the WAL truncated — a crash between the
+// two leaves duplicate rows that open-time dedup resolves.
+func (s *sqliteStore) foldLocked() error {
+	if s.walSize <= int64(len(fileMagic)) {
+		return nil
+	}
+	n := s.walSize - int64(len(fileMagic))
+	buf := make([]byte, n)
+	if _, err := s.wal.ReadAt(buf, int64(len(fileMagic))); err != nil {
+		return fmt.Errorf("histstore: fold read: %w", err)
+	}
+	if _, err := s.db.WriteAt(buf, s.dbSize); err != nil {
+		return fmt.Errorf("histstore: fold write: %w", err)
+	}
+	if err := s.db.Sync(); err != nil {
+		return fmt.Errorf("histstore: fold fsync: %w", err)
+	}
+	// Rows that lived in the WAL now live at a fixed translation of
+	// their old offset.
+	delta := s.dbSize - int64(len(fileMagic))
+	for _, ti := range s.idx {
+		for _, rm := range ti.rows {
+			if rm.loc.file == inWAL {
+				rm.loc = rowLoc{file: inDB, off: rm.loc.off + delta, n: rm.loc.n}
+			}
+		}
+	}
+	s.dbSize += n
+	if err := s.wal.Truncate(int64(len(fileMagic))); err != nil {
+		return fmt.Errorf("histstore: wal truncate: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	s.walSize = int64(len(fileMagic))
+	s.stats.Folds++
+	return nil
+}
+
+// readRow fetches one row's Entry.
+func (s *sqliteStore) readRowLocked(rm *rowMeta) (Entry, error) {
+	var raw []byte
+	switch rm.loc.file {
+	case inPend:
+		raw = s.pend[rm.loc.off].enc
+	case inWAL:
+		raw = make([]byte, rm.loc.n)
+		if _, err := s.wal.ReadAt(raw, rm.loc.off); err != nil {
+			return Entry{}, fmt.Errorf("histstore: reading row: %w", err)
+		}
+	default:
+		raw = make([]byte, rm.loc.n)
+		if _, err := s.db.ReadAt(raw, rm.loc.off); err != nil {
+			return Entry{}, fmt.Errorf("histstore: reading row: %w", err)
+		}
+	}
+	var e Entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return Entry{}, fmt.Errorf("histstore: decoding row: %w", err)
+	}
+	return e, nil
+}
+
+// Scan returns the tenant's rows in [SinceEpoch, UntilEpoch] oldest
+// first, keeping the newest Limit when more match.
+func (s *sqliteStore) Scan(tenant string, q Query) ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Scans++
+	ti := s.idx[tenant]
+	if ti == nil {
+		return nil, nil
+	}
+	lo := 0
+	if q.SinceEpoch > 0 {
+		lo = sort.Search(len(ti.epochs), func(i int) bool { return ti.epochs[i] >= q.SinceEpoch })
+	}
+	hi := len(ti.epochs)
+	if q.UntilEpoch > 0 {
+		hi = sort.Search(len(ti.epochs), func(i int) bool { return ti.epochs[i] > q.UntilEpoch })
+	}
+	if lo >= hi {
+		return nil, nil
+	}
+	epochs := ti.epochs[lo:hi]
+	if q.Limit > 0 && len(epochs) > q.Limit {
+		epochs = epochs[len(epochs)-q.Limit:] // newest Limit, still oldest-first
+	}
+	out := make([]Entry, 0, len(epochs))
+	for _, ep := range epochs {
+		e, err := s.readRowLocked(ti.rows[ep])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Tenants lists tenants with live rows.
+func (s *sqliteStore) Tenants() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.idx))
+	for t, ti := range s.idx {
+		if len(ti.epochs) > 0 {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Prune drops rows beyond the retention policy and compacts the main
+// file when anything was removed.
+func (s *sqliteStore) Prune(policy Retention) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errors.New("histstore: store is closed")
+	}
+	removed := 0
+	var cutoffNS int64
+	if policy.MaxAge > 0 {
+		cutoffNS = s.opts.Now().Add(-policy.MaxAge).UnixNano()
+	}
+	for _, ti := range s.idx {
+		drop := 0
+		if policy.MaxEntries > 0 && len(ti.epochs) > policy.MaxEntries {
+			drop = len(ti.epochs) - policy.MaxEntries
+		}
+		if cutoffNS > 0 {
+			aged := sort.Search(len(ti.epochs), func(i int) bool {
+				return ti.rows[ti.epochs[i]].atNS >= cutoffNS
+			})
+			if aged > drop {
+				drop = aged
+			}
+		}
+		for _, ep := range ti.epochs[:drop] {
+			rm := ti.rows[ep]
+			ti.bytes -= uint64(rm.loc.n)
+			s.stats.Bytes -= uint64(rm.loc.n)
+			s.stats.Entries--
+			delete(ti.rows, ep)
+		}
+		ti.epochs = append(ti.epochs[:0], ti.epochs[drop:]...)
+		removed += drop
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	s.stats.Pruned += uint64(removed)
+	if err := s.compactLocked(); err != nil {
+		return removed, err
+	}
+	return removed, nil
+}
+
+// compactLocked rewrites the main file with only the live rows (temp
+// file → fsync → rename → directory fsync) and truncates the WAL.
+// Pending rows are flushed first so the compacted pair is complete.
+func (s *sqliteStore) compactLocked() error {
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), ".history-*.tmp")
+	if err != nil {
+		return fmt.Errorf("histstore: compact: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write([]byte(fileMagic)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("histstore: compact: %w", err)
+	}
+	// Deterministic layout: tenants sorted, epochs ascending, frames
+	// bounded so open never buffers more than one frame.
+	tenants := make([]string, 0, len(s.idx))
+	for t := range s.idx {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	newOff := int64(len(fileMagic))
+	var payload []byte
+	type pendingLoc struct {
+		rm  *rowMeta
+		off int64 // relative to the frame payload start
+		n   int32
+	}
+	var frameRows []pendingLoc
+	newLocs := make(map[*rowMeta]rowLoc)
+	writeFrame := func() error {
+		if len(payload) == 0 {
+			return nil
+		}
+		frame := make([]byte, 0, frameHeaderSize+len(payload))
+		frame = binary.BigEndian.AppendUint32(frame, uint32(len(payload)))
+		frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(payload, sqliteCastagnoli))
+		frame = append(frame, payload...)
+		if _, err := tmp.Write(frame); err != nil {
+			return fmt.Errorf("histstore: compact: %w", err)
+		}
+		for _, pl := range frameRows {
+			newLocs[pl.rm] = rowLoc{file: inDB, off: newOff + frameHeaderSize + pl.off, n: pl.n}
+		}
+		newOff += int64(len(frame))
+		payload = payload[:0]
+		frameRows = frameRows[:0]
+		return nil
+	}
+	for _, t := range tenants {
+		ti := s.idx[t]
+		for _, ep := range ti.epochs {
+			rm := ti.rows[ep]
+			e, err := s.readRowLocked(rm)
+			if err != nil {
+				tmp.Close()
+				return err
+			}
+			enc, err := json.Marshal(e)
+			if err != nil {
+				tmp.Close()
+				return fmt.Errorf("histstore: compact: %w", err)
+			}
+			payload = binary.BigEndian.AppendUint32(payload, uint32(len(enc)))
+			frameRows = append(frameRows, pendingLoc{rm: rm, off: int64(len(payload)), n: int32(len(enc))})
+			payload = append(payload, enc...)
+			if len(payload) >= compactFramePayload {
+				if err := writeFrame(); err != nil {
+					tmp.Close()
+					return err
+				}
+			}
+		}
+	}
+	if err := writeFrame(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("histstore: compact fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("histstore: compact: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path); err != nil {
+		return fmt.Errorf("histstore: compact rename: %w", err)
+	}
+	if err := syncDir(filepath.Dir(s.path)); err != nil {
+		return err
+	}
+	// Swap the handle to the new file and drop the (now wholly folded)
+	// WAL contents.
+	newDB, err := os.OpenFile(s.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("histstore: compact reopen: %w", err)
+	}
+	s.db.Close()
+	s.db = newDB
+	s.dbSize = newOff
+	for rm, loc := range newLocs {
+		rm.loc = loc
+	}
+	if err := s.wal.Truncate(int64(len(fileMagic))); err != nil {
+		return fmt.Errorf("histstore: compact wal truncate: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("histstore: %w", err)
+	}
+	s.walSize = int64(len(fileMagic))
+	s.stats.Compactions++
+	return nil
+}
+
+// Sync commits any staged rows.
+func (s *sqliteStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.flushLocked()
+}
+
+// Stats snapshots the counters.
+func (s *sqliteStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close flushes, stops the background flusher, and closes the files.
+func (s *sqliteStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.flushLocked()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopCh)
+	<-s.doneCh
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := s.db.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// flushLoop is the group-commit ticker: staged appends become durable
+// at least every FlushInterval without any caller paying the fsync.
+func (s *sqliteStore) flushLoop() {
+	defer close(s.doneCh)
+	ticker := time.NewTicker(s.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			if !s.closed {
+				if err := s.flushLocked(); err != nil {
+					fmt.Fprintln(os.Stderr, "histstore:", err)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// syncDir fsyncs a directory so a rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -112,21 +112,57 @@ func (br *batchReader) read() (int, error) {
 
 func (br *batchReader) datagram(i int) []byte { return br.bufs[i][:br.msgs[i].len] }
 
+// socketInodes collects the socket inode of every bound conn — the
+// identity /proc/net/udp rows carry in their inode column — so drop
+// accounting can be restricted to sockets this server actually owns.
+// A socket fd's fstat st_ino IS its /proc/net inode.
+func socketInodes(conns []net.PacketConn) map[uint64]struct{} {
+	inodes := make(map[uint64]struct{}, len(conns))
+	for _, pc := range conns {
+		if ino := sockInode(pc); ino != 0 {
+			inodes[ino] = struct{}{}
+		}
+	}
+	return inodes
+}
+
+func sockInode(pc net.PacketConn) uint64 {
+	sc, ok := pc.(syscall.Conn)
+	if !ok {
+		return 0
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return 0
+	}
+	var ino uint64
+	_ = rc.Control(func(fd uintptr) {
+		var st syscall.Stat_t
+		if syscall.Fstat(int(fd), &st) == nil {
+			ino = st.Ino
+		}
+	})
+	return ino
+}
+
 // socketDrops sums the kernel receive-queue drop counters of the UDP
 // sockets bound to port, read from /proc/net/udp and /proc/net/udp6
-// (the trailing "drops" column, matched on the local-port hex field).
-func socketDrops(port, _ int) uint64 {
+// (the trailing "drops" column). Rows are matched on the local-port hex
+// field AND the socket inode: other processes can share the port via
+// SO_REUSEPORT, and their drops are not ours to report. An empty inode
+// set (stat unavailable) falls back to port-only matching.
+func socketDrops(port int, inodes map[uint64]struct{}) uint64 {
 	if port == 0 {
 		return 0
 	}
 	var total uint64
 	for _, path := range []string{"/proc/net/udp", "/proc/net/udp6"} {
-		total += procNetDrops(path, port)
+		total += procNetDrops(path, port, inodes)
 	}
 	return total
 }
 
-func procNetDrops(path string, port int) uint64 {
+func procNetDrops(path string, port int, inodes map[uint64]struct{}) uint64 {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0
@@ -135,9 +171,19 @@ func procNetDrops(path string, port int) uint64 {
 	var total uint64
 	lines := strings.Split(string(data), "\n")
 	for _, line := range lines[1:] {
+		// sl local rem st tx:rx tr:tm retrnsmt uid timeout inode ref ptr drops
 		f := strings.Fields(line)
 		if len(f) < 13 || !strings.HasSuffix(f[1], want) {
 			continue
+		}
+		if len(inodes) > 0 {
+			ino, err := strconv.ParseUint(f[9], 10, 64)
+			if err != nil {
+				continue
+			}
+			if _, ours := inodes[ino]; !ours {
+				continue
+			}
 		}
 		if d, err := strconv.ParseUint(f[len(f)-1], 10, 64); err == nil {
 			total += d

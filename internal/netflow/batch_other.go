@@ -14,4 +14,6 @@ func listenConfig(bool) net.ListenConfig { return net.ListenConfig{} }
 
 func newBatchReader(pc net.PacketConn, _ int) datagramReader { return newSingleReader(pc) }
 
-func socketDrops(_, _ int) uint64 { return 0 }
+func socketDrops(_ int, _ map[uint64]struct{}) uint64 { return 0 }
+
+func socketInodes([]net.PacketConn) map[uint64]struct{} { return nil }

@@ -131,6 +131,9 @@ type CollectorServer struct {
 	sink  Sink
 	batch int
 	port  int
+	// inodes identifies this server's sockets in /proc/net/udp, so drop
+	// accounting excludes foreign SO_REUSEPORT sockets on the same port.
+	inodes map[uint64]struct{}
 
 	packets atomic.Uint64
 	bad     atomic.Uint64
@@ -181,6 +184,7 @@ func NewCollectorServerOpts(addr string, sink Sink, opts ServerOptions) (*Collec
 			s.conns = append(s.conns, pc)
 		}
 	}
+	s.inodes = socketInodes(s.conns)
 	readers := s.conns
 	if len(readers) == 1 && sockets > 1 {
 		// No REUSEPORT: user-space dispatch — several readers drain the
@@ -208,11 +212,13 @@ func (s *CollectorServer) Stats() (packets, bad int) {
 }
 
 // SocketDrops reports the kernel's receive-queue drop count summed over
-// the server's sockets — datagrams that arrived but found the socket
-// buffer full, invisible to user space except through kernel stats.
-// Returns 0 where the platform exposes no counter.
+// the server's own sockets — datagrams that arrived but found the
+// socket buffer full, invisible to user space except through kernel
+// stats. Sockets other processes bind to the same port (SO_REUSEPORT)
+// are excluded: their drops never held data destined for this server's
+// readers. Returns 0 where the platform exposes no counter.
 func (s *CollectorServer) SocketDrops() uint64 {
-	return socketDrops(s.port, len(s.conns))
+	return socketDrops(s.port, s.inodes)
 }
 
 // Close stops the receive loops and closes the sockets.

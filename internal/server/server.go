@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/netip"
@@ -68,12 +69,58 @@ type DurabilityStats struct {
 
 // HistoryEntry is one published tier table in the /v1/history time
 // series: the canonical TierTable bytes exactly as /v1/tiers served
-// them at that epoch. The daemon's checkpoint loop records one entry
-// per epoch and persists the ring across restarts.
+// them at that epoch, plus the pricing-config epoch that produced the
+// table (1 = boot config; each successful hot reload increments it).
+// The daemon's history recorder appends one entry per epoch to the
+// durable store (when configured) and keeps a bounded ring in front of
+// it.
 type HistoryEntry struct {
-	At    time.Time       `json:"at"`
-	Epoch int64           `json:"epoch"`
-	Table json.RawMessage `json:"table"`
+	At          time.Time       `json:"at"`
+	Epoch       int64           `json:"epoch"`
+	ConfigEpoch int64           `json:"config_epoch,omitempty"`
+	Table       json.RawMessage `json:"table"`
+}
+
+// HistoryLimitCap is the server-side ceiling on /v1/history responses:
+// a request's limit parameter is clamped to it, and an absent or zero
+// limit selects it, so a deep store scan can never become an unbounded
+// response body.
+const HistoryLimitCap = 1000
+
+// HistoryQuery is a parsed /v1/history range request. Since and Until
+// bound the epoch range inclusively (0 = unbounded on that side);
+// Limit caps the returned entries, keeping the newest when more match
+// (still returned oldest-first).
+type HistoryQuery struct {
+	Since int64
+	Until int64
+	Limit int
+}
+
+// HistoryStoreStats is a point-in-time view of the durable tier-history
+// store for /metrics. It mirrors histstore.Stats without importing the
+// package, keeping the HTTP layer decoupled from the storage engine.
+type HistoryStoreStats struct {
+	Entries       uint64
+	Bytes         uint64
+	Appends       uint64
+	Dupes         uint64
+	AppendErrors  uint64
+	Flushes       uint64
+	Folds         uint64
+	Compactions   uint64
+	Pruned        uint64
+	Scans         uint64
+	OpenTornBytes uint64
+}
+
+// ReloadStats is a point-in-time view of config hot-reload for
+// /metrics: the process-wide pricing-config epoch (1 at boot, +1 per
+// successful SIGHUP reload) and the reload outcome counters.
+type ReloadStats struct {
+	ConfigEpoch  int64
+	Reloads      uint64
+	ReloadErrors uint64
 }
 
 // Config wires a Server to its snapshot source and policies.
@@ -113,6 +160,16 @@ type Config struct {
 	// History supplies the checkpointed tier-table time series for
 	// GET /v1/history (oldest first); nil serves an empty series.
 	History func() []HistoryEntry
+	// HistoryScan serves deep /v1/history range queries from the
+	// durable store; nil falls back to filtering History's ring.
+	HistoryScan func(q HistoryQuery) ([]HistoryEntry, error)
+	// HistoryStore reports the durable tier-history store's counters
+	// for /metrics; nil when the daemon runs without -history-store.
+	// Process-wide: in fleet mode every tenant shares one store.
+	HistoryStore func() HistoryStoreStats
+	// Reload reports config hot-reload state for /metrics; nil when the
+	// daemon runs without -config. Process-wide.
+	Reload func() ReloadStats
 	// Build identifies the running binary; the zero value is filled
 	// from the embedded build metadata.
 	Build buildinfo.Info
@@ -137,9 +194,11 @@ type Server struct {
 	def     *Tenant
 	fleet   bool // multi-tenant: tenant routes + labeled exposition
 
-	proc   *Metrics           // process-wide counters (health, metrics scrapes)
-	ingest func() IngestStats // optional; process-wide datagram counters
-	sched  func() SchedStats  // optional; fleet mode only
+	proc      *Metrics                 // process-wide counters (health, metrics scrapes)
+	ingest    func() IngestStats       // optional; process-wide datagram counters
+	sched     func() SchedStats        // optional; fleet mode only
+	histStore func() HistoryStoreStats // optional; shared durable history store
+	reload    func() ReloadStats       // optional; config hot-reload state
 
 	now      func() time.Time
 	build    buildinfo.Info
@@ -158,13 +217,15 @@ func New(cfg Config) (*Server, error) {
 		cfg.Metrics = NewMetrics()
 	}
 	s := &Server{
-		fleet:    len(cfg.Tenants) > 0,
-		proc:     cfg.Metrics,
-		ingest:   cfg.Ingest,
-		sched:    cfg.Sched,
-		now:      cfg.Now,
-		build:    cfg.Build,
-		buildTag: cfg.Build.String(),
+		fleet:     len(cfg.Tenants) > 0,
+		proc:      cfg.Metrics,
+		ingest:    cfg.Ingest,
+		sched:     cfg.Sched,
+		histStore: cfg.HistoryStore,
+		reload:    cfg.Reload,
+		now:       cfg.Now,
+		build:     cfg.Build,
+		buildTag:  cfg.Build.String(),
 	}
 	if !s.fleet {
 		// Single-tenant: the legacy Config fields become the one tenant.
@@ -180,11 +241,12 @@ func New(cfg Config) (*Server, error) {
 			Metrics:        cfg.Metrics,
 			Durability:     cfg.Durability,
 			History:        cfg.History,
+			HistoryScan:    cfg.HistoryScan,
 			MaxSnapshotAge: cfg.MaxSnapshotAge,
 			Weight:         1,
 		}}
 	} else {
-		if cfg.Snapshots != nil || cfg.Durability != nil || cfg.History != nil {
+		if cfg.Snapshots != nil || cfg.Durability != nil || cfg.History != nil || cfg.HistoryScan != nil {
 			return nil, errors.New("server: Tenants excludes the single-tenant Snapshots/Durability/History fields")
 		}
 		s.tenants = cfg.Tenants
@@ -413,20 +475,93 @@ type historyResponse struct {
 	Entries []HistoryEntry `json:"entries"`
 }
 
-// handleHistory serves the checkpointed tier-table time series: every
-// published epoch the checkpoint loop has recorded, oldest first. It
-// answers from the daemon's in-memory ring (restored from the newest
-// checkpoint at boot), so history survives restarts along with the
-// window.
+// parseHistoryQuery validates the since/until/limit parameters.
+// Each must be a non-negative decimal integer when present (anything
+// else is a 400); an absent or zero limit selects the server-side cap,
+// and larger requests are clamped to it.
+func parseHistoryQuery(r *http.Request) (HistoryQuery, error) {
+	vals := r.URL.Query()
+	parse := func(name string) (int64, error) {
+		raw := vals.Get(name)
+		if raw == "" {
+			return 0, nil
+		}
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %q is not an integer", name, raw)
+		}
+		if n < 0 {
+			return 0, fmt.Errorf("%s must not be negative, got %d", name, n)
+		}
+		return n, nil
+	}
+	var q HistoryQuery
+	var err error
+	if q.Since, err = parse("since"); err != nil {
+		return q, err
+	}
+	if q.Until, err = parse("until"); err != nil {
+		return q, err
+	}
+	limit, err := parse("limit")
+	if err != nil {
+		return q, err
+	}
+	if limit == 0 || limit > HistoryLimitCap {
+		limit = HistoryLimitCap
+	}
+	q.Limit = int(limit)
+	return q, nil
+}
+
+// filterHistory applies HistoryQuery semantics to an oldest-first
+// series — the ring-backed fallback when no durable store is wired.
+func filterHistory(entries []HistoryEntry, q HistoryQuery) []HistoryEntry {
+	out := entries[:0:0]
+	for _, e := range entries {
+		if q.Since > 0 && e.Epoch < q.Since {
+			continue
+		}
+		if q.Until > 0 && e.Epoch > q.Until {
+			continue
+		}
+		out = append(out, e)
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:] // newest Limit, still oldest-first
+	}
+	return out
+}
+
+// handleHistory serves the tier-table time series, oldest first,
+// bounded by ?since=&until=&limit= (epochs, inclusive). With a durable
+// history store wired the scan reaches every retained epoch — far past
+// the in-memory ring; without one it filters the ring (restored from
+// the newest checkpoint at boot).
 func (s *Server) handleHistory(t *Tenant, w http.ResponseWriter, r *http.Request) {
 	t.Metrics.HistoryRequests.Inc()
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
 		return
 	}
+	q, err := parseHistoryQuery(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
 	entries := []HistoryEntry{}
-	if t.History != nil {
-		if got := t.History(); got != nil {
+	switch {
+	case t.HistoryScan != nil:
+		got, err := t.HistoryScan(q)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return
+		}
+		if got != nil {
+			entries = got
+		}
+	case t.History != nil:
+		if got := filterHistory(t.History(), q); got != nil {
 			entries = got
 		}
 	}
@@ -548,6 +683,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP tierd_recovery_replayed_total WAL entries replayed during boot recovery.\n# TYPE tierd_recovery_replayed_total counter\ntierd_recovery_replayed_total %d\n", d.RecoveryReplayed)
 		fmt.Fprintf(w, "# HELP tierd_recovery_torn_bytes_total Trailing WAL bytes recovery distrusted and discarded.\n# TYPE tierd_recovery_torn_bytes_total counter\ntierd_recovery_torn_bytes_total %d\n", d.RecoveryTornBytes)
 	}
+	s.writeHistoryStoreMetrics(w)
+	s.writeReloadMetrics(w)
 	if snap := s.def.Snapshots.Current(); snap != nil {
 		fmt.Fprintf(w, "# HELP tierd_snapshot_epoch Epoch of the serving snapshot.\n# TYPE tierd_snapshot_epoch gauge\ntierd_snapshot_epoch %d\n", snap.Epoch)
 		fmt.Fprintf(w, "# HELP tierd_snapshot_flows Flows priced in the serving snapshot.\n# TYPE tierd_snapshot_flows gauge\ntierd_snapshot_flows %d\n", snap.Table.Flows)
@@ -559,4 +696,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, "# HELP tierd_snapshot_stale Whether the serving snapshot exceeds the staleness policy (1 = degraded).\n# TYPE tierd_snapshot_stale gauge\ntierd_snapshot_stale %d\n", stale)
 	}
+}
+
+// writeHistoryStoreMetrics renders the durable tier-history store's
+// counters (process-wide: fleet tenants share one store). No-op when no
+// store is wired.
+func (s *Server) writeHistoryStoreMetrics(w io.Writer) {
+	if s.histStore == nil {
+		return
+	}
+	h := s.histStore()
+	fmt.Fprintf(w, "# HELP tierd_history_entries Rows live in the durable tier-history store.\n# TYPE tierd_history_entries gauge\ntierd_history_entries %d\n", h.Entries)
+	fmt.Fprintf(w, "# HELP tierd_history_bytes Encoded size of the live tier-history rows.\n# TYPE tierd_history_bytes gauge\ntierd_history_bytes %d\n", h.Bytes)
+	fmt.Fprintf(w, "# HELP tierd_history_appends_total Tier-history rows accepted for append.\n# TYPE tierd_history_appends_total counter\ntierd_history_appends_total %d\n", h.Appends)
+	fmt.Fprintf(w, "# HELP tierd_history_dupes_total Appends ignored because the (tenant, epoch) key already existed.\n# TYPE tierd_history_dupes_total counter\ntierd_history_dupes_total %d\n", h.Dupes)
+	fmt.Fprintf(w, "# HELP tierd_history_append_errors_total Tier-history appends that failed to reach durable storage.\n# TYPE tierd_history_append_errors_total counter\ntierd_history_append_errors_total %d\n", h.AppendErrors)
+	fmt.Fprintf(w, "# HELP tierd_history_flushes_total Group commits of staged tier-history rows (one fsync each).\n# TYPE tierd_history_flushes_total counter\ntierd_history_flushes_total %d\n", h.Flushes)
+	fmt.Fprintf(w, "# HELP tierd_history_folds_total Write-ahead-file checkpoints folded into the main history file.\n# TYPE tierd_history_folds_total counter\ntierd_history_folds_total %d\n", h.Folds)
+	fmt.Fprintf(w, "# HELP tierd_history_compactions_total Main history file rewrites triggered by retention pruning.\n# TYPE tierd_history_compactions_total counter\ntierd_history_compactions_total %d\n", h.Compactions)
+	fmt.Fprintf(w, "# HELP tierd_history_pruned_total Tier-history rows removed by retention policy.\n# TYPE tierd_history_pruned_total counter\ntierd_history_pruned_total %d\n", h.Pruned)
+	fmt.Fprintf(w, "# HELP tierd_history_scans_total Tier-history range scans served.\n# TYPE tierd_history_scans_total counter\ntierd_history_scans_total %d\n", h.Scans)
+	fmt.Fprintf(w, "# HELP tierd_history_torn_bytes_total Trailing history-file bytes open-time recovery distrusted and discarded.\n# TYPE tierd_history_torn_bytes_total counter\ntierd_history_torn_bytes_total %d\n", h.OpenTornBytes)
+}
+
+// writeReloadMetrics renders the config hot-reload state (process-wide).
+// No-op when the daemon runs without -config.
+func (s *Server) writeReloadMetrics(w io.Writer) {
+	if s.reload == nil {
+		return
+	}
+	rl := s.reload()
+	fmt.Fprintf(w, "# HELP tierd_config_epoch Pricing-config epoch (1 at boot, +1 per successful hot reload).\n# TYPE tierd_config_epoch gauge\ntierd_config_epoch %d\n", rl.ConfigEpoch)
+	fmt.Fprintf(w, "# HELP tierd_config_reloads_total Successful config hot reloads.\n# TYPE tierd_config_reloads_total counter\ntierd_config_reloads_total %d\n", rl.Reloads)
+	fmt.Fprintf(w, "# HELP tierd_config_reload_errors_total Config reloads rejected (invalid file or config; the running config stayed active).\n# TYPE tierd_config_reload_errors_total counter\ntierd_config_reload_errors_total %d\n", rl.ReloadErrors)
 }

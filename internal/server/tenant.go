@@ -35,8 +35,11 @@ type Tenant struct {
 	// Durability reports the tenant's WAL/checkpoint counters; nil when
 	// the tenant runs without a durability namespace.
 	Durability func() DurabilityStats
-	// History supplies the tenant's tier-table time series.
+	// History supplies the tenant's tier-table time series (the ring).
 	History func() []HistoryEntry
+	// HistoryScan serves deep /v1/history range queries from the
+	// durable store; nil falls back to filtering History's ring.
+	HistoryScan func(q HistoryQuery) ([]HistoryEntry, error)
 	// Limiter guards the tenant's quote path; nil admits everything.
 	Limiter RateLimiter
 	// MaxSnapshotAge is the tenant's staleness policy (0 disables).
@@ -294,6 +297,11 @@ func (s *Server) writeFleetMetrics(w io.Writer) {
 			fmt.Fprintf(w, "tierd_recovery_torn_bytes_total{%s} %d\n", labelFor(e.t), e.d.RecoveryTornBytes)
 		}
 	}
+
+	// Shared durable history store and config hot-reload state: one per
+	// process, so both stay unlabeled.
+	s.writeHistoryStoreMetrics(w)
+	s.writeReloadMetrics(w)
 
 	// Per-tenant serving snapshots.
 	type tenantSnap struct {

@@ -1,0 +1,140 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"tieredpricing/internal/bundling"
+	"tieredpricing/internal/cost"
+	"tieredpricing/internal/demandfit"
+	"tieredpricing/internal/econ"
+)
+
+// TestReconfigureSwapsPricing: a Reconfigure followed by a Reprice
+// publishes a snapshot built under the new configuration, with the
+// epoch sequence continuing monotonically.
+func TestReconfigureSwapsPricing(t *testing.T) {
+	rp, ds, _ := loadedRepricer(t, 81)
+	snap1, err := rp.Reprice(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap1.Table.Tiers) != 3 {
+		t.Fatalf("initial tiers = %d, want 3", len(snap1.Table.Tiers))
+	}
+
+	err = rp.Reconfigure(Config{
+		Resolver:    &demandfit.Resolver{Geo: ds.Geo, DistanceRegions: true},
+		Demand:      econ.CED{Alpha: 1.3},
+		Cost:        cost.Linear{Theta: 0.2},
+		P0:          ds.P0,
+		Strategy:    bundling.ProfitWeighted{},
+		Tiers:       5,
+		DurationSec: ds.DurationSec,
+		Workers:     4,
+	})
+	if err != nil {
+		t.Fatalf("Reconfigure: %v", err)
+	}
+	// The old snapshot keeps serving until the next publish.
+	if rp.Current() != snap1 {
+		t.Fatal("Reconfigure replaced the live snapshot before a Reprice")
+	}
+	snap2, err := rp.Reprice(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap2.Table.Tiers) != 5 {
+		t.Fatalf("post-reload tiers = %d, want 5", len(snap2.Table.Tiers))
+	}
+	if snap2.Epoch != snap1.Epoch+1 {
+		t.Fatalf("epoch %d after %d, want monotone +1", snap2.Epoch, snap1.Epoch)
+	}
+}
+
+// TestReconfigureInvalidKeepsOld: a rejected Reconfigure leaves the
+// running configuration untouched.
+func TestReconfigureInvalidKeepsOld(t *testing.T) {
+	rp, ds, _ := loadedRepricer(t, 82)
+	if _, err := rp.Reprice(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{
+		Resolver:    &demandfit.Resolver{Geo: ds.Geo, DistanceRegions: true},
+		Demand:      econ.CED{Alpha: 1.1},
+		Cost:        cost.Linear{Theta: 0.2},
+		P0:          -1, // invalid
+		Strategy:    bundling.ProfitWeighted{},
+		Tiers:       3,
+		DurationSec: ds.DurationSec,
+	}
+	if err := rp.Reconfigure(bad); err == nil {
+		t.Fatal("invalid Reconfigure accepted")
+	}
+	snap, err := rp.Reprice(context.Background())
+	if err != nil {
+		t.Fatalf("Reprice after rejected reload: %v", err)
+	}
+	if len(snap.Table.Tiers) != 3 || snap.Table.P0 != ds.P0 {
+		t.Fatalf("rejected reload changed config: tiers=%d p0=%v", len(snap.Table.Tiers), snap.Table.P0)
+	}
+}
+
+// TestReconfigureConcurrentQuotes exercises the reload path under
+// concurrent quote traffic — meaningful under -race: every Quote must
+// succeed against whichever snapshot is current, across repeated
+// Reconfigure+Reprice cycles.
+func TestReconfigureConcurrentQuotes(t *testing.T) {
+	rp, ds, aggs := loadedRepricer(t, 83)
+	if _, err := rp.Reprice(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := rp.Current()
+				for _, a := range aggs[:32] {
+					if _, ok := snap.Quote(a.SrcAddr, a.DstAddr); !ok {
+						t.Error("quote miss during reload churn")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		tiers := 2 + i%4
+		err := rp.Reconfigure(Config{
+			Resolver:    &demandfit.Resolver{Geo: ds.Geo, DistanceRegions: true},
+			Demand:      econ.CED{Alpha: 1.1 + float64(i%3)*0.1},
+			Cost:        cost.Linear{Theta: 0.2},
+			P0:          ds.P0,
+			Strategy:    bundling.ProfitWeighted{},
+			Tiers:       tiers,
+			DurationSec: ds.DurationSec,
+			Workers:     4,
+		})
+		if err != nil {
+			t.Fatalf("Reconfigure %d: %v", i, err)
+		}
+		snap, err := rp.Reprice(context.Background())
+		if err != nil {
+			t.Fatalf("Reprice %d: %v", i, err)
+		}
+		if len(snap.Table.Tiers) != tiers {
+			t.Fatalf("cycle %d: tiers = %d, want %d", i, len(snap.Table.Tiers), tiers)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

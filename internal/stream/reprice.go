@@ -219,10 +219,14 @@ func (s *Snapshot) RIB() *bgp.RIB { return s.rib }
 // publishes pricing snapshots. Reads (Current) and the periodic rebuild
 // never block each other: Current is a single atomic load.
 type Repricer struct {
-	cfg   Config
-	now   func() time.Time
-	epoch atomic.Int64
-	cur   atomic.Pointer[Snapshot]
+	cfg Config // guarded by mu (Reconfigure swaps it)
+	// now and drainGrace are pinned at construction: Run's drain path
+	// reads them without the lock, and a hot reload must not move the
+	// clock or the shutdown bound under a draining repricer.
+	now        func() time.Time
+	drainGrace time.Duration
+	epoch      atomic.Int64
+	cur        atomic.Pointer[Snapshot]
 	// failures counts consecutive failed re-price attempts (reset on
 	// success). Warm-up empty windows don't count; an empty window after
 	// a snapshot exists does — that's an ingest gap, the signal the
@@ -256,29 +260,76 @@ func (r *Repricer) RestoreEpoch(epoch int64) {
 
 // NewRepricer validates the configuration.
 func NewRepricer(cfg Config) (*Repricer, error) {
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Repricer{cfg: cfg, now: cfg.Now, drainGrace: cfg.DrainGrace}, nil
+}
+
+// Reconfigure swaps the repricer's pricing configuration in place —
+// the zero-downtime reload path. The new configuration is validated
+// before anything changes; on any error the old configuration stays
+// active untouched. The live window, clock, and drain grace are pinned
+// from the running repricer (a reload re-prices the demand you have,
+// it does not discard it), and the current snapshot keeps serving
+// quotes until the caller's next Reprice publishes one built under the
+// new configuration — quoting never has a gap across a reload.
+func (r *Repricer) Reconfigure(cfg Config) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cfg.Window = r.cfg.Window
+	cfg.Now = r.now
+	cfg.DrainGrace = r.drainGrace
+	cfg, err := normalizeConfig(cfg)
+	if err != nil {
+		return err
+	}
+	r.cfg = cfg
+	return nil
+}
+
+// CheckConfig validates cfg exactly as Reconfigure would — same
+// pinning, same normalization — without swapping anything in. A fleet
+// reload runs it across every tenant first so a bad overlay rejects
+// the whole reload instead of leaving tenants on mixed generations.
+func (r *Repricer) CheckConfig(cfg Config) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cfg.Window = r.cfg.Window
+	cfg.Now = r.now
+	cfg.DrainGrace = r.drainGrace
+	_, err := normalizeConfig(cfg)
+	return err
+}
+
+// normalizeConfig validates a Config and fills in the defaults, shared
+// by construction and hot reload so the two paths cannot diverge.
+func normalizeConfig(cfg Config) (Config, error) {
+	fail := func(err error) (Config, error) { return Config{}, err }
 	if cfg.Window == nil {
-		return nil, errors.New("stream: repricer needs a window")
+		return fail(errors.New("stream: repricer needs a window"))
 	}
 	if cfg.Resolver == nil {
-		return nil, errors.New("stream: repricer needs a resolver")
+		return fail(errors.New("stream: repricer needs a resolver"))
 	}
 	if cfg.Demand == nil || cfg.Cost == nil {
-		return nil, errors.New("stream: repricer needs demand and cost models")
+		return fail(errors.New("stream: repricer needs demand and cost models"))
 	}
 	if cfg.P0 <= 0 {
-		return nil, fmt.Errorf("stream: blended rate must be positive, got %v", cfg.P0)
+		return fail(fmt.Errorf("stream: blended rate must be positive, got %v", cfg.P0))
 	}
 	if cfg.Strategy == nil {
-		return nil, errors.New("stream: repricer needs a bundling strategy")
+		return fail(errors.New("stream: repricer needs a bundling strategy"))
 	}
 	if cfg.Tiers < 1 {
-		return nil, errors.New("stream: need at least one tier")
+		return fail(errors.New("stream: need at least one tier"))
 	}
 	if cfg.DurationSec == 0 {
 		cfg.DurationSec = cfg.Window.Span().Seconds()
 	}
 	if cfg.DurationSec <= 0 {
-		return nil, fmt.Errorf("stream: demand duration must be positive, got %v", cfg.DurationSec)
+		return fail(fmt.Errorf("stream: demand duration must be positive, got %v", cfg.DurationSec))
 	}
 	if cfg.SrcMaskBits == 0 {
 		cfg.SrcMaskBits = 20
@@ -287,7 +338,7 @@ func NewRepricer(cfg Config) (*Repricer, error) {
 		cfg.DstMaskBits = 24
 	}
 	if cfg.SrcMaskBits < 0 || cfg.SrcMaskBits > 32 || cfg.DstMaskBits < 0 || cfg.DstMaskBits > 32 {
-		return nil, fmt.Errorf("stream: mask bits out of range (%d, %d)", cfg.SrcMaskBits, cfg.DstMaskBits)
+		return fail(fmt.Errorf("stream: mask bits out of range (%d, %d)", cfg.SrcMaskBits, cfg.DstMaskBits))
 	}
 	if cfg.Src6MaskBits == 0 {
 		cfg.Src6MaskBits = 48
@@ -296,10 +347,10 @@ func NewRepricer(cfg Config) (*Repricer, error) {
 		cfg.Dst6MaskBits = 64
 	}
 	if cfg.Src6MaskBits < 0 || cfg.Src6MaskBits > 128 || cfg.Dst6MaskBits < 0 || cfg.Dst6MaskBits > 128 {
-		return nil, fmt.Errorf("stream: IPv6 mask bits out of range (%d, %d)", cfg.Src6MaskBits, cfg.Dst6MaskBits)
+		return fail(fmt.Errorf("stream: IPv6 mask bits out of range (%d, %d)", cfg.Src6MaskBits, cfg.Dst6MaskBits))
 	}
 	if cfg.DrainGrace < 0 {
-		return nil, fmt.Errorf("stream: drain grace must not be negative, got %v", cfg.DrainGrace)
+		return fail(fmt.Errorf("stream: drain grace must not be negative, got %v", cfg.DrainGrace))
 	}
 	if cfg.DrainGrace == 0 {
 		cfg.DrainGrace = 5 * time.Second
@@ -310,7 +361,7 @@ func NewRepricer(cfg Config) (*Repricer, error) {
 	if !cfg.NextHop.IsValid() {
 		cfg.NextHop = netip.AddrFrom4([4]byte{0, 0, 0, 0})
 	}
-	return &Repricer{cfg: cfg, now: cfg.Now}, nil
+	return cfg, nil
 }
 
 // ConsecutiveFailures reports how many re-price attempts have failed in
@@ -496,7 +547,7 @@ func (r *Repricer) Run(ctx context.Context, interval time.Duration,
 		case <-ctx.Done():
 			// Final drain pass: price whatever arrived since the last
 			// tick, bounded so shutdown cannot wedge on a stuck resolve.
-			drainCtx, cancel := context.WithTimeout(context.Background(), r.cfg.DrainGrace)
+			drainCtx, cancel := context.WithTimeout(context.Background(), r.drainGrace)
 			tick(drainCtx)
 			cancel()
 			return
